@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* benchmarks the runner call itself (pytest-benchmark timing),
+* prints the regenerated rows, and
+* persists them under ``benchmarks/results/<experiment>.txt`` so the
+  numbers survive the terminal (EXPERIMENTS.md is compiled from these).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir, capsys):
+    """Print an ExperimentResult table and persist it to the results dir."""
+
+    def _record(result, *, columns=None, extra: str = ""):
+        text = result.to_table(columns)
+        if extra:
+            text = f"{text}\n{extra}"
+        path = results_dir / f"{result.experiment}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+        return result
+
+    return _record

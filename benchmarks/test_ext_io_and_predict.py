@@ -1,0 +1,136 @@
+"""Bench: I/O format study + prediction fast path (extension studies).
+
+* The Fig. 2 "read" component is pure text parsing; the binary PLSB format
+  (``repro.io.binary_format``) removes it almost entirely. The bench
+  measures text-parse vs binary-read for the same matrix.
+* The linear kernel's primal weight vector (Eq. 15) turns prediction from
+  O(m d) per point into O(d); the bench measures both paths on the same
+  trained model (the kernel-expansion path forced through an rbf-free
+  evaluation of the expansion).
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import LSSVC
+from repro.core.kernels import kernel_matrix
+from repro.data import make_planes
+from repro.experiments.common import ExperimentResult, Row
+from repro.io.binary_format import read_binary_file, write_binary_file
+from repro.io.libsvm_format import read_libsvm_file, write_libsvm_file
+
+
+def _io_study(num_points=2048, num_features=256):
+    X, y = make_planes(num_points, num_features, rng=0)
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        text_path = os.path.join(tmp, "d.libsvm")
+        bin_path = os.path.join(tmp, "d.plsb")
+
+        start = time.perf_counter()
+        write_libsvm_file(text_path, X, y)
+        text_write = time.perf_counter() - start
+        start = time.perf_counter()
+        X_t, _ = read_libsvm_file(text_path)
+        text_read = time.perf_counter() - start
+
+        start = time.perf_counter()
+        write_binary_file(bin_path, X, y)
+        bin_write = time.perf_counter() - start
+        start = time.perf_counter()
+        X_b, _ = read_binary_file(bin_path)
+        bin_read = time.perf_counter() - start
+
+        assert np.allclose(X_t, X_b)
+        text_size = os.path.getsize(text_path)
+        bin_size = os.path.getsize(bin_path)
+
+    rows.append(
+        Row(
+            meta={"format": "libsvm-text"},
+            values={"read_s": text_read, "write_s": text_write, "bytes": text_size},
+        )
+    )
+    rows.append(
+        Row(
+            meta={"format": "plsb-binary"},
+            values={"read_s": bin_read, "write_s": bin_write, "bytes": bin_size},
+        )
+    )
+    rows.append(
+        Row(
+            meta={"format": "speedup (text/binary)"},
+            values={
+                "read_s": text_read / bin_read,
+                "write_s": text_write / bin_write,
+                "bytes": text_size / bin_size,
+            },
+        )
+    )
+    return ExperimentResult(
+        experiment="ext_binary_io",
+        description=(
+            f"I/O format study (measured): {num_points} x {num_features}, "
+            "LIBSVM text vs PLSB binary"
+        ),
+        mode="measured",
+        rows=rows,
+    )
+
+
+def test_binary_io_removes_read_component(benchmark, record_result):
+    result = benchmark.pedantic(_io_study, rounds=1, iterations=1)
+    record_result(result)
+    speedup = result.rows[2].values
+    assert speedup["read_s"] > 5.0  # binary read is massively faster
+    assert speedup["bytes"] > 1.0  # and smaller on disk
+
+
+def _predict_study(num_train=2048, num_test=4096, num_features=128):
+    X, y = make_planes(num_train, num_features, rng=1)
+    grid, _ = make_planes(num_test, num_features, rng=2)
+    clf = LSSVC(kernel="linear", C=1.0).fit(X, y)
+    model = clf.model_
+
+    start = time.perf_counter()
+    fast = model.decision_function(grid)
+    fast_s = time.perf_counter() - start
+
+    # The kernel-expansion path evaluated explicitly (what prediction costs
+    # without Eq. 15's primal w).
+    start = time.perf_counter()
+    slow = np.empty(num_test)
+    for lo in range(0, num_test, 2048):
+        rows = slice(lo, min(lo + 2048, num_test))
+        K = kernel_matrix(grid[rows], model.support_vectors, model.param.kernel)
+        slow[rows] = K @ model.alpha
+    slow += model.bias
+    slow_s = time.perf_counter() - start
+
+    assert np.allclose(fast, slow, atol=1e-8)
+    rows_out = [
+        Row(meta={"path": "primal w (Eq. 15)"}, values={"predict_s": fast_s}),
+        Row(meta={"path": "kernel expansion"}, values={"predict_s": slow_s}),
+        Row(
+            meta={"path": "speedup"},
+            values={"predict_s": slow_s / fast_s},
+        ),
+    ]
+    return ExperimentResult(
+        experiment="ext_predict_fast_path",
+        description=(
+            f"Linear-kernel prediction paths (measured): {num_test} test points, "
+            f"model of {num_train} SVs x {num_features} features"
+        ),
+        mode="measured",
+        rows=rows_out,
+    )
+
+
+def test_linear_prediction_fast_path(benchmark, record_result):
+    result = benchmark.pedantic(_predict_study, rounds=1, iterations=1)
+    record_result(result)
+    assert result.rows[2].values["predict_s"] > 3.0  # w path wins big

@@ -1,0 +1,70 @@
+"""Bench: multi-node multi-GPU scaling (paper §V long-term goal, modeled).
+
+A 2^20-point x 2^14-feature data set (137 GB) cannot fit any single A100 —
+the motivating scenario for going multi-node. The sweep reports modeled
+time, communication share and per-GPU memory across cluster sizes; the
+dry-run model is pinned test-exactly to the functional multi-node backend.
+"""
+
+from repro.experiments.analytic import model_multinode_run
+from repro.experiments.common import ExperimentResult, Row
+from repro.simgpu.catalog import default_gpu
+
+
+def _sweep(nodes=(1, 2, 4, 8, 16, 32), num_points=2**20, num_features=2**14,
+           iterations=30, gpus_per_node=4):
+    spec = default_gpu()
+    rows = []
+    base = None
+    for n in nodes:
+        model = model_multinode_run(
+            spec,
+            num_points=num_points,
+            num_features=num_features,
+            iterations=iterations,
+            num_nodes=n,
+            gpus_per_node=gpus_per_node,
+        )
+        if base is None:
+            base = model.device_seconds
+        rows.append(
+            Row(
+                meta={"nodes": n, "gpus": n * gpus_per_node},
+                values={
+                    "total_s": model.device_seconds,
+                    "gpu_s": model.gpu_seconds,
+                    "comm_s": model.communication_seconds,
+                    "speedup": base / model.device_seconds,
+                    "memory_gib_per_gpu": model.memory_per_gpu_gib,
+                    "fits_on_gpu": float(model.memory_per_gpu_gib <= 40.0),
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment="ext_multinode",
+        description=(
+            f"Multi-node scaling (modeled A100 cluster): {num_points} points x "
+            f"{num_features} features (137 GB), linear kernel, {iterations} CG iterations"
+        ),
+        mode="modeled",
+        rows=rows,
+    )
+
+
+def test_multinode_cluster_scaling(benchmark, record_result):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_result(result)
+
+    mem = result.series("memory_gib_per_gpu")
+    total = result.series("total_s")
+    comm = result.series("comm_s")
+    # Memory per GPU halves with every node doubling (the multi-node win).
+    for a, b in zip(mem, mem[1:]):
+        assert b < a
+    assert mem[0] > 30.0  # single "node" of 4 GPUs: barely fits / too big
+    assert mem[-1] < 2.0
+    # Time decreases monotonically; communication grows but stays a small
+    # fraction (one d-length allreduce per iteration).
+    for a, b in zip(total, total[1:]):
+        assert b <= a * 1.02
+    assert max(c / t for c, t in zip(comm, total)) < 0.2

@@ -1,0 +1,23 @@
+"""Bench: Fig. 1b — CPU runtime vs number of features (measured).
+
+The paper observes PLSSVM scaling slightly better than LIBSVM and
+significantly better than ThunderSVM in the feature dimension.
+"""
+
+from repro.experiments import figure1
+
+
+def test_fig1b_cpu_runtime_vs_features(benchmark, record_result):
+    result = benchmark.pedantic(
+        figure1.run_cpu_features,
+        kwargs={"features": (16, 32, 64, 128, 256), "num_points": 512},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    features = sorted(set(result.meta_values("num_features")))
+    for d in features:
+        pls = result.series("time_s", solver="plssvm", num_features=d)[0]
+        lib = result.series("time_s", solver="libsvm", num_features=d)[0]
+        assert pls < lib, f"PLSSVM slower than LIBSVM at {d} features"

@@ -1,0 +1,34 @@
+"""Bench: Fig. 1a — CPU runtime vs number of points (measured).
+
+PLSSVM vs LIBSVM (sparse + dense) vs ThunderSVM on the 'planes' data,
+measured on this host at sizes scaled down from the paper. The assertions
+check the published *shape*: the LS-SVM out-scales every SMO solver, with
+a flatter log-log slope.
+"""
+
+from repro.experiments import figure1
+from repro.experiments.common import loglog_slope
+
+
+def test_fig1a_cpu_runtime_vs_points(benchmark, record_result):
+    result = benchmark.pedantic(
+        figure1.run_cpu_points,
+        kwargs={"points": (128, 256, 512, 1024, 2048), "num_features": 32},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    points = sorted(set(result.meta_values("num_points")))
+    series = {
+        solver: [result.series("time_s", solver=solver, num_points=m)[0] for m in points]
+        for solver in ("plssvm", "libsvm", "libsvm_dense", "thundersvm")
+    }
+    largest = points[-1]
+    for solver in ("libsvm", "libsvm_dense", "thundersvm"):
+        # Paper: PLSSVM out-scales the SMO solvers from ~2^11 points on
+        # (here the crossover is below the smallest size already).
+        assert series[solver][-1] > series["plssvm"][-1], (solver, largest)
+        assert loglog_slope(points, series[solver]) > loglog_slope(
+            points, series["plssvm"]
+        )

@@ -1,0 +1,31 @@
+"""Bench: Fig. 1c — GPU runtime vs number of points (modeled A100).
+
+Paper-scale sweep (2^8 .. 2^15 points x 2^12 features). Shape assertions:
+the flat overhead floor below ~2^11 points, and PLSSVM beating ThunderSVM
+by roughly the published factor at 2^14 (paper: 10 s vs 72 s).
+"""
+
+from repro.experiments import figure1
+
+
+def test_fig1c_gpu_runtime_vs_points(benchmark, record_result):
+    result = benchmark.pedantic(figure1.run_gpu_points, rounds=1, iterations=1)
+    record_result(result)
+
+    pls = {
+        m: result.series("time_s", solver="plssvm", num_points=m)[0]
+        for m in result.meta_values("num_points", solver="plssvm")
+    }
+    thunder = {
+        m: result.series("time_s", solver="thundersvm", num_points=m)[0]
+        for m in result.meta_values("num_points", solver="thundersvm")
+    }
+    # Flat static-overhead region up to 2^11 (Fig. 1c's left plateau).
+    assert pls[2**11] / pls[2**8] < 1.5
+    # Growth afterwards.
+    assert pls[2**15] > 5 * pls[2**11]
+    # ThunderSVM loses at every size, by roughly the paper's factor at 2^14.
+    for m in pls:
+        assert thunder[m] >= pls[m] * 0.9
+    ratio = thunder[2**14] / pls[2**14]
+    assert 3 <= ratio <= 20, f"2^14 speedup {ratio:.1f} (paper: 7.2x)"

@@ -1,0 +1,34 @@
+"""Bench: Fig. 2 — runtime breakdown of the PLSSVM components.
+
+Two variants: fully measured at feasible sizes (shows the I/O-dominated
+small-data regime) and modeled at the paper's sizes (shows cg taking over,
+>= 92 % of the total for 2^15 points).
+"""
+
+from repro.experiments import figure2
+
+
+def test_fig2_measured_components(benchmark, record_result):
+    result = benchmark.pedantic(
+        figure2.run_measured,
+        kwargs={"points": (128, 256, 512, 1024, 2048), "num_features": 128},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for row in result.rows:
+        total = row.values["total_s"]
+        parts = sum(
+            row.values[k] for k in ("read_s", "transform_s", "cg_s", "write_s")
+        )
+        assert parts <= total * 1.05  # components never exceed the total
+
+
+def test_fig2_modeled_components_at_paper_scale(benchmark, record_result):
+    result = benchmark.pedantic(figure2.run_modeled, rounds=1, iterations=1)
+    record_result(result)
+    shares = {row.meta["num_points"]: row.values["cg_share"] for row in result.rows}
+    # Paper: cg >= 92 % of the total at 2^15 points; I/O relatively larger
+    # for small data sets.
+    assert shares[2**15] > 0.85
+    assert shares[2**15] > shares[2**10]

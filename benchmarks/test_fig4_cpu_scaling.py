@@ -1,0 +1,28 @@
+"""Bench: Fig. 4a — component scaling on the many-core CPU.
+
+Modeled at the paper's 2x64-core EPYC node (anchored to the published
+74.7x cg speedup at 256 threads and the cross-socket I/O degradation),
+plus a measured thread-pool validation sweep at host-feasible counts.
+"""
+
+from repro.experiments import figure4
+
+
+def test_fig4a_cpu_core_scaling_modeled(benchmark, record_result):
+    result = benchmark.pedantic(figure4.run_cpu_modeled, rounds=1, iterations=1)
+    record_result(result)
+
+    cores = result.meta_values("cores")
+    cg_speedup = result.series("cg_speedup")
+    by_core = dict(zip(cores, cg_speedup))
+    assert abs(by_core[256] - 74.7) / 74.7 < 0.05  # paper anchor
+    # cg scales monotonically; read/write degrade when crossing sockets.
+    assert all(a < b for a, b in zip(cg_speedup, cg_speedup[1:]))
+    read = dict(zip(cores, result.series("read_s")))
+    assert read[128] > read[64]
+
+
+def test_fig4a_thread_pool_validation_measured(benchmark, record_result):
+    result = benchmark.pedantic(figure4.run_cpu_measured, rounds=1, iterations=1)
+    record_result(result)
+    assert result.rows[0].values["speedup"] == 1.0

@@ -1,0 +1,39 @@
+"""Bench: §IV-C prose results — speedups, runtime stability, kernel census.
+
+Three summaries: the headline speedup factors (paper: up to 10x vs LIBSVM
+on the CPU, up to 14x vs ThunderSVM on the GPU), the coefficient-of-
+variation comparison (PLSSVM 0.26 vs SMO 0.6-0.9 on the CPU), and the
+kernel launch census (3 fat kernels at 32 % of peak vs >1600 micro-kernels
+at 2.4 %).
+"""
+
+from repro.experiments import summary
+
+
+def test_speedup_factors(benchmark, record_result):
+    result = benchmark.pedantic(summary.run_speedups, rounds=1, iterations=1)
+    record_result(result)
+    cpu = result.rows[0].values
+    gpu = result.rows[1].values
+    assert cpu["speedup_vs_libsvm"] > 1.0
+    assert cpu["speedup_vs_libsvm_dense"] > 1.0
+    assert gpu["speedup_vs_thundersvm"] > 1.0
+
+
+def test_runtime_variation(benchmark, record_result):
+    result = benchmark.pedantic(
+        summary.run_variation, kwargs={"runs": 5}, rounds=1, iterations=1
+    )
+    record_result(result)
+    by = {row.meta["solver"]: row.values["cv"] for row in result.rows}
+    # Paper: PLSSVM's runtimes vary drastically less than the SMO solvers'.
+    assert by["plssvm"] <= max(by.values()) + 1e-9
+
+
+def test_kernel_launch_census(benchmark, record_result):
+    result = benchmark.pedantic(summary.run_kernel_census, rounds=1, iterations=1)
+    record_result(result)
+    by = {row.meta["solver"]: row for row in result.rows}
+    assert by["plssvm"].values["fraction_of_peak"] > 0.25
+    assert by["thundersvm"].values["fraction_of_peak"] < 0.05
+    assert by["thundersvm"].values["launches"] > 10 * by["plssvm"].values["launches"]

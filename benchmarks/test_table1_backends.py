@@ -1,0 +1,26 @@
+"""Bench: Table I — backend x device runtimes (2^15 x 2^12, modeled).
+
+Regenerates the paper's backend/device matrix on the simulated hardware
+catalog, with the CG iteration count measured from a real training run.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_backend_device_matrix(benchmark, record_result):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    violations = table1.ordering_violations(result)
+    record_result(
+        result,
+        columns=[
+            "device",
+            "cuda_s",
+            "opencl_s",
+            "sycl_s",
+            "paper_cuda_s",
+            "paper_opencl_s",
+            "paper_sycl_s",
+        ],
+        extra=f"ordering violations vs paper: {violations or 'none'}",
+    )
+    assert violations == []

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Tour of the paper's §V future-work features, implemented as extensions.
+
+The paper's conclusion lists what PLSSVM v1.0.1 does not yet do:
+multi-class classification, regression, sparse data structures for the CG
+solver, and load balancing on heterogeneous hardware. This reproduction
+ships all of them (plus Suykens' robustness and sparsity extensions the
+paper cites as refs [25]/[26]):
+
+1. multi-class LS-SVM (one-vs-all and one-vs-one),
+2. least-squares support vector regression,
+3. weighted (robust) LS-SVM,
+4. sparse support approximation by pruning,
+5. sparse CSR path for the CG matvec,
+6. throughput-balanced heterogeneous multi-GPU execution,
+7. cross-validated grid search (LIBSVM's grid.py workflow).
+
+Run with ``python examples/extensions_tour.py``.
+"""
+
+import numpy as np
+
+from repro import (
+    LSSVC,
+    LSSVR,
+    OneVsAllLSSVC,
+    OneVsOneLSSVC,
+    SparseLSSVC,
+    WeightedLSSVC,
+)
+from repro.backends.heterogeneous import HeterogeneousCSVM
+from repro.data import make_multiclass, make_planes
+from repro.model_selection import GridSearch
+from repro.sparse import CSRMatrix
+
+
+def main() -> None:
+    # 1. Multi-class (4 Gaussian blobs).
+    X, y = make_multiclass(400, 8, num_classes=4, rng=1)
+    ova = OneVsAllLSSVC(kernel="rbf", C=10.0).fit(X, y)
+    ovo = OneVsOneLSSVC(kernel="rbf", C=10.0).fit(X, y)
+    print(f"1. multi-class: one-vs-all {ova.score(X, y):.3f} "
+          f"({len(ova.machines_)} machines), one-vs-one {ovo.score(X, y):.3f} "
+          f"({ovo.num_machines} machines)")
+
+    # 2. Regression: fit a sine wave.
+    rng = np.random.default_rng(0)
+    Xr = rng.uniform(-3, 3, size=(300, 1))
+    yr = np.sin(Xr[:, 0]) + 0.05 * rng.standard_normal(300)
+    reg = LSSVR(kernel="rbf", C=100.0, gamma=1.0).fit(Xr, yr)
+    print(f"2. regression: R^2 = {reg.score(Xr, yr):.4f} on noisy sine data "
+          f"({reg.iterations_} CG iterations)")
+
+    # 3. Robust LS-SVM: flip 10% of the labels, compare to the clean truth.
+    Xw, yw = make_planes(500, 8, flip_fraction=0.0, class_sep=2.0, rng=2)
+    y_noisy = yw.copy()
+    y_noisy[:50] = -y_noisy[:50]
+    plain = LSSVC(kernel="linear", C=10.0).fit(Xw, y_noisy)
+    robust = WeightedLSSVC(kernel="linear", C=10.0).fit(Xw, y_noisy)
+    print(f"3. robustness vs 10% flipped labels: plain {plain.score(Xw, yw):.3f} "
+          f"-> weighted {robust.score(Xw, yw):.3f} "
+          f"(mean weight of flipped points: {robust.weights_[:50].mean():.3f})")
+
+    # 4. Sparse support approximation.
+    Xs, ys = make_planes(600, 8, rng=3)
+    sparse = SparseLSSVC(kernel="rbf", C=10.0, target_fraction=0.25).fit(Xs, ys)
+    print(f"4. pruning: {Xs.shape[0]} -> {sparse.num_support_vectors} support "
+          f"vectors ({sparse.compression:.1f}x smaller model), "
+          f"accuracy {sparse.score(Xs, ys):.3f}")
+
+    # 5. Sparse CG path on 70%-zero data.
+    Xz = Xs.copy()
+    Xz[np.abs(Xz) < 1.0] = 0.0
+    density = CSRMatrix.from_dense(Xz).density
+    dense_clf = LSSVC(kernel="linear", epsilon=1e-10).fit(Xz, ys)
+    sparse_clf = LSSVC(kernel="linear", epsilon=1e-10, sparse=True).fit(Xz, ys)
+    same = np.allclose(dense_clf.model_.alpha, sparse_clf.model_.alpha, atol=1e-6)
+    print(f"5. sparse CG: density {density:.2f}, identical model: {same}")
+
+    # 6. Heterogeneous load balancing (A100 + P100).
+    Xh, yh = make_planes(2048, 512, rng=4)
+    makespans = {}
+    for balanced in (False, True):
+        backend = HeterogeneousCSVM(["nvidia_a100", "nvidia_p100"], balanced=balanced)
+        LSSVC(kernel="linear", epsilon=1e-8, backend=backend).fit(Xh, yh)
+        makespans[balanced] = max(t for _, t in backend.per_device_times())
+    print(f"6. heterogeneous A100+P100 makespan: equal split "
+          f"{makespans[False] * 1e3:.1f} ms -> balanced "
+          f"{makespans[True] * 1e3:.1f} ms "
+          f"({makespans[False] / makespans[True]:.2f}x faster)")
+
+    # 7. Grid search (LIBSVM's exponential grid, shrunk for the demo).
+    gs = GridSearch(
+        lambda **p: LSSVC(kernel="rbf", **p),
+        {"C": [0.1, 1.0, 10.0], "gamma": [0.03125, 0.125, 0.5]},
+        k=3,
+    ).fit(Xs[:300], ys[:300])
+    print(f"7. grid search: best {gs.best_params_} "
+          f"with CV accuracy {gs.best_score_:.3f}")
+
+
+if __name__ == "__main__":
+    main()

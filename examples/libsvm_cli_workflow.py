@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The LIBSVM-compatible command-line workflow, driven programmatically.
+
+PLSSVM positions itself as a drop-in LIBSVM replacement: same data files,
+same model files, same tool flags. This example runs the full four-tool
+pipeline — generate -> scale -> train -> predict — through the CLI entry
+points that also back the installed ``plssvm-*`` commands.
+
+Run with ``python examples/libsvm_cli_workflow.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cli.generate_data import main as plssvm_generate
+from repro.cli.predict import main as plssvm_predict
+from repro.cli.scale import main as plssvm_scale
+from repro.cli.train import main as plssvm_train
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        data = tmp / "planes.libsvm"
+        scaled = tmp / "planes.scaled"
+        ranges = tmp / "planes.ranges"
+        model = tmp / "planes.model"
+        predictions = tmp / "planes.predict"
+
+        print("$ plssvm-generate-data planes.libsvm -n 1024 -f 64 --seed 5")
+        plssvm_generate([str(data), "-n", "1024", "-f", "64", "--seed", "5"])
+
+        print("\n$ plssvm-scale planes.libsvm planes.scaled -s planes.ranges")
+        plssvm_scale([str(data), str(scaled), "-s", str(ranges)])
+
+        print("\n$ plssvm-train planes.scaled planes.model -t rbf -c 10 -e 1e-4 -v")
+        plssvm_train(
+            [str(scaled), str(model), "-t", "rbf", "-c", "10", "-e", "1e-4", "-v"]
+        )
+
+        print("\n$ plssvm-predict planes.scaled planes.model planes.predict")
+        plssvm_predict([str(scaled), str(model), str(predictions)])
+
+        print(f"\nfirst predictions: {predictions.read_text().split()[:10]}")
+        print("model header:")
+        for line in model.read_text().splitlines()[:8]:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

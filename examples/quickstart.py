@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: train, evaluate and persist an LS-SVM classifier.
+
+Covers the paper's four training steps end to end:
+
+1. generate (or read) training data,
+2. fit an :class:`repro.LSSVC` — the reduced system of Eq. 14 is solved by
+   Conjugate Gradients with the implicit Q_tilde representation,
+3. evaluate on held-out data,
+4. save the model in the LIBSVM format and reload it.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import LSSVC, LSSVMModel
+from repro.data import make_planes, train_test_split
+
+
+def main() -> None:
+    # 1. The paper's synthetic "planes" problem: two adjacent clusters with
+    #    1 % label noise (§IV-B).
+    X, y = make_planes(num_points=2048, num_features=64, rng=42)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, rng=0)
+    print(f"training on {X_train.shape[0]} points with {X_train.shape[1]} features")
+
+    # 2. Fit. epsilon is the CG relative-residual termination criterion —
+    #    the knob the paper sweeps in Fig. 3.
+    clf = LSSVC(kernel="linear", C=1.0, epsilon=1e-3)
+    clf.fit(X_train, y_train)
+    print(f"CG converged in {clf.iterations_} iterations "
+          f"(relative residual {clf.result_.residual:.2e})")
+
+    # 3. Evaluate.
+    print(f"training accuracy: {clf.score(X_train, y_train):.4f}")
+    print(f"test accuracy:     {clf.score(X_test, y_test):.4f}")
+
+    # The LS-SVM keeps *every* training point as a support vector (§II-C).
+    print(f"support vectors:   {clf.model_.num_support_vectors} "
+          f"(= all training points)")
+
+    # 4. Persist in LIBSVM model format and reload.
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = Path(tmp) / "planes.model"
+        clf.save(model_path)
+        reloaded = LSSVMModel.load(model_path)
+        assert reloaded.score(X_test, y_test) == clf.score(X_test, y_test)
+        print(f"model round-trips through {model_path.name} "
+              f"({model_path.stat().st_size} bytes)")
+
+    # Component timing breakdown (the taxonomy of Fig. 2).
+    print("\ncomponent timings:")
+    print(clf.timings_.report())
+
+
+if __name__ == "__main__":
+    main()

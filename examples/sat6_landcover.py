@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Land-cover classification on SAT-6-like airborne imagery (§IV-D).
+
+Reproduces the paper's real-world workload: 28x28 RGB-IR image tiles
+(3136 features) with six land-cover classes mapped to a binary problem —
+man-made structures (buildings, roads) vs natural cover. The preprocessing
+follows the paper: all features scaled to [-1, 1] with the svm-scale
+workflow, then an rbf-kernel LS-SVM.
+
+The real SAT-6 data set is not available offline; the synthetic generator
+reproduces its tensor shape and class structure (see DESIGN.md).
+
+Run with ``python examples/sat6_landcover.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro import LSSVC
+from repro.data import make_sat6_like, train_test_split
+from repro.io.scaling import FeatureScaler
+from repro.smo import ThunderSVMClassifier
+
+
+def main() -> None:
+    X, y, classes = make_sat6_like(3000, return_class_names=True, rng=6)
+    print(f"generated {X.shape[0]} images with {X.shape[1]} features each")
+    for name in sorted(set(classes)):
+        count = int(np.sum(classes == name))
+        print(f"  {name:<12} {count:>5} images")
+
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.25, rng=6)
+
+    # svm-scale to [-1, 1], fitted on the training partition only.
+    scaler = FeatureScaler(-1.0, 1.0).fit(X_train)
+    X_train = scaler.transform(X_train)
+    X_test = scaler.transform(X_test)
+
+    print("\nrbf kernel, C=1 (library defaults, as in the paper):")
+    for name, clf in [
+        ("plssvm (LS-SVM + CG)", LSSVC(kernel="rbf", C=1.0)),
+        ("thundersvm (batched SMO)", ThunderSVMClassifier(kernel="rbf", C=1.0)),
+    ]:
+        start = time.perf_counter()
+        clf.fit(X_train, y_train)
+        elapsed = time.perf_counter() - start
+        print(
+            f"  {name:<26} train {clf.score(X_train, y_train):.4f}  "
+            f"test {clf.score(X_test, y_test):.4f}  ({elapsed:.2f} s)"
+        )
+
+    print("\npaper (full 324k-image SAT-6): PLSSVM 95% in 23.5 min vs "
+          "ThunderSVM 94% in 40.6 min on one A100")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""PLSSVM reproduction: a (multi-)GPGPU-accelerated Least Squares SVM, in Python.
+
+Reproduces Van Craen, Breyer & Pflüger, *PLSSVM: A (multi-)GPGPU-accelerated
+Least Squares Support Vector Machine* (IPDPS/IPPS 2022).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LSSVC
+>>> from repro.data import make_planes
+>>> X, y = make_planes(num_points=512, num_features=16, rng=0)
+>>> clf = LSSVC(kernel="linear", C=1.0).fit(X, y)
+>>> clf.score(X, y) > 0.9
+True
+
+Package map
+-----------
+* :mod:`repro.core` — kernels, the reduced LS-SVM system, CG, the
+  :class:`LSSVC` classifier and LIBSVM-format models.
+* :mod:`repro.backends` — OpenMP (real threads) and simulated
+  CUDA/OpenCL/SYCL device backends, incl. multi-GPU feature splitting.
+* :mod:`repro.simgpu` — the simulated device substrate and hardware catalog.
+* :mod:`repro.smo` — LIBSVM-style and ThunderSVM-style SMO baselines.
+* :mod:`repro.io` — LIBSVM sparse file format, model files, svm-scale.
+* :mod:`repro.data` — synthetic data generators ("planes", SAT-6-like).
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from .core import (
+    LSSVC,
+    LSSVR,
+    CGResult,
+    LSSVMModel,
+    OneVsAllLSSVC,
+    OneVsOneLSSVC,
+    SparseLSSVC,
+    WeightedLSSVC,
+    conjugate_gradient,
+)
+from .parameter import Parameter
+from .types import BackendType, KernelType, SolverStatus, TargetPlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSSVC",
+    "LSSVR",
+    "LSSVMModel",
+    "OneVsAllLSSVC",
+    "OneVsOneLSSVC",
+    "WeightedLSSVC",
+    "SparseLSSVC",
+    "CGResult",
+    "conjugate_gradient",
+    "Parameter",
+    "KernelType",
+    "BackendType",
+    "TargetPlatform",
+    "SolverStatus",
+    "__version__",
+]

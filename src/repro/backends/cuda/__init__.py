@@ -1,0 +1,5 @@
+"""CUDA backend (simulated NVIDIA devices)."""
+
+from .backend import CUDACSVM
+
+__all__ = ["CUDACSVM"]

@@ -1,0 +1,22 @@
+"""CUDA backend: the fastest of the device backends, NVIDIA-only.
+
+Table I shows CUDA leading on every NVIDIA GPU; the catalog encodes that as
+the highest per-device efficiency for the ``"cuda"`` key. The backend
+refuses non-NVIDIA platforms, reproducing ThunderSVM's — and real CUDA's —
+vendor lock that PLSSVM's portability argument is built on.
+"""
+
+from __future__ import annotations
+
+from ...types import BackendType, TargetPlatform
+from ..base import SimulatedDeviceCSVM
+
+__all__ = ["CUDACSVM"]
+
+
+class CUDACSVM(SimulatedDeviceCSVM):
+    """Simulated CUDA backend (NVIDIA GPUs only)."""
+
+    backend_type = BackendType.CUDA
+    supported_platforms = (TargetPlatform.GPU_NVIDIA,)
+    efficiency_key = "cuda"

@@ -1,0 +1,200 @@
+"""Blocked device kernels: functional execution + cost accounting.
+
+This module is the Python analogue of PLSSVM's CUDA/OpenCL/SYCL kernel
+sources. Each §III-C optimization is represented twice:
+
+* *functionally* — the arithmetic NumPy performs (identical results with
+  any configuration);
+* *in the cost model* — how the optimization changes the traffic a real
+  device would see, captured by :class:`KernelCosts` and charged to the
+  :class:`~repro.simgpu.device.SimulatedDevice`:
+
+  - **blocking / symmetry** (§III-C1): only upper-triangular tiles are
+    computed, halving entries; padding removes boundary branches.
+  - **q-vector caching** (§III-C2): without it every matrix entry costs
+    three kernel evaluations, with it one.
+  - **block-level caching** (§III-C3): global memory traffic per entry
+    drops from ``2 d`` values to ``2 d / tile``, the classic shared-memory
+    tiling factor.
+  - **thread-level caching** (§III-C4): shared-memory traffic per entry
+    drops by the register-blocking factor ``internal_block``.
+
+The configuration is the compile-time tuning surface of the C++ library
+(``THREAD_BLOCK_SIZE`` x ``INTERNAL_BLOCK_SIZE``); the ablation benchmarks
+sweep it to quantify each optimization's modeled effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.kernels import kernel_flops_per_entry
+from ..exceptions import KernelLaunchError
+from ..types import KernelType
+
+__all__ = ["KernelConfig", "KernelCosts", "matvec_costs", "q_vector_costs"]
+
+_FP64_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelConfig:
+    """Tuning knobs of the blocked implicit-matvec kernel.
+
+    Attributes
+    ----------
+    thread_block:
+        Threads per block edge (CUDA ``THREAD_BLOCK_SIZE``, default 16 as
+        in PLSSVM v1.0.1).
+    internal_block:
+        Entries computed per thread per edge (``INTERNAL_BLOCK_SIZE``,
+        default 6); the tile edge is ``thread_block * internal_block``.
+    use_symmetry:
+        Compute only upper-triangular tiles and mirror (§III-C1).
+    cache_q:
+        Precompute the ``q`` vector once per training run (§III-C2).
+    block_level_caching:
+        Stage tile inputs through shared memory (§III-C3).
+    thread_level_caching:
+        Register-block within each thread (§III-C4).
+    """
+
+    thread_block: int = 16
+    internal_block: int = 6
+    use_symmetry: bool = True
+    cache_q: bool = True
+    block_level_caching: bool = True
+    thread_level_caching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.thread_block < 1 or self.internal_block < 1:
+            raise KernelLaunchError(
+                f"invalid kernel configuration {self.thread_block}x{self.internal_block}"
+            )
+
+    @property
+    def tile(self) -> int:
+        """Matrix entries covered per block edge."""
+        return self.thread_block * self.internal_block
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.thread_block * self.thread_block
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCosts:
+    """Cost inputs of one simulated kernel launch."""
+
+    flops: float
+    global_bytes: float
+    shared_bytes: float
+    grid_blocks: int
+    block_threads: int
+
+    def __add__(self, other: "KernelCosts") -> "KernelCosts":
+        return KernelCosts(
+            flops=self.flops + other.flops,
+            global_bytes=self.global_bytes + other.global_bytes,
+            shared_bytes=self.shared_bytes + other.shared_bytes,
+            grid_blocks=self.grid_blocks + other.grid_blocks,
+            block_threads=max(self.block_threads, other.block_threads),
+        )
+
+
+def matvec_costs(
+    num_rows: int,
+    num_features: int,
+    kernel: KernelType,
+    config: KernelConfig,
+    *,
+    value_bytes: int = _FP64_BYTES,
+) -> KernelCosts:
+    """Cost of one implicit ``Q_tilde @ v`` kernel launch on one device.
+
+    ``num_rows`` is the reduced system size (m - 1); ``num_features`` is the
+    feature count *local to the device* (the full d on a single device, a
+    slice of it under the multi-GPU feature split).
+    """
+    if num_rows < 1 or num_features < 1:
+        raise KernelLaunchError("matvec requires at least one row and one feature")
+    tile = config.tile
+    tiles_per_edge = (num_rows + tile - 1) // tile
+    if config.use_symmetry:
+        grid_blocks = tiles_per_edge * (tiles_per_edge + 1) // 2
+        entries = num_rows * (num_rows + 1) / 2.0
+    else:
+        grid_blocks = tiles_per_edge * tiles_per_edge
+        entries = float(num_rows) * num_rows
+
+    per_entry_flops = kernel_flops_per_entry(kernel, num_features)
+    if not config.cache_q:
+        # Eq. 16 needs k(x_i, x_j), k(x_m, x_j) and k(x_i, x_m) per entry;
+        # the cached q vector removes two of the three evaluations.
+        per_entry_flops *= 3.0
+    # Fused-multiply-add accumulating into v plus the Eq. 16 rank-one terms.
+    flops = entries * (per_entry_flops + 4.0)
+
+    values_per_entry = 2.0 * num_features
+    if not config.cache_q:
+        values_per_entry *= 3.0
+    if config.block_level_caching:
+        # Each tile stages 2*tile*d values once instead of every thread
+        # re-reading them: per-entry global traffic divides by the tile edge.
+        global_values = entries * values_per_entry / tile
+        shared_values = entries * values_per_entry
+        if config.thread_level_caching:
+            shared_values /= config.internal_block
+    else:
+        global_values = entries * values_per_entry
+        shared_values = 0.0
+
+    # Input/output vectors stream once per launch.
+    vector_bytes = 4.0 * num_rows * value_bytes
+    return KernelCosts(
+        flops=flops,
+        global_bytes=global_values * value_bytes + vector_bytes,
+        shared_bytes=shared_values * value_bytes,
+        grid_blocks=max(grid_blocks, 1),
+        block_threads=config.threads_per_block,
+    )
+
+
+def q_vector_costs(
+    num_rows: int,
+    num_features: int,
+    kernel: KernelType,
+    config: KernelConfig,
+    *,
+    value_bytes: int = _FP64_BYTES,
+) -> KernelCosts:
+    """Cost of the one-time ``q[i] = k(x_i, x_m)`` precompute kernel (§III-C2)."""
+    if num_rows < 1 or num_features < 1:
+        raise KernelLaunchError("q-vector kernel requires rows and features")
+    flops = num_rows * kernel_flops_per_entry(kernel, num_features)
+    global_bytes = (num_rows * num_features + num_features + num_rows) * value_bytes
+    blocks = (num_rows + config.threads_per_block - 1) // config.threads_per_block
+    return KernelCosts(
+        flops=flops,
+        global_bytes=global_bytes,
+        shared_bytes=0.0,
+        grid_blocks=max(blocks, 1),
+        block_threads=config.threads_per_block,
+    )
+
+
+def vector_ops_costs(num_rows: int, *, value_bytes: int = _FP64_BYTES) -> KernelCosts:
+    """Cost of the per-iteration CG vector updates (axpy, dots, norms).
+
+    Roughly 10 FLOPs and 10 memory touches per element per iteration,
+    matching the BLAS-1 tail of the Shewchuk loop.
+    """
+    if num_rows < 1:
+        raise KernelLaunchError("vector ops require at least one row")
+    return KernelCosts(
+        flops=10.0 * num_rows,
+        global_bytes=10.0 * num_rows * value_bytes,
+        shared_bytes=0.0,
+        grid_blocks=max((num_rows + 255) // 256, 1),
+        block_threads=256,
+    )

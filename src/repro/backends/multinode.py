@@ -1,0 +1,269 @@
+"""Multi-node multi-GPU backend (paper §V: the long-term goal).
+
+The paper's conclusion targets "multi-node multi-GPU systems ... to be able
+to use even larger data sets". This backend delivers the natural
+distributed scheme for the *linear* kernel, where the Gram factorization
+``K_bar @ v = X_bar @ (X_bar.T @ v)`` makes true data distribution
+possible:
+
+* the data points (rows) are split across the nodes — unlike the
+  *feature*-wise split inside a node, a row split shrinks every node's
+  memory footprint with the data set size, which is the point of going
+  multi-node;
+* within each node the local row block is split feature-wise across the
+  GPUs, exactly like the single-node multi-GPU scheme (§III-C5);
+* one CG matvec costs two local GEMV passes over each GPU's slab plus a
+  single ``d``-length allreduce across the nodes (the ``X_bar.T @ v``
+  partial sums) — the only inter-node traffic per iteration.
+
+The non-linear kernels are not supported: their kernel matrix entries
+couple every row pair, so a row split would need to stream the whole data
+set through every node per iteration (the reason the paper's in-node split
+is feature-wise in the first place).
+
+Everything is functional (the arithmetic is exact, verified against the
+single-node operator); node-local GPU time comes from the simulated
+devices, inter-node time from :class:`repro.parallel.mpi_sim.SimCommunicator`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.qmatrix import QMatrixBase
+from ..exceptions import DeviceError
+from ..parallel.mpi_sim import NetworkSpec, SimCommunicator
+from ..parallel.partition import BlockRange, chunk_ranges, feature_split
+from ..parameter import Parameter
+from ..profiling import ComponentTimer
+from ..simgpu.catalog import get_device_spec
+from ..simgpu.device import SimulatedDevice
+from ..simgpu.spec import DeviceSpec
+from ..types import BackendType, KernelType
+from .base import CSVM
+from .kernels import vector_ops_costs
+from .soa import transform_to_soa
+
+__all__ = ["MultiNodeCSVM", "MultiNodeQMatrix"]
+
+_FP64_BYTES = 8
+
+
+def _gemv_cost(rows: int, cols: int) -> tuple:
+    """(flops, global_bytes) of one dense GEMV over a rows x cols slab."""
+    flops = 2.0 * rows * cols
+    gbytes = (rows * cols + rows + cols) * _FP64_BYTES
+    return flops, gbytes
+
+
+class MultiNodeQMatrix(QMatrixBase):
+    """Row-distributed Q_tilde for the linear kernel.
+
+    Node ``k`` owns the row block ``rows_k`` of ``X_bar``; its GPUs hold
+    feature slices of that block in SoA layout. Per matvec:
+
+    1. each GPU computes its slice of ``w_k = X_bar[rows_k].T @ v[rows_k]``
+       (disjoint feature segments — no intra-node reduction needed);
+    2. the nodes allreduce ``w`` (one ``d``-vector);
+    3. each GPU computes its contribution to ``out[rows_k] = X_bar[rows_k] @ w``
+       from its feature slice; the host sums the per-GPU partials.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        *,
+        num_nodes: int,
+        gpus_per_node: int,
+        device: Union[str, DeviceSpec] = "nvidia_a100",
+        network: NetworkSpec = NetworkSpec(),
+    ) -> None:
+        super().__init__(X, y, param)
+        if self.param.kernel is not KernelType.LINEAR:
+            raise DeviceError(
+                "multi-node execution supports only the linear kernel "
+                "(row distribution needs the Gram factorization)"
+            )
+        if num_nodes < 1 or gpus_per_node < 1:
+            raise DeviceError("need at least one node with one GPU")
+        spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        if not spec.supports("cuda"):
+            raise DeviceError("multi-node backend drives CUDA-capable devices")
+
+        n, d = self.X_bar.shape
+        self.row_blocks: List[BlockRange] = [
+            r for r in chunk_ranges(n, num_nodes) if len(r) > 0
+        ]
+        # One rank per non-empty row block (tiny data may not fill the cluster).
+        self.comm = SimCommunicator(len(self.row_blocks), network)
+        self.nodes: List[List[SimulatedDevice]] = []
+        self._node_data = []  # per node: list of (soa slab, feature slice)
+
+        feature_ranges = feature_split(d, gpus_per_node)
+        for node_id, rows in enumerate(self.row_blocks):
+            soa = transform_to_soa(self.X_bar[rows.slice], block_size=64)
+            devices = []
+            slabs = []
+            for gpu_id, frange in enumerate(feature_ranges):
+                dev = SimulatedDevice(spec, "cuda", device_id=node_id * 100 + gpu_id)
+                dev.initialize()
+                slab = soa.feature_slice(frange.slice)
+                dev.malloc("data", slab.nbytes)
+                dev.malloc("vectors", 4 * max(len(rows), d) * _FP64_BYTES)
+                dev.copy_to_device(slab.nbytes)
+                devices.append(dev)
+                slabs.append((slab, frange))
+            self.nodes.append(devices)
+            self._node_data.append(slabs)
+
+    # -- distributed matvec -----------------------------------------------------------
+
+    def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
+        d = self.X_bar.shape[1]
+        n = self.shape[0]
+        # Phase 1: local X^T v partials per node (per GPU: its feature slice).
+        partial_ws = []
+        for rows, devices, slabs in zip(self.row_blocks, self.nodes, self._node_data):
+            v_local = v[rows.slice]
+            w_node = np.zeros(d)
+            for dev, (slab, frange) in zip(devices, slabs):
+                w_node[frange.slice] = slab.logical.T @ v_local
+                flops, gbytes = _gemv_cost(len(rows), len(frange))
+                dev.launch(
+                    "multinode_gemv_xt_v",
+                    flops=flops,
+                    global_bytes=gbytes,
+                    grid_blocks=max(len(frange) // 256, 1),
+                    block_threads=256,
+                )
+                # Partial segment to the host for the allreduce.
+                dev.copy_from_device(len(frange) * _FP64_BYTES)
+            partial_ws.append(w_node)
+
+        # Phase 2: one d-length allreduce across the nodes.
+        ws = self.comm.allreduce_sum(partial_ws)
+
+        # Phase 3: local X w per node.
+        out = np.empty(n)
+        for rows, devices, slabs, w in zip(
+            self.row_blocks, self.nodes, self._node_data, ws
+        ):
+            acc = np.zeros(len(rows))
+            for dev, (slab, frange) in zip(devices, slabs):
+                dev.copy_to_device(len(frange) * _FP64_BYTES)
+                acc += slab.logical @ w[frange.slice]
+                flops, gbytes = _gemv_cost(len(rows), len(frange))
+                dev.launch(
+                    "multinode_gemv_x_w",
+                    flops=flops,
+                    global_bytes=gbytes,
+                    grid_blocks=max(len(rows) // 256, 1),
+                    block_threads=256,
+                )
+                vc = vector_ops_costs(max(len(rows), 1))
+                dev.launch(
+                    "multinode_vector_ops",
+                    flops=vc.flops,
+                    global_bytes=vc.global_bytes,
+                    grid_blocks=vc.grid_blocks,
+                    block_threads=vc.block_threads,
+                )
+            out[rows.slice] = acc
+        return out
+
+    # -- reporting ----------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.row_blocks)
+
+    def device_time(self) -> float:
+        """Modeled elapsed time: slowest node's GPU clock + communication."""
+        per_node = [max(dev.clock for dev in devices) for devices in self.nodes]
+        return max(per_node) + self.comm.elapsed
+
+    def communication_time(self) -> float:
+        return self.comm.elapsed
+
+    def memory_per_gpu_gib(self) -> float:
+        """Peak footprint of node 0's first GPU (all GPUs are symmetric)."""
+        return self.nodes[0][0].peak_allocated_bytes / 1024**3
+
+
+class MultiNodeCSVM(CSVM):
+    """Backend driving a simulated cluster of identical GPU nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size (ranks).
+    gpus_per_node:
+        Devices per node (the paper's node has four A100s).
+    device:
+        Catalog key / spec of the per-node GPU model.
+    network:
+        Inter-node fabric parameters.
+    """
+
+    backend_type = BackendType.AUTOMATIC
+
+    def __init__(
+        self,
+        num_nodes: int = 2,
+        *,
+        gpus_per_node: int = 4,
+        device: Union[str, DeviceSpec] = "nvidia_a100",
+        network: NetworkSpec = NetworkSpec(),
+    ) -> None:
+        if num_nodes < 1:
+            raise DeviceError("need at least one node")
+        self.num_nodes = int(num_nodes)
+        self.gpus_per_node = int(gpus_per_node)
+        self.device = device
+        self.network = network
+        self._last_qmatrix: Optional[MultiNodeQMatrix] = None
+
+    def create_qmatrix(
+        self, X: np.ndarray, y: np.ndarray, param: Parameter
+    ) -> MultiNodeQMatrix:
+        qmat = MultiNodeQMatrix(
+            X,
+            y,
+            param,
+            num_nodes=self.num_nodes,
+            gpus_per_node=self.gpus_per_node,
+            device=self.device,
+            network=self.network,
+        )
+        self._last_qmatrix = qmat
+        return qmat
+
+    def finalize(self, qmat: QMatrixBase, timings: ComponentTimer) -> None:
+        if isinstance(qmat, MultiNodeQMatrix):
+            timings.section("cg_device").add(qmat.device_time())
+            timings.section("communication").add(qmat.communication_time())
+
+    def device_time(self) -> float:
+        if self._last_qmatrix is None:
+            raise DeviceError("no training run has been executed yet")
+        return self._last_qmatrix.device_time()
+
+    def communication_time(self) -> float:
+        if self._last_qmatrix is None:
+            raise DeviceError("no training run has been executed yet")
+        return self._last_qmatrix.communication_time()
+
+    def memory_per_gpu_gib(self) -> float:
+        if self._last_qmatrix is None:
+            raise DeviceError("no training run has been executed yet")
+        return self._last_qmatrix.memory_per_gpu_gib()
+
+    def describe(self) -> str:
+        return (
+            f"multi-node backend: {self.num_nodes} node(s) x "
+            f"{self.gpus_per_node} GPU(s) over {self.network.name} (simulated)"
+        )

@@ -1,0 +1,5 @@
+"""OpenCL backend (simulated devices from any vendor)."""
+
+from .backend import OpenCLCSVM
+
+__all__ = ["OpenCLCSVM"]

@@ -1,0 +1,5 @@
+"""OpenMP (CPU) backend: real shared-memory parallelism on the host."""
+
+from .backend import OpenMPCSVM, ThreadedQMatrix
+
+__all__ = ["OpenMPCSVM", "ThreadedQMatrix"]

@@ -1,0 +1,5 @@
+"""SYCL backend (simulated; hipSYCL and DPC++ flavours)."""
+
+from .backend import SYCLCSVM
+
+__all__ = ["SYCLCSVM"]

@@ -1,0 +1,69 @@
+"""SYCL backend with selectable implementation (hipSYCL or DPC++).
+
+The paper uses hipSYCL on NVIDIA/AMD hardware and DPC++ on Intel. Table I
+exposes a sharp implementation effect: hipSYCL is close to OpenCL on
+compute capability >= 7.0 but over 3x slower than CUDA on older NVIDIA
+GPUs (P100), and DPC++ is 2x slower than OpenCL on the Intel iGPU. Those
+effects live in the per-device efficiency tables (keys ``"sycl_hipsycl"``
+and ``"sycl_dpcpp"``); this class only selects the key.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ...simgpu.spec import DeviceSpec
+from ...types import BackendType, SyclImplementation, TargetPlatform
+from ..base import SimulatedDeviceCSVM
+from ..kernels import KernelConfig
+
+__all__ = ["SYCLCSVM"]
+
+
+class SYCLCSVM(SimulatedDeviceCSVM):
+    """Simulated SYCL backend.
+
+    Parameters
+    ----------
+    implementation:
+        ``"hipsycl"`` (default on NVIDIA/AMD) or ``"dpcpp"`` (default on
+        Intel); ``None`` picks per-platform like the paper's setup.
+    """
+
+    backend_type = BackendType.SYCL
+    supported_platforms = (
+        TargetPlatform.GPU_NVIDIA,
+        TargetPlatform.GPU_AMD,
+        TargetPlatform.GPU_INTEL,
+        TargetPlatform.CPU,
+    )
+    efficiency_key = "sycl_hipsycl"
+
+    def __init__(
+        self,
+        *,
+        implementation: Union[None, str, SyclImplementation] = None,
+        target: TargetPlatform = TargetPlatform.AUTOMATIC,
+        n_devices: int = 1,
+        device: Union[None, str, DeviceSpec] = None,
+        config: Optional[KernelConfig] = None,
+    ) -> None:
+        if implementation is None:
+            # Paper setup: DPC++ for Intel targets (GPU and CPU), hipSYCL
+            # otherwise.
+            impl = (
+                SyclImplementation.DPCPP
+                if target in (TargetPlatform.GPU_INTEL, TargetPlatform.CPU)
+                else SyclImplementation.HIPSYCL
+            )
+        else:
+            impl = SyclImplementation.from_name(implementation)
+        self.implementation = impl
+        self.efficiency_key = f"sycl_{impl.value}"
+        super().__init__(target=target, n_devices=n_devices, device=device, config=config)
+
+    def describe(self) -> str:
+        return (
+            f"sycl ({self.implementation}) backend on {len(self.devices)}x "
+            f"{self.spec.name} (simulated)"
+        )

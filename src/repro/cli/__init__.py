@@ -1,0 +1,10 @@
+"""Command-line interface: drop-in replacements for the LIBSVM tools.
+
+* ``plssvm-train`` — :mod:`repro.cli.train` (svm-train compatible flags);
+* ``plssvm-predict`` — :mod:`repro.cli.predict`;
+* ``plssvm-scale`` — :mod:`repro.cli.scale`;
+* ``plssvm-generate-data`` — :mod:`repro.cli.generate_data`, the Python
+  port of PLSSVM's ``generate_data.py`` utility script.
+"""
+
+__all__ = ["train", "predict", "scale", "generate_data"]

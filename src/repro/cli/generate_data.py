@@ -1,0 +1,73 @@
+"""``plssvm-generate-data``: the Python port of PLSSVM's ``generate_data.py``.
+
+Generates the synthetic "planes" classification problems of the paper's
+evaluation (§IV-B) and writes them as LIBSVM files. Sizes are free-form;
+the paper uses powers of two purely for its log-log plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..data.sat6 import make_sat6_like
+from ..data.synthetic import make_planes
+from ..io.libsvm_format import write_libsvm_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plssvm-generate-data",
+        description="Generate synthetic classification data (LIBSVM format).",
+    )
+    parser.add_argument("output_file", help="output LIBSVM file")
+    parser.add_argument(
+        "--problem",
+        choices=("planes", "sat6"),
+        default="planes",
+        help="problem type (default: planes, as in the paper)",
+    )
+    parser.add_argument(
+        "-n", "--num_points", type=int, default=1024, help="number of data points"
+    )
+    parser.add_argument(
+        "-f",
+        "--num_features",
+        type=int,
+        default=64,
+        help="number of features (ignored for sat6: fixed at 3136)",
+    )
+    parser.add_argument(
+        "--flip", type=float, default=0.01, help="label noise fraction (default 1%%)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.num_points < 2:
+        print("error: need at least two data points", file=sys.stderr)
+        return 2
+    if args.problem == "planes":
+        X, y = make_planes(
+            args.num_points,
+            args.num_features,
+            flip_fraction=args.flip,
+            rng=args.seed,
+        )
+    else:
+        X, y = make_sat6_like(args.num_points, rng=args.seed)
+    write_libsvm_file(args.output_file, X, y)
+    print(
+        f"wrote {X.shape[0]} points x {X.shape[1]} features "
+        f"({args.problem}) -> {args.output_file}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""``plssvm-info``: list the available backends and (simulated) devices.
+
+The C++ PLSSVM selects its backend at runtime from what was compiled in
+and what hardware is visible; this tool shows the equivalent discovery
+view of the reproduction — every registered backend, every catalog device
+with its key specs, and which backend/platform combinations resolve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..backends import create_backend, list_available_backends, preferred_backend
+from ..exceptions import BackendUnavailableError
+from ..simgpu.catalog import DEVICE_CATALOG
+from ..types import TargetPlatform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plssvm-info",
+        description="List available backends and simulated devices.",
+    )
+    parser.add_argument(
+        "--devices", action="store_true", help="show only the device catalog"
+    )
+    parser.add_argument(
+        "--backends", action="store_true", help="show only the backend matrix"
+    )
+    return parser
+
+
+def _print_devices() -> None:
+    print("device catalog (simulated):")
+    print(
+        f"  {'key':<20} {'name':<30} {'platform':<11} {'FP64':>6} {'FP32':>7} "
+        f"{'BW':>6} {'mem':>7}  backends"
+    )
+    for key, spec in sorted(DEVICE_CATALOG.items()):
+        backends = ",".join(sorted(spec.backend_efficiency))
+        print(
+            f"  {key:<20} {spec.name:<30} {str(spec.platform):<11} "
+            f"{spec.fp64_tflops:>5.2f}T {spec.fp32_flops / 1e12:>6.2f}T "
+            f"{spec.mem_bandwidth_gbs:>5.0f}G {spec.memory_gib:>6.1f}G  {backends}"
+        )
+
+
+def _print_backends() -> None:
+    print("backend availability per target platform:")
+    platforms = [
+        TargetPlatform.CPU,
+        TargetPlatform.GPU_NVIDIA,
+        TargetPlatform.GPU_AMD,
+        TargetPlatform.GPU_INTEL,
+    ]
+    header = "  " + "platform".ljust(12) + "".join(
+        str(b).ljust(9) for b in list_available_backends()
+    ) + "automatic ->"
+    print(header)
+    for platform in platforms:
+        cells = []
+        for backend in list_available_backends():
+            try:
+                create_backend(backend, target=platform)
+                cells.append("yes".ljust(9))
+            except BackendUnavailableError:
+                cells.append("-".ljust(9))
+        print(
+            "  "
+            + str(platform).ljust(12)
+            + "".join(cells)
+            + str(preferred_backend(platform))
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    show_all = not (args.devices or args.backends)
+    if args.devices or show_all:
+        _print_devices()
+    if show_all:
+        print()
+    if args.backends or show_all:
+        _print_backends()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

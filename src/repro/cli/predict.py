@@ -1,0 +1,64 @@
+"""``plssvm-predict``: classify a LIBSVM data file with a trained model.
+
+Mirrors ``svm-predict``: reads test data and a model file, writes one
+predicted label per line, and prints the accuracy when the test file
+carries ground-truth labels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.model import load_model
+from ..io.libsvm_format import read_libsvm_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plssvm-predict",
+        description="Predict labels with a trained LS-SVM model (LIBSVM-compatible).",
+    )
+    parser.add_argument("test_file", help="LIBSVM-format test data")
+    parser.add_argument("model_file", help="model file written by plssvm-train")
+    parser.add_argument(
+        "output_file",
+        nargs="?",
+        default=None,
+        help="predictions output (default: <test_file>.predict)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    output_path = args.output_file or f"{args.test_file}.predict"
+
+    model = load_model(args.model_file)
+    X, y = read_libsvm_file(args.test_file, num_features=model.num_features)
+    predictions = model.predict(X)
+
+    with open(output_path, "w", encoding="ascii") as f:
+        for label in predictions:
+            value = float(label)
+            f.write(f"{int(value)}\n" if value.is_integer() else f"{value:g}\n")
+
+    accuracy = float(np.mean(predictions == y))
+    correct = int(np.count_nonzero(predictions == y))
+    print(
+        f"Accuracy = {accuracy * 100:.4f}% ({correct}/{len(y)}) (classification)"
+    )
+    if args.verbose:
+        print(f"model: {model.num_support_vectors} support vectors, "
+              f"{model.param.describe()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""``plssvm-scale``: linear feature scaling, compatible with ``svm-scale``.
+
+Supports the classic workflow: scale training data while saving the ranges
+(``-s``), then re-apply the saved ranges to test data (``-r``) so train and
+test land in the same coordinate frame — the exact preprocessing the paper
+applies to SAT-6 (§IV-D).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..exceptions import ScalingError
+from ..io.libsvm_format import read_libsvm_file, write_libsvm_file
+from ..io.scaling import FeatureScaler, load_scaling, save_scaling
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plssvm-scale", description="Scale LIBSVM data files (svm-scale clone)."
+    )
+    parser.add_argument("input_file", help="LIBSVM-format data to scale")
+    parser.add_argument(
+        "output_file",
+        nargs="?",
+        default=None,
+        help="scaled output (default: <input_file>.scaled)",
+    )
+    parser.add_argument("-l", "--lower", type=float, default=-1.0, help="target lower bound")
+    parser.add_argument("-u", "--upper", type=float, default=1.0, help="target upper bound")
+    parser.add_argument(
+        "-s",
+        "--save_filename",
+        default=None,
+        help="save the fitted scale factors to this file",
+    )
+    parser.add_argument(
+        "-r",
+        "--restore_filename",
+        default=None,
+        help="apply previously saved scale factors instead of fitting",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.save_filename and args.restore_filename:
+        print("error: -s and -r are mutually exclusive", file=sys.stderr)
+        return 2
+    output_path = args.output_file or f"{args.input_file}.scaled"
+
+    if args.restore_filename:
+        scaler = load_scaling(args.restore_filename)
+        X, y = read_libsvm_file(
+            args.input_file, num_features=scaler.feature_min.shape[0]
+        )
+    else:
+        X, y = read_libsvm_file(args.input_file)
+        scaler = FeatureScaler(args.lower, args.upper).fit(X)
+
+    try:
+        scaled = scaler.transform(X)
+    except ScalingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    write_libsvm_file(output_path, scaled, y)
+    if args.save_filename:
+        save_scaling(scaler, args.save_filename)
+    print(f"scaled {X.shape[0]} points x {X.shape[1]} features -> {output_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core LS-SVM machinery: kernels, the implicit reduced system, CG, and the estimator.
+
+The public entry point for most users is :class:`repro.core.lssvm.LSSVC`;
+everything else in this package is the machinery behind its ``fit``:
+
+* :mod:`repro.core.kernels` — the kernel functions of §II-E and their
+  blocked, memory-bounded evaluation.
+* :mod:`repro.core.qmatrix` — the reduced LS-SVM system of Chu et al.
+  (Eq. 13/14/16), in explicit and matrix-free form.
+* :mod:`repro.core.cg` — the Conjugate Gradient solver (Shewchuk variant).
+* :mod:`repro.core.model` — the trained-model container plus LIBSVM-format
+  model file serialization.
+* :mod:`repro.core.lssvm` — the high-level classifier.
+"""
+
+from .cg import CGResult, conjugate_gradient
+from .kernels import (
+    kernel_diagonal,
+    kernel_matrix,
+    kernel_row,
+    kernel_scalar,
+)
+from .lssvm import LSSVC
+from .model import LSSVMModel
+from .multiclass import OneVsAllLSSVC, OneVsOneLSSVC
+from .qmatrix import ExplicitQMatrix, ImplicitQMatrix, build_reduced_system
+from .regression import LSSVR
+from .sparse_approx import SparseLSSVC
+from .weighted import WeightedLSSVC, hampel_weights
+
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "kernel_scalar",
+    "kernel_row",
+    "kernel_matrix",
+    "kernel_diagonal",
+    "LSSVC",
+    "LSSVR",
+    "LSSVMModel",
+    "OneVsAllLSSVC",
+    "OneVsOneLSSVC",
+    "WeightedLSSVC",
+    "SparseLSSVC",
+    "hampel_weights",
+    "ExplicitQMatrix",
+    "ImplicitQMatrix",
+    "build_reduced_system",
+]

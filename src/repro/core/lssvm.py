@@ -1,0 +1,254 @@
+"""High-level LS-SVM classifier (the Python face of ``plssvm::csvm``).
+
+:class:`LSSVC` is a scikit-learn-style binary classifier:
+
+>>> from repro import LSSVC
+>>> clf = LSSVC(kernel="rbf", C=10.0).fit(X_train, y_train)
+>>> accuracy = clf.score(X_test, y_test)
+
+Training follows the four steps of §III: the data is (1) already read,
+(2) handed to the selected backend (which converts it into its SoA device
+layout — the ``transform`` component), (3) the reduced system is solved by
+CG (``cg``), and (4) the model can be written via ``save()`` (``write``).
+All steps are timed through :class:`repro.profiling.ComponentTimer`.
+
+The ``backend`` argument selects who executes the implicit matrix-vector
+products: ``None`` keeps the plain NumPy reference path; a name or
+:class:`repro.types.BackendType` routes through the backend framework
+(OpenMP thread pool, or the simulated CUDA/OpenCL/SYCL devices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from ..parameter import Parameter
+from ..profiling import ComponentTimer
+from ..types import BackendType, KernelType, TargetPlatform
+from .cg import CGResult, conjugate_gradient
+from .model import LSSVMModel
+from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
+
+__all__ = ["LSSVC", "encode_labels", "decode_labels"]
+
+
+def encode_labels(y: np.ndarray) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Map a two-class label vector onto internal {-1, +1} labels.
+
+    Following LIBSVM, the first label encountered in the file/array becomes
+    the internal ``+1`` class. Returns ``(encoded, (positive, negative))``.
+    """
+    y = np.asarray(y).ravel()
+    if y.size == 0:
+        raise DataError("label vector is empty")
+    classes = []
+    for value in y:
+        v = float(value)
+        if v not in classes:
+            classes.append(v)
+        if len(classes) > 2:
+            break
+    if len(classes) != 2:
+        raise DataError(
+            f"binary classification requires exactly two classes, got {len(classes)}"
+        )
+    pos, neg = classes[0], classes[1]
+    encoded = np.where(y == pos, 1.0, -1.0)
+    return encoded, (pos, neg)
+
+
+def decode_labels(y_internal: np.ndarray, labels: Tuple[float, float]) -> np.ndarray:
+    """Map internal {-1, +1} predictions back to the original labels."""
+    pos, neg = labels
+    return np.where(np.asarray(y_internal) >= 0.0, pos, neg)
+
+
+class LSSVC:
+    """Least Squares Support Vector Classifier.
+
+    Parameters
+    ----------
+    kernel:
+        ``"linear"`` / ``"polynomial"`` / ``"rbf"`` (or ``KernelType`` /
+        LIBSVM integer code). A ``"sigmoid"`` extension is also available.
+    C:
+        Regularization weight (``-c`` in LIBSVM terms); larger values fit
+        the training data harder.
+    gamma, degree, coef0:
+        Kernel coefficients; ``gamma=None`` defaults to ``1/num_features``.
+    epsilon:
+        CG relative-residual termination criterion (paper default 1e-3).
+    max_iter:
+        CG iteration cap (default: system size).
+    backend:
+        ``None`` for the plain NumPy path, otherwise a backend name /
+        :class:`BackendType` / ready-made backend instance. ``"automatic"``
+        picks the best available backend for ``target``.
+    target:
+        Target platform for backend resolution (``"cpu"``, ``"gpu_nvidia"``,
+        ...).
+    n_devices:
+        Number of (simulated) devices for multi-GPU execution of the linear
+        kernel (§III-C5).
+    dtype:
+        Working precision, ``float64`` (default) or ``float32``.
+    implicit:
+        Force the matrix-free (``True``) or explicit (``False``) reduced
+        system on the NumPy path; ``None`` selects by problem size.
+    jacobi:
+        Enable the diagonal-preconditioned CG variant (extension).
+    sparse:
+        Run the CG matvecs on a CSR representation of the data — the
+        paper's "sparse data structures for the CG solver" future-work
+        item, delivered for the linear kernel. Requires ``backend=None``.
+    """
+
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "linear",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        epsilon: float = 1e-3,
+        max_iter: Optional[int] = None,
+        backend: Union[None, str, BackendType, object] = None,
+        target: Union[str, TargetPlatform] = TargetPlatform.AUTOMATIC,
+        n_devices: int = 1,
+        dtype=np.float64,
+        implicit: Optional[bool] = None,
+        jacobi: bool = False,
+        sparse: bool = False,
+    ) -> None:
+        self.param = Parameter(
+            kernel=kernel,
+            cost=C,
+            gamma=gamma,
+            degree=degree,
+            coef0=coef0,
+            epsilon=epsilon,
+            max_iter=max_iter,
+            dtype=dtype,
+        )
+        self.backend = backend
+        self.target = TargetPlatform.from_name(target)
+        if n_devices < 1:
+            raise DataError("n_devices must be positive")
+        self.n_devices = int(n_devices)
+        self.implicit = implicit
+        self.jacobi = jacobi
+        self.sparse = bool(sparse)
+        if self.sparse and backend is not None:
+            raise DataError("sparse CG runs on the NumPy path; use backend=None")
+        self.model_: Optional[LSSVMModel] = None
+        self.result_: Optional[CGResult] = None
+        self.timings_: ComponentTimer = ComponentTimer()
+        self._backend_instance = None
+
+    # -- backend plumbing ---------------------------------------------------
+
+    def _resolve_backend(self):
+        """Instantiate the backend lazily (keeps core importable standalone)."""
+        if self.backend is None:
+            return None
+        if self._backend_instance is not None:
+            return self._backend_instance
+        from ..backends import create_backend  # deferred: backends import core
+
+        if isinstance(self.backend, (str, BackendType)):
+            self._backend_instance = create_backend(
+                self.backend, target=self.target, n_devices=self.n_devices
+            )
+        else:
+            self._backend_instance = self.backend
+        return self._backend_instance
+
+    def _build_operator(self, X: np.ndarray, y: np.ndarray) -> Tuple[QMatrixBase, np.ndarray]:
+        backend = self._resolve_backend()
+        if backend is None:
+            if self.sparse:
+                from ..sparse.qmatrix import SparseImplicitQMatrix
+
+                qmat: QMatrixBase = SparseImplicitQMatrix(X, y, self.param)
+                return qmat, qmat.rhs()
+            return build_reduced_system(X, y, self.param, implicit=self.implicit)
+        qmat = backend.create_qmatrix(X, y, self.param)
+        return qmat, qmat.rhs()
+
+    # -- estimator API --------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVC":
+        """Train on ``(X, y)``; ``y`` may use any two distinct labels."""
+        self.timings_ = ComponentTimer()
+        with self.timings_.section("total"):
+            X = np.asarray(X, dtype=self.param.dtype)
+            y_enc, labels = encode_labels(y)
+            # Backends transform the data into their device layout here
+            # (the paper's "transform" component); the plain NumPy path's
+            # operator setup is accounted separately as "assembly".
+            setup_section = "transform" if self.backend is not None else "assembly"
+            with self.timings_.section(setup_section):
+                qmat, rhs = self._build_operator(X, y_enc)
+            precond = None
+            if self.jacobi:
+                # diag(Q_tilde) = k(x_i,x_i) + 1/C - 2 q_bar_i + q_mm
+                from .kernels import kernel_diagonal
+
+                param = qmat.param
+                diag = kernel_diagonal(qmat.X_bar, param.kernel, **param.kernel_kwargs())
+                precond = diag + qmat.ridge_bar - 2.0 * qmat.q_bar + qmat.q_mm
+            with self.timings_.section("cg"):
+                result = conjugate_gradient(
+                    qmat,
+                    rhs,
+                    epsilon=self.param.epsilon,
+                    max_iter=self.param.max_iter,
+                    preconditioner=precond,
+                )
+            alpha, bias = recover_bias_and_alpha(qmat, result.x)
+            self.result_ = result
+            self.model_ = LSSVMModel(
+                support_vectors=qmat.X,
+                alpha=alpha,
+                bias=bias,
+                param=qmat.param,
+                labels=labels,
+            )
+            backend = self._resolve_backend()
+            if backend is not None:
+                backend.finalize(qmat, self.timings_)
+        return self
+
+    def _require_model(self) -> LSSVMModel:
+        if self.model_ is None:
+            raise NotFittedError("LSSVC is not fitted yet; call fit() first")
+        return self.model_
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw values of ``f(x) = sum_i alpha_i k(x_i, x) + b``."""
+        return self._require_model().decision_function(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels, in the alphabet seen during :meth:`fit`."""
+        return self._require_model().predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return self._require_model().score(X, y)
+
+    def save(self, path) -> None:
+        """Write the fitted model in LIBSVM model format (the ``write`` step)."""
+        model = self._require_model()
+        with self.timings_.section("write"):
+            model.save(path)
+
+    @property
+    def iterations_(self) -> int:
+        """CG iterations of the last fit."""
+        if self.result_ is None:
+            raise NotFittedError("LSSVC is not fitted yet; call fit() first")
+        return self.result_.iterations

@@ -1,0 +1,288 @@
+"""Trained LS-SVM model container and LIBSVM-format serialization.
+
+An LS-SVM interprets *every* training point as a support vector (§II-C), so
+the model stores the full training set together with the learned multipliers
+``alpha`` and bias ``b``. The decision function is
+
+    f(x) = sum_i alpha_i * k(x_i, x) + b
+
+(the labels are already folded into the alphas by the linear system of
+Eq. 11, so no explicit ``y_i`` factor appears).
+
+The on-disk format is the LIBSVM model format — the reproduction keeps
+PLSSVM's drop-in compatibility promise, mapping ``rho = -b`` and writing one
+``alpha_i`` coefficient per support vector row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ModelFormatError, NotFittedError
+from ..parameter import Parameter
+from ..types import KernelType
+from .kernels import kernel_matrix
+
+__all__ = ["LSSVMModel", "save_model", "load_model"]
+
+_KERNEL_NAMES = {
+    KernelType.LINEAR: "linear",
+    KernelType.POLYNOMIAL: "polynomial",
+    KernelType.RBF: "rbf",
+    KernelType.SIGMOID: "sigmoid",
+}
+_KERNEL_FROM_NAME = {v: k for k, v in _KERNEL_NAMES.items()}
+
+
+@dataclasses.dataclass
+class LSSVMModel:
+    """A fitted LS-SVM binary classifier.
+
+    Attributes
+    ----------
+    support_vectors:
+        The full training set, shape ``(m, d)``.
+    alpha:
+        Lagrange multipliers, shape ``(m,)`` (sums to zero by the equality
+        constraint of Eq. 11).
+    bias:
+        Hyperplane offset ``b``.
+    param:
+        Hyper-parameters used during training (with gamma resolved).
+    labels:
+        The two original class labels, ordered as ``(positive, negative)``
+        — i.e. ``labels[0]`` is the class encoded internally as ``+1``.
+    """
+
+    support_vectors: np.ndarray
+    alpha: np.ndarray
+    bias: float
+    param: Parameter
+    labels: Tuple[float, float] = (1.0, -1.0)
+
+    def __post_init__(self) -> None:
+        self.support_vectors = np.asarray(self.support_vectors, dtype=self.param.dtype)
+        self.alpha = np.asarray(self.alpha, dtype=self.param.dtype).ravel()
+        if self.support_vectors.ndim != 2:
+            raise ModelFormatError("support vectors must form a 2-D array")
+        if self.alpha.shape[0] != self.support_vectors.shape[0]:
+            raise ModelFormatError(
+                f"{self.alpha.shape[0]} coefficients for "
+                f"{self.support_vectors.shape[0]} support vectors"
+            )
+
+    @property
+    def num_support_vectors(self) -> int:
+        return self.support_vectors.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.support_vectors.shape[1]
+
+    def weight_vector(self) -> np.ndarray:
+        """The primal normal vector ``w = sum_i alpha_i x_i`` (Eq. 15).
+
+        Only the linear kernel has an explicit primal representation (for
+        the others ``w`` lives in the implicit feature space). With ``w``
+        in hand, prediction costs O(d) per point instead of O(m d) — the
+        reason PLSSVM derives it at the end of training. Computed lazily
+        and cached.
+        """
+        if self.param.kernel is not KernelType.LINEAR:
+            raise ModelFormatError(
+                f"the explicit weight vector exists only for the linear kernel, "
+                f"not {self.param.kernel}"
+            )
+        cached = getattr(self, "_weight_cache", None)
+        if cached is None:
+            cached = self.alpha @ self.support_vectors
+            self._weight_cache = cached
+        return cached
+
+    def decision_function(self, X: np.ndarray, *, tile_rows: int = 2048) -> np.ndarray:
+        """Signed distance surrogate ``f(x)`` for each row of ``X``.
+
+        The linear kernel takes the O(d)-per-point primal fast path through
+        :meth:`weight_vector`; the non-linear kernels evaluate the kernel
+        expansion in row tiles so prediction memory stays bounded for large
+        test sets.
+        """
+        X = np.asarray(X, dtype=self.param.dtype)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self.num_features:
+            raise ModelFormatError(
+                f"test data has {X.shape[1]} features, model expects {self.num_features}"
+            )
+        if self.param.kernel is KernelType.LINEAR:
+            out = X @ self.weight_vector() + self.bias
+            return out[0] if single else out
+        kw = self.param.kernel_kwargs()
+        out = np.empty(X.shape[0], dtype=self.param.dtype)
+        for start in range(0, X.shape[0], tile_rows):
+            rows = slice(start, min(start + tile_rows, X.shape[0]))
+            K = kernel_matrix(X[rows], self.support_vectors, self.param.kernel, **kw)
+            out[rows] = K @ self.alpha
+        out += self.bias
+        return out[0] if single else out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (in the original label alphabet)."""
+        f = np.atleast_1d(self.decision_function(X))
+        pos, neg = self.labels
+        return np.where(f >= 0.0, pos, neg)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        pred = self.predict(X)
+        if pred.shape[0] != y.shape[0]:
+            raise ModelFormatError("label vector length does not match data")
+        return float(np.mean(pred == y))
+
+    def save(self, path: Union[str, Path]) -> None:
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LSSVMModel":
+        return load_model(path)
+
+
+def _write_sparse_row(stream: TextIO, coef: float, features: Sequence[float]) -> None:
+    parts = [f"{coef:.17g}"]
+    for idx, value in enumerate(features, start=1):
+        if value != 0.0:
+            parts.append(f"{idx}:{value:.17g}")
+    stream.write(" ".join(parts))
+    stream.write("\n")
+
+
+def save_model(model: LSSVMModel, path: Union[str, Path]) -> None:
+    """Write ``model`` in the LIBSVM model file format.
+
+    The header mirrors LIBSVM/PLSSVM: ``rho`` is the negated bias, ``label``
+    lists the class labels in internal (+1, -1) order, and every training
+    point appears in the SV section (``nr_sv`` counts per class follow the
+    sign of the training labels, which LS-SVM keeps alongside the alphas).
+    """
+    param = model.param
+    path = Path(path)
+    with path.open("w", encoding="ascii") as f:
+        f.write("svm_type c_svc\n")
+        f.write(f"kernel_type {_KERNEL_NAMES[param.kernel]}\n")
+        if param.kernel is KernelType.POLYNOMIAL:
+            f.write(f"degree {param.degree}\n")
+        if param.kernel is not KernelType.LINEAR:
+            f.write(f"gamma {param.gamma:.17g}\n")
+        if param.kernel in (KernelType.POLYNOMIAL, KernelType.SIGMOID):
+            f.write(f"coef0 {param.coef0:.17g}\n")
+        f.write("nr_class 2\n")
+        f.write(f"total_sv {model.num_support_vectors}\n")
+        f.write(f"rho {-model.bias:.17g}\n")
+        pos, neg = model.labels
+        f.write(f"label {_format_label(pos)} {_format_label(neg)}\n")
+        n_pos = int(np.count_nonzero(model.alpha >= 0.0))
+        f.write(f"nr_sv {n_pos} {model.num_support_vectors - n_pos}\n")
+        f.write("SV\n")
+        for coef, row in zip(model.alpha, model.support_vectors):
+            _write_sparse_row(f, float(coef), row)
+
+
+def _format_label(label: float) -> str:
+    return f"{int(label)}" if float(label).is_integer() else f"{label:g}"
+
+
+def load_model(path: Union[str, Path]) -> LSSVMModel:
+    """Read a model file written by :func:`save_model` (LIBSVM format)."""
+    path = Path(path)
+    header: dict = {}
+    sv_lines: list = []
+    with path.open("r", encoding="ascii") as f:
+        in_sv = False
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if in_sv:
+                sv_lines.append(line)
+                continue
+            if line == "SV":
+                in_sv = True
+                continue
+            key, _, value = line.partition(" ")
+            header[key] = value.strip()
+
+    for required in ("svm_type", "kernel_type", "rho", "total_sv"):
+        if required not in header:
+            raise ModelFormatError(f"model file missing '{required}' header line")
+    if header["svm_type"] != "c_svc":
+        raise ModelFormatError(f"unsupported svm_type {header['svm_type']!r}")
+    try:
+        kernel = _KERNEL_FROM_NAME[header["kernel_type"]]
+    except KeyError:
+        raise ModelFormatError(
+            f"unsupported kernel_type {header['kernel_type']!r}"
+        ) from None
+
+    param = Parameter(
+        kernel=kernel,
+        gamma=float(header["gamma"]) if "gamma" in header else None,
+        degree=int(header.get("degree", 3)),
+        coef0=float(header.get("coef0", 0.0)),
+    )
+    bias = -float(header["rho"])
+    total_sv = int(header["total_sv"])
+    if total_sv != len(sv_lines):
+        raise ModelFormatError(
+            f"header announces {total_sv} support vectors, file contains {len(sv_lines)}"
+        )
+    labels: Tuple[float, float] = (1.0, -1.0)
+    if "label" in header:
+        parts = header["label"].split()
+        if len(parts) != 2:
+            raise ModelFormatError("binary model must list exactly two labels")
+        labels = (float(parts[0]), float(parts[1]))
+
+    alphas = np.empty(total_sv, dtype=np.float64)
+    feature_maps = []
+    max_index = 0
+    for i, line in enumerate(sv_lines):
+        tokens = line.split()
+        try:
+            alphas[i] = float(tokens[0])
+        except (ValueError, IndexError):
+            raise ModelFormatError(f"malformed SV line {i + 1}: {line!r}") from None
+        entries = {}
+        for token in tokens[1:]:
+            idx_str, _, val_str = token.partition(":")
+            try:
+                idx, val = int(idx_str), float(val_str)
+            except ValueError:
+                raise ModelFormatError(
+                    f"malformed feature entry {token!r} on SV line {i + 1}"
+                ) from None
+            if idx < 1:
+                raise ModelFormatError(f"feature indices are 1-based, got {idx}")
+            entries[idx] = val
+            max_index = max(max_index, idx)
+        feature_maps.append(entries)
+
+    X = np.zeros((total_sv, max_index), dtype=np.float64)
+    for i, entries in enumerate(feature_maps):
+        for idx, val in entries.items():
+            X[i, idx - 1] = val
+    return LSSVMModel(
+        support_vectors=X, alpha=alphas, bias=bias, param=param, labels=labels
+    )
+
+
+def require_fitted(model: Optional[LSSVMModel], what: str = "model") -> LSSVMModel:
+    """Raise :class:`NotFittedError` when ``model`` is ``None``."""
+    if model is None:
+        raise NotFittedError(f"{what} is not fitted yet; call fit() first")
+    return model

@@ -1,0 +1,186 @@
+"""Multi-class LS-SVM classification (paper §V future work).
+
+The paper supports only binary classification and names multi-class
+support as the canonical extension ("it is not difficult to include these
+functionalities on the basis of our library"). Both standard decompositions
+are provided, following Suykens & Vandewalle's multiclass LS-SVM paper and
+LIBSVM's convention respectively:
+
+* :class:`OneVsAllLSSVC` — one binary machine per class (class k vs the
+  rest); prediction takes the argmax of the decision values.
+* :class:`OneVsOneLSSVC` — one machine per class pair (LIBSVM's scheme);
+  prediction by majority vote with decision-value tie-breaking.
+
+Any binary estimator with the ``fit`` / ``decision_function`` interface
+can be plugged in via ``estimator_factory`` — by default a fresh
+:class:`repro.core.lssvm.LSSVC` with the given hyper-parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from ..types import KernelType
+from .lssvm import LSSVC
+
+__all__ = ["OneVsAllLSSVC", "OneVsOneLSSVC"]
+
+
+def _unique_labels(y: np.ndarray) -> np.ndarray:
+    labels = np.unique(np.asarray(y).ravel())
+    if labels.size < 2:
+        raise DataError("multi-class training requires at least two classes")
+    return labels
+
+
+def _positive_first(X: np.ndarray, binary: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reorder so a +1 sample leads the arrays.
+
+    The binary estimators follow LIBSVM's convention of mapping the
+    *first-seen* label to the internal positive class, which would flip the
+    sign of ``decision_function`` whenever a -1 sample happens to come
+    first. Swapping one positive sample to index 0 pins the orientation.
+    """
+    if binary[0] == 1.0:
+        return X, binary
+    pos = int(np.argmax(binary == 1.0))
+    order = np.arange(binary.shape[0])
+    order[0], order[pos] = order[pos], order[0]
+    return X[order], binary[order]
+
+
+class _MulticlassBase:
+    """Shared constructor/plumbing of the two decompositions."""
+
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "linear",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        epsilon: float = 1e-3,
+        estimator_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        if estimator_factory is None:
+            def estimator_factory() -> LSSVC:  # noqa: F811 - intentional default
+                return LSSVC(
+                    kernel=kernel,
+                    C=C,
+                    gamma=gamma,
+                    degree=degree,
+                    coef0=coef0,
+                    epsilon=epsilon,
+                )
+
+        self._factory = estimator_factory
+        self.classes_: Optional[np.ndarray] = None
+
+    def _require_fitted(self) -> None:
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy over the (multi-class) labels."""
+        y = np.asarray(y).ravel()
+        pred = self.predict(X)
+        if pred.shape[0] != y.shape[0]:
+            raise DataError("label vector length does not match data")
+        return float(np.mean(pred == y))
+
+
+class OneVsAllLSSVC(_MulticlassBase):
+    """One-vs-all (one-vs-rest) multi-class LS-SVM.
+
+    Trains ``K`` binary machines; machine ``k`` separates class ``k``
+    (+1) from all other classes (-1). Ties resolve to the machine with the
+    largest decision value — the LS-SVM's decision values are calibrated
+    against the +/-1 targets, making argmax meaningful.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
+        y = np.asarray(y).ravel()
+        self.classes_ = _unique_labels(y)
+        self.machines_: List[object] = []
+        X = np.asarray(X)
+        for label in self.classes_:
+            binary = np.where(y == label, 1.0, -1.0)
+            if not np.any(binary == 1.0):
+                raise DataError(f"class {label} has no samples")
+            X_ord, binary_ord = _positive_first(X, binary)
+            clf = self._factory()
+            clf.fit(X_ord, binary_ord)
+            self.machines_.append(clf)
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision values, shape ``(len(X), num_classes)``."""
+        self._require_fitted()
+        columns = [np.atleast_1d(m.decision_function(X)) for m in self.machines_]
+        return np.column_stack(columns)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_matrix(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class OneVsOneLSSVC(_MulticlassBase):
+    """One-vs-one multi-class LS-SVM (LIBSVM's decomposition).
+
+    Trains ``K (K-1) / 2`` pairwise machines on the two classes' points
+    only. Prediction is by vote; ties break on the summed decision values
+    in favour of the class the tied machines are more confident about.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneLSSVC":
+        X = np.asarray(X)
+        y = np.asarray(y).ravel()
+        self.classes_ = _unique_labels(y)
+        self.pairs_: List[Tuple[float, float]] = []
+        self.machines_ = []
+        for a, b in itertools.combinations(self.classes_, 2):
+            mask = (y == a) | (y == b)
+            if np.all(y[mask] == y[mask][0]):
+                raise DataError(f"classes {a} and {b} are not both present")
+            binary = np.where(y[mask] == a, 1.0, -1.0)
+            X_ord, binary_ord = _positive_first(X[mask], binary)
+            clf = self._factory()
+            clf.fit(X_ord, binary_ord)
+            self.pairs_.append((float(a), float(b)))
+            self.machines_.append(clf)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = np.asarray(X)
+        n = X.shape[0] if X.ndim == 2 else 1
+        class_index: Dict[float, int] = {
+            float(c): i for i, c in enumerate(self.classes_)
+        }
+        votes = np.zeros((n, len(self.classes_)), dtype=np.int64)
+        confidence = np.zeros((n, len(self.classes_)), dtype=np.float64)
+        for (a, b), clf in zip(self.pairs_, self.machines_):
+            f = np.atleast_1d(clf.decision_function(X))
+            ia, ib = class_index[a], class_index[b]
+            a_wins = f >= 0
+            votes[a_wins, ia] += 1
+            votes[~a_wins, ib] += 1
+            confidence[:, ia] += f
+            confidence[:, ib] -= f
+        # Majority vote; break ties by accumulated confidence.
+        best = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            top = votes[i].max()
+            tied = np.nonzero(votes[i] == top)[0]
+            best[i] = tied[np.argmax(confidence[i, tied])]
+        return self.classes_[best]
+
+    @property
+    def num_machines(self) -> int:
+        self._require_fitted()
+        return len(self.machines_)

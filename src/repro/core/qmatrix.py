@@ -1,0 +1,321 @@
+"""The reduced LS-SVM system of Chu et al. (paper Eq. 11-16).
+
+Training an LS-SVM means solving the ``(m) x (m+1)``-style saddle system of
+Eq. 11. Chu et al. eliminate the bias row and the last multiplier, leaving a
+symmetric positive definite ``(m-1) x (m-1)`` system
+
+    Q_tilde @ alpha_bar = y_bar - y_m * 1                       (Eq. 14)
+
+with (Eq. 16)
+
+    Q_tilde[i, j] = k(x_i, x_j) + delta_ij / C
+                    - k(x_m, x_j) - k(x_i, x_m)
+                    + k(x_m, x_m) + 1 / C.
+
+Two realizations are provided:
+
+* :class:`ExplicitQMatrix` materializes the full matrix — O(m²) memory,
+  used for small problems, tests, and as the ground truth the implicit
+  variant is verified against.
+* :class:`ImplicitQMatrix` is matrix-free (§III-B): each matvec recomputes
+  the kernel entries on the fly. The ``q`` vector ``q_bar[i] = k(x_i, x_m)``
+  is precomputed once (§III-C2, "Caching"), which turns the three kernel
+  evaluations per entry into one. For the linear kernel the matvec
+  collapses into two BLAS-2 products against the data matrix
+  (``X_bar @ (X_bar.T @ v)``), making it O(m d) instead of O(m² d).
+
+Both classes share the rank-one correction algebra
+
+    Q_tilde @ v = K_bar @ v + v / C
+                  - ones * <q_bar, v> - q_bar * sum(v)
+                  + (k_mm + 1/C) * sum(v) * ones
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..parameter import Parameter
+from ..types import KernelType
+from .kernels import kernel_matrix, kernel_matrix_tiles, kernel_row, kernel_scalar
+
+__all__ = [
+    "QMatrixBase",
+    "ExplicitQMatrix",
+    "ImplicitQMatrix",
+    "build_reduced_system",
+    "reduced_rhs",
+    "recover_bias_and_alpha",
+]
+
+#: Materializing Q_tilde above this many training points is refused by
+#: :func:`build_reduced_system`'s automatic mode (the matrix would need
+#: ``(m-1)^2 * 8`` bytes).
+EXPLICIT_LIMIT = 4096
+
+
+def _validate_training_data(
+    X: np.ndarray, y: np.ndarray, dtype: np.dtype, *, binary_labels: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    X = np.ascontiguousarray(np.asarray(X, dtype=dtype))
+    y = np.asarray(y, dtype=dtype).ravel()
+    if X.ndim != 2:
+        raise DataError(f"training data must be 2-D, got ndim={X.ndim}")
+    if X.shape[0] != y.shape[0]:
+        raise DataError(
+            f"number of points ({X.shape[0]}) and labels ({y.shape[0]}) differ"
+        )
+    if X.shape[0] < 2:
+        raise DataError("LS-SVM training requires at least two data points")
+    if X.shape[1] < 1:
+        raise DataError("training data has no features")
+    if binary_labels:
+        labels = np.unique(y)
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise DataError(f"labels must be -1/+1, got {labels[:8]}")
+        if labels.size < 2:
+            raise DataError("training data contains only a single class")
+    elif not np.all(np.isfinite(y)):
+        raise DataError("regression targets contain NaN or infinite values")
+    if not np.all(np.isfinite(X)):
+        raise DataError("training data contains NaN or infinite values")
+    return X, y
+
+
+class QMatrixBase(abc.ABC):
+    """Common interface of the explicit and implicit Q_tilde realizations.
+
+    Parameters
+    ----------
+    ridge:
+        Optional per-point ridge vector replacing the uniform ``1/C``
+        diagonal. Used by the weighted LS-SVM extension (Suykens et al.,
+        "Weighted least squares support vector machines"): point ``i``'s
+        ridge is ``1 / (C * v_i)`` for a robustness weight ``v_i``. The
+        reduction of Eq. 13 goes through unchanged because the eliminated
+        row/column only ever sees ``Q_mm = k_mm + ridge_m``.
+    binary_labels:
+        The LS-SVM *regression* extension reuses the same reduced system
+        with real-valued targets; it disables the +/-1 label check.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        *,
+        ridge: Optional[np.ndarray] = None,
+        binary_labels: bool = True,
+    ) -> None:
+        X, y = _validate_training_data(X, y, param.dtype, binary_labels=binary_labels)
+        param = param.with_gamma_for(X.shape[1])
+        self.param = param
+        self.X = X
+        self.y = y
+        self.X_bar = X[:-1]
+        self.x_m = X[-1]
+        self.y_bar = y[:-1]
+        self.y_m = float(y[-1])
+        kw = param.kernel_kwargs()
+        # q_bar[i] = k(x_i, x_m) for i < m (no delta term since i != m).
+        self.q_bar = kernel_row(self.x_m, self.X_bar, param.kernel, **kw).astype(
+            param.dtype, copy=False
+        )
+        self.k_mm = kernel_scalar(self.x_m, self.x_m, param.kernel, **kw)
+        self.inv_cost = 1.0 / param.cost
+        if ridge is None:
+            self.ridge_bar = np.full(X.shape[0] - 1, self.inv_cost, dtype=param.dtype)
+            self.ridge_m = self.inv_cost
+        else:
+            ridge = np.asarray(ridge, dtype=param.dtype).ravel()
+            if ridge.shape[0] != X.shape[0]:
+                raise DataError(
+                    f"ridge vector length {ridge.shape[0]} does not match "
+                    f"{X.shape[0]} data points"
+                )
+            if np.any(ridge <= 0) or not np.all(np.isfinite(ridge)):
+                raise DataError("ridge entries must be positive and finite")
+            self.ridge_bar = ridge[:-1].copy()
+            self.ridge_m = float(ridge[-1])
+        # Q_mm of Eq. 12 includes the eliminated point's ridge: the trailing
+        # "+ 1/C" of Eq. 16 is exactly Q_mm = k_mm + ridge_m.
+        self.q_mm = self.k_mm + self.ridge_m
+        self.num_matvecs = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self.X.shape[0] - 1
+        return (n, n)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.param.dtype
+
+    def _rank_one_terms(self, v: np.ndarray) -> np.ndarray:
+        """The shared low-rank correction: ``ridge*v - 1<q,v> - q*sum(v) + q_mm*sum(v)*1``."""
+        s = float(v.sum())
+        qv = float(self.q_bar @ v)
+        out = self.ridge_bar * v
+        out -= qv
+        out -= s * self.q_bar
+        out += self.q_mm * s
+        return out
+
+    @abc.abstractmethod
+    def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
+        """``K_bar @ v`` where ``K_bar[i,j] = k(x_i, x_j)`` over the first m-1 points."""
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``Q_tilde @ v``."""
+        v = np.asarray(v, dtype=self.dtype).ravel()
+        if v.shape[0] != self.shape[0]:
+            raise DataError(
+                f"vector length {v.shape[0]} does not match system size {self.shape[0]}"
+            )
+        self.num_matvecs += 1
+        return self._kernel_matvec(v) + self._rank_one_terms(v)
+
+    def __matmul__(self, v: np.ndarray) -> np.ndarray:
+        return self.matvec(v)
+
+    def rhs(self) -> np.ndarray:
+        """Right-hand side of Eq. 14: ``y_bar - y_m * 1``."""
+        return reduced_rhs(self.y)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize Q_tilde (intended for tests and small systems)."""
+        n = self.shape[0]
+        eye = np.eye(n, dtype=self.dtype)
+        cols = [self.matvec(eye[i]) for i in range(n)]
+        return np.column_stack(cols)
+
+
+class ExplicitQMatrix(QMatrixBase):
+    """Q_tilde held as a dense array; matvec is a single GEMV."""
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        *,
+        ridge: Optional[np.ndarray] = None,
+        binary_labels: bool = True,
+    ) -> None:
+        super().__init__(X, y, param, ridge=ridge, binary_labels=binary_labels)
+        kw = self.param.kernel_kwargs()
+        K = kernel_matrix(self.X_bar, self.X_bar, self.param.kernel, **kw)
+        K = K.astype(self.dtype, copy=False)
+        K += np.diag(self.ridge_bar)
+        K -= self.q_bar[None, :]
+        K -= self.q_bar[:, None]
+        K += self.q_mm
+        self._dense = K
+
+    def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise AssertionError("ExplicitQMatrix overrides matvec directly")
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=self.dtype).ravel()
+        if v.shape[0] != self.shape[0]:
+            raise DataError(
+                f"vector length {v.shape[0]} does not match system size {self.shape[0]}"
+            )
+        self.num_matvecs += 1
+        return self._dense @ v
+
+    def to_dense(self) -> np.ndarray:
+        return np.array(self._dense, copy=True)
+
+
+class ImplicitQMatrix(QMatrixBase):
+    """Matrix-free Q_tilde: kernel entries are recomputed per use (§III-B).
+
+    Parameters
+    ----------
+    tile_rows:
+        Row-tile height for the non-linear kernels; bounds peak memory at
+        ``tile_rows * (m-1)`` kernel entries per matvec.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        *,
+        tile_rows: int = 1024,
+        ridge: Optional[np.ndarray] = None,
+        binary_labels: bool = True,
+    ) -> None:
+        super().__init__(X, y, param, ridge=ridge, binary_labels=binary_labels)
+        if tile_rows <= 0:
+            raise DataError("tile_rows must be positive")
+        self.tile_rows = int(tile_rows)
+
+    def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
+        if self.param.kernel is KernelType.LINEAR:
+            # K_bar @ v == X_bar @ (X_bar.T @ v): two GEMVs, O(m d).
+            return self.X_bar @ (self.X_bar.T @ v)
+        out = np.empty_like(v)
+        kw = self.param.kernel_kwargs()
+        for rows, tile in kernel_matrix_tiles(
+            self.X_bar, self.X_bar, self.param.kernel, tile_rows=self.tile_rows, **kw
+        ):
+            out[rows] = tile @ v
+        return out
+
+
+def reduced_rhs(y: np.ndarray) -> np.ndarray:
+    """Right-hand side of the reduced system (Eq. 14)."""
+    y = np.asarray(y).ravel()
+    return y[:-1] - y[-1]
+
+
+def build_reduced_system(
+    X: np.ndarray,
+    y: np.ndarray,
+    param: Parameter,
+    *,
+    implicit: Optional[bool] = None,
+    tile_rows: int = 1024,
+) -> Tuple[QMatrixBase, np.ndarray]:
+    """Assemble ``(Q_tilde, rhs)`` for the given training data.
+
+    ``implicit=None`` selects automatically: explicit assembly for up to
+    :data:`EXPLICIT_LIMIT` points (a dense solve's memory is then harmless
+    and matvecs are fastest), matrix-free beyond that — the same trade-off
+    that forces the paper's GPU kernels to recompute entries on the fly.
+    """
+    if implicit is None:
+        implicit = np.asarray(X).shape[0] > EXPLICIT_LIMIT
+    if implicit:
+        q: QMatrixBase = ImplicitQMatrix(X, y, param, tile_rows=tile_rows)
+    else:
+        q = ExplicitQMatrix(X, y, param)
+    return q, q.rhs()
+
+
+def recover_bias_and_alpha(
+    qmat: QMatrixBase, alpha_bar: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Recover the full multiplier vector and the bias from ``alpha_bar``.
+
+    The eliminated multiplier follows from the equality constraint
+    ``sum(alpha) = 0`` of Eq. 11, i.e. ``alpha_m = -sum(alpha_bar)``; the
+    bias is Eq. 15: ``b = y_m + Q_mm * <1, alpha_bar> - <q_bar, alpha_bar>``.
+    """
+    alpha_bar = np.asarray(alpha_bar, dtype=qmat.dtype).ravel()
+    if alpha_bar.shape[0] != qmat.shape[0]:
+        raise DataError(
+            f"alpha length {alpha_bar.shape[0]} does not match system size {qmat.shape[0]}"
+        )
+    s = float(alpha_bar.sum())
+    bias = qmat.y_m + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
+    alpha = np.concatenate([alpha_bar, np.asarray([-s], dtype=qmat.dtype)])
+    return alpha, bias

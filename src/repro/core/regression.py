@@ -1,0 +1,171 @@
+"""Least Squares Support Vector Regression (paper §V future work).
+
+The paper's conclusion lists regression as a planned LIBSVM-parity
+feature. The LS-SVM machinery delivers it almost for free: the saddle
+system of Eq. 11 never uses the fact that the targets are +/-1 — with
+real-valued targets it *is* kernel ridge regression with a bias term
+(Saunders et al.'s dual ridge regression, the paper's reference [33]):
+
+    [K + I/C   1] [alpha]   [y]
+    [1^T       0] [b    ] = [0]
+
+so the identical reduction (Eq. 13/14), the identical matrix-free CG solve
+and the identical bias recovery apply. Prediction drops the sign:
+
+    f(x) = sum_i alpha_i k(x_i, x) + b
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from ..parameter import Parameter
+from ..profiling import ComponentTimer
+from ..types import KernelType
+from .cg import CGResult, conjugate_gradient
+from .qmatrix import (
+    EXPLICIT_LIMIT,
+    ExplicitQMatrix,
+    ImplicitQMatrix,
+    recover_bias_and_alpha,
+)
+
+__all__ = ["LSSVR"]
+
+
+class LSSVR:
+    """Least Squares Support Vector Regressor.
+
+    Parameters match :class:`repro.core.lssvm.LSSVC` where they apply;
+    ``C`` trades the fit against the flatness of the function exactly as in
+    classification (it is the inverse ridge).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.uniform(-3, 3, size=(200, 1))
+    >>> y = np.sin(X[:, 0])
+    >>> reg = LSSVR(kernel="rbf", C=100.0, gamma=1.0).fit(X, y)
+    >>> float(np.abs(reg.predict(X) - y).mean()) < 0.05
+    True
+    """
+
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "rbf",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        epsilon: float = 1e-6,
+        max_iter: Optional[int] = None,
+        dtype=np.float64,
+        implicit: Optional[bool] = None,
+    ) -> None:
+        self.param = Parameter(
+            kernel=kernel,
+            cost=C,
+            gamma=gamma,
+            degree=degree,
+            coef0=coef0,
+            epsilon=epsilon,
+            max_iter=max_iter,
+            dtype=dtype,
+        )
+        self.implicit = implicit
+        self.result_: Optional[CGResult] = None
+        self.timings_ = ComponentTimer()
+        self._qmat = None
+        self._alpha: Optional[np.ndarray] = None
+        self._bias = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVR":
+        """Fit on real-valued targets ``y``."""
+        y = np.asarray(y, dtype=self.param.dtype).ravel()
+        X = np.asarray(X, dtype=self.param.dtype)
+        if X.ndim != 2:
+            raise DataError("training data must be 2-D")
+        # Targets must vary, otherwise the reduced rhs is zero and the model
+        # degenerates to the constant (still valid, but surprising).
+        implicit = self.implicit
+        if implicit is None:
+            implicit = X.shape[0] > EXPLICIT_LIMIT
+        with self.timings_.section("total"):
+            if implicit:
+                qmat = ImplicitQMatrix(X, y, self.param, binary_labels=False)
+            else:
+                qmat = ExplicitQMatrix(X, y, self.param, binary_labels=False)
+            with self.timings_.section("cg"):
+                result = conjugate_gradient(
+                    qmat,
+                    qmat.rhs(),
+                    epsilon=self.param.epsilon,
+                    max_iter=self.param.max_iter,
+                )
+            alpha, bias = recover_bias_and_alpha(qmat, result.x)
+        self.result_ = result
+        self._qmat = qmat
+        self._alpha = alpha
+        self._bias = bias
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._alpha is None:
+            raise NotFittedError("LSSVR is not fitted yet; call fit() first")
+
+    def predict(self, X: np.ndarray, *, tile_rows: int = 2048) -> np.ndarray:
+        """Predicted function values for each row of ``X``."""
+        self._require_fitted()
+        from .kernels import kernel_matrix
+
+        X = np.asarray(X, dtype=self.param.dtype)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self._qmat.X.shape[1]:
+            raise DataError(
+                f"test data has {X.shape[1]} features, model expects "
+                f"{self._qmat.X.shape[1]}"
+            )
+        kw = self._qmat.param.kernel_kwargs()
+        out = np.empty(X.shape[0], dtype=self.param.dtype)
+        for start in range(0, X.shape[0], tile_rows):
+            rows = slice(start, min(start + tile_rows, X.shape[0]))
+            K = kernel_matrix(X[rows], self._qmat.X, self._qmat.param.kernel, **kw)
+            out[rows] = K @ self._alpha
+        out += self._bias
+        return out[0] if single else out
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2 (1 is perfect, 0 is the mean)."""
+        self._require_fitted()
+        y = np.asarray(y, dtype=self.param.dtype).ravel()
+        pred = np.atleast_1d(self.predict(X))
+        if pred.shape[0] != y.shape[0]:
+            raise DataError("target vector length does not match data")
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    @property
+    def iterations_(self) -> int:
+        if self.result_ is None:
+            raise NotFittedError("LSSVR is not fitted yet; call fit() first")
+        return self.result_.iterations
+
+    @property
+    def alpha_(self) -> np.ndarray:
+        self._require_fitted()
+        return self._alpha
+
+    @property
+    def bias_(self) -> float:
+        self._require_fitted()
+        return self._bias

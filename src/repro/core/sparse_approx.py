@@ -1,0 +1,152 @@
+"""Sparse approximation of the LS-SVM by support pruning (paper ref. [26]).
+
+Unlike the classic SVM, the LS-SVM keeps *every* training point as a
+support vector (§II-C), which makes its models large and prediction
+linear in the training set size. Suykens et al.'s remedy prunes the
+spectrum: since ``|alpha_i|`` is proportional to point ``i``'s contribution
+(it equals ``C * xi_i``), iteratively dropping the smallest-``|alpha|``
+points and retraining on the survivors yields a sparse model that usually
+sacrifices little accuracy.
+
+:class:`SparseLSSVC` wraps any LSSVC-compatible estimator and prunes a
+fixed fraction per round until the target support size (or an accuracy
+floor on the training data) is reached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import DataError, InvalidParameterError, NotFittedError
+from ..types import KernelType
+from .lssvm import LSSVC
+
+__all__ = ["SparseLSSVC"]
+
+
+class SparseLSSVC:
+    """Pruning-based sparse LS-SVM classifier.
+
+    Parameters
+    ----------
+    kernel, C, gamma, degree, coef0, epsilon:
+        Forwarded to the underlying :class:`LSSVC`.
+    target_fraction:
+        Fraction of the training points to keep as support vectors.
+    prune_per_round:
+        Fraction of the *current* support set dropped per pruning round
+        (Suykens et al. recommend gradual pruning, e.g. 5 %).
+    min_accuracy_drop:
+        Stop early when the training accuracy falls more than this below
+        the unpruned model's.
+    """
+
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "rbf",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        epsilon: float = 1e-6,
+        target_fraction: float = 0.25,
+        prune_per_round: float = 0.1,
+        min_accuracy_drop: float = 0.05,
+    ) -> None:
+        if not 0.0 < target_fraction < 1.0:
+            raise InvalidParameterError("target_fraction must lie in (0, 1)")
+        if not 0.0 < prune_per_round < 1.0:
+            raise InvalidParameterError("prune_per_round must lie in (0, 1)")
+        if min_accuracy_drop < 0:
+            raise InvalidParameterError("min_accuracy_drop must be non-negative")
+        self._make = lambda: LSSVC(
+            kernel=kernel, C=C, gamma=gamma, degree=degree, coef0=coef0,
+            epsilon=epsilon,
+        )
+        self.target_fraction = target_fraction
+        self.prune_per_round = prune_per_round
+        self.min_accuracy_drop = min_accuracy_drop
+        self.estimator_: Optional[LSSVC] = None
+        self.support_indices_: Optional[np.ndarray] = None
+        self.history_: List[dict] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SparseLSSVC":
+        X = np.asarray(X)
+        y = np.asarray(y).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise DataError("data and labels disagree in length")
+        target = max(int(round(X.shape[0] * self.target_fraction)), 4)
+
+        accepted = np.arange(X.shape[0])
+        clf = self._make().fit(X, y)
+        base_accuracy = clf.score(X, y)
+        self.history_ = [
+            {"support": X.shape[0], "train_accuracy": base_accuracy}
+        ]
+
+        while accepted.shape[0] > target:
+            drop = max(int(round(accepted.shape[0] * self.prune_per_round)), 1)
+            keep_count = max(accepted.shape[0] - drop, target)
+            # Keep the largest-|alpha| points — but never let a class die.
+            order = np.argsort(np.abs(clf.model_.alpha))[::-1]
+            keep_local = _keep_both_classes(order, y[accepted], keep_count)
+            candidate_idx = accepted[keep_local]
+            candidate = self._make().fit(X[candidate_idx], y[candidate_idx])
+            accuracy = candidate.score(X, y)
+            self.history_.append(
+                {"support": candidate_idx.shape[0], "train_accuracy": accuracy}
+            )
+            if accuracy < base_accuracy - self.min_accuracy_drop:
+                break
+            clf = candidate
+            accepted = candidate_idx
+
+        self.estimator_ = clf
+        self.support_indices_ = accepted
+        return self
+
+    def _require_fitted(self) -> LSSVC:
+        if self.estimator_ is None:
+            raise NotFittedError("SparseLSSVC is not fitted yet; call fit() first")
+        return self.estimator_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._require_fitted().predict(X)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        return self._require_fitted().decision_function(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self._require_fitted().score(X, y)
+
+    @property
+    def num_support_vectors(self) -> int:
+        return self._require_fitted().model_.num_support_vectors
+
+    @property
+    def compression(self) -> float:
+        """Original points per retained support vector."""
+        if not self.history_:
+            raise NotFittedError("SparseLSSVC is not fitted yet; call fit() first")
+        return self.history_[0]["support"] / self.num_support_vectors
+
+
+def _keep_both_classes(
+    order: np.ndarray, labels: np.ndarray, keep_count: int
+) -> np.ndarray:
+    """Select ``keep_count`` indices by priority while retaining both classes."""
+    selected = order[:keep_count]
+    kept_labels = labels[selected]
+    if np.unique(kept_labels).size >= 2:
+        return np.sort(selected)
+    # All kept points are one class: swap the lowest-priority keeper for the
+    # highest-priority point of the missing class.
+    missing_mask = labels != kept_labels[0]
+    for idx in order[keep_count:]:
+        if missing_mask[idx]:
+            selected = np.concatenate([selected[:-1], [idx]])
+            break
+    return np.sort(selected)

@@ -1,0 +1,25 @@
+"""Synthetic data sets of the paper's evaluation.
+
+* :mod:`repro.data.synthetic` — the "planes" generator replacing the
+  paper's ``generate_data.py`` / scikit-learn ``make_classification``
+  workflow (§IV-B): two adjacent Gaussian clusters with slight overlap and
+  1 % label noise.
+* :mod:`repro.data.sat6` — a synthetic stand-in for the SAT-6 airborne
+  land-cover data set (§IV-D): 28x28x4 RGB-IR images of six classes with
+  class-specific spectral signatures, mapped onto the paper's binary
+  man-made vs natural split.
+* :mod:`repro.data.splits` — deterministic train/test splitting.
+"""
+
+from .sat6 import SAT6_CLASSES, make_sat6_like, sat6_binary_labels
+from .splits import train_test_split
+from .synthetic import make_multiclass, make_planes
+
+__all__ = [
+    "make_planes",
+    "make_multiclass",
+    "make_sat6_like",
+    "sat6_binary_labels",
+    "SAT6_CLASSES",
+    "train_test_split",
+]

@@ -1,0 +1,40 @@
+"""Deterministic train/test splitting (the SAT-6 experiment's 324k/81k split)."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_fraction: float = 0.2,
+    rng: Union[None, int, np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(X, y)`` into train and test partitions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``. Both partitions are
+    guaranteed non-empty; the split is stratification-free (matching the
+    original SAT-6 distribution, which is simply a fixed random split).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise DataError("data and labels disagree in length")
+    if X.shape[0] < 2:
+        raise DataError("need at least two samples to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    order = gen.permutation(X.shape[0])
+    n_test = int(round(X.shape[0] * test_fraction))
+    n_test = min(max(n_test, 1), X.shape[0] - 1)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

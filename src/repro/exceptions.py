@@ -1,0 +1,80 @@
+"""Exception hierarchy for the PLSSVM reproduction.
+
+Mirrors the exception classes of the C++ PLSSVM library
+(``plssvm::exception`` and friends) so that error handling in the Python
+port feels familiar to users of the original.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PLSSVMError",
+    "InvalidParameterError",
+    "FileFormatError",
+    "ModelFormatError",
+    "ScalingError",
+    "BackendUnavailableError",
+    "DeviceError",
+    "DeviceMemoryError",
+    "KernelLaunchError",
+    "ConvergenceWarning",
+    "NotFittedError",
+    "DataError",
+]
+
+
+class PLSSVMError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidParameterError(PLSSVMError, ValueError):
+    """An SVM hyper-parameter is outside its valid domain.
+
+    Raised e.g. for ``C <= 0``, ``gamma <= 0`` for the radial kernel, or an
+    unknown kernel/backend name.
+    """
+
+
+class FileFormatError(PLSSVMError, ValueError):
+    """A data file does not conform to the LIBSVM sparse file format."""
+
+
+class ModelFormatError(FileFormatError):
+    """A model file does not conform to the LIBSVM model format."""
+
+
+class ScalingError(PLSSVMError, ValueError):
+    """A scale-factor file is inconsistent with the data it is applied to."""
+
+
+class BackendUnavailableError(PLSSVMError, RuntimeError):
+    """The requested backend is not available on this system.
+
+    In the C++ library a backend is compiled in only when the matching
+    toolchain exists; here a backend is unavailable when its (simulated)
+    platform has no devices.
+    """
+
+
+class DeviceError(PLSSVMError, RuntimeError):
+    """Generic failure of a (simulated) compute device."""
+
+
+class DeviceMemoryError(DeviceError):
+    """A device allocation exceeds the device's memory capacity."""
+
+
+class KernelLaunchError(DeviceError):
+    """A device kernel was launched with an invalid configuration."""
+
+
+class ConvergenceWarning(UserWarning):
+    """The iterative solver stopped before reaching the requested residual."""
+
+
+class NotFittedError(PLSSVMError, RuntimeError):
+    """Model queried (predict/score/save) before :meth:`fit` was called."""
+
+
+class DataError(PLSSVMError, ValueError):
+    """Training/test data is malformed (shape mismatch, non-binary labels, ...)."""

@@ -1,0 +1,46 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Every runner produces an :class:`repro.experiments.common.ExperimentResult`
+whose rows mirror the series of the corresponding plot or table. Runners
+mix two measurement modes (annotated per row):
+
+* ``measured`` — real wall-clock on this machine, at sizes scaled down from
+  the paper where necessary;
+* ``modeled`` — simulated device/CPU time from :mod:`repro.simgpu` at the
+  paper's original problem sizes (the hardware is not available here).
+
+The iteration counts feeding the models are *measured* from real solver
+runs and extrapolated only across problem size, never invented.
+
+Index (see DESIGN.md for the full mapping):
+
+=====================  ==========================================
+``table1``             Table I — backend x device runtimes
+``figure1``            Fig. 1a-d — runtime vs points/features
+``figure2``            Fig. 2a-b — component breakdown
+``figure3``            Fig. 3a-b — epsilon sweep
+``figure4``            Fig. 4a-b — CPU-core / multi-GPU scaling
+``sat6``               §IV-D — SAT-6 real-world workload
+``summary``            §IV-C — speedup and variation summary
+``ablations``          §III-C — optimization ablations
+=====================  ==========================================
+"""
+
+from .common import ExperimentResult, Row, format_table, run_repeated
+from . import ablations, analytic, figure1, figure2, figure3, figure4, sat6, summary, table1
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "format_table",
+    "run_repeated",
+    "analytic",
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "sat6",
+    "summary",
+    "ablations",
+]

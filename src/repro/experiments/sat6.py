@@ -1,0 +1,113 @@
+"""§IV-D — the SAT-6 airborne real-world workload.
+
+The paper trains the rbf kernel on 324 000 scaled 28x28x4 images (3136
+features) and reports 95 % test accuracy in 23.5 min for PLSSVM vs 94 % in
+40.6 min for ThunderSVM (a 1.73x speedup). The real data set is not
+available offline; the synthetic SAT-6-like generator reproduces the tensor
+shape, the binary man-made/natural mapping and the class structure
+(DESIGN.md documents the substitution).
+
+The runner measures real end-to-end training/accuracy at a feasible image
+count, applying the paper's preprocessing (svm-scale to [-1, 1]), then
+attaches modeled A100 runtimes at the full 324 000-image scale using the
+measured iteration counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..core.lssvm import LSSVC
+from ..data.sat6 import make_sat6_like
+from ..data.splits import train_test_split
+from ..io.scaling import FeatureScaler
+from ..simgpu.catalog import default_gpu
+from ..smo.thundersvm import ThunderSVMClassifier
+from .analytic import model_lssvm_gpu_run, model_thunder_gpu_run
+from .common import ExperimentResult, Row
+
+__all__ = ["run"]
+
+PAPER_TRAIN_IMAGES = 324_000
+PAPER_PLSSVM_MINUTES = 23.5
+PAPER_THUNDER_MINUTES = 40.6
+
+
+def run(
+    *,
+    num_images: int = 2000,
+    test_fraction: float = 0.2,
+    # "the default values of the libraries were retained" (§IV-B) -> C = 1.
+    C: float = 1.0,
+    rng: int = 42,
+    model_paper_scale: bool = True,
+) -> ExperimentResult:
+    """Train PLSSVM and ThunderSVM on SAT-6-like imagery with the rbf kernel."""
+    X, y = make_sat6_like(num_images, rng=rng)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_fraction=test_fraction, rng=rng
+    )
+    # The paper scales all features to [-1, 1] with svm-scale.
+    scaler = FeatureScaler(-1.0, 1.0).fit(X_train)
+    X_train = scaler.transform(X_train)
+    X_test = scaler.transform(X_test)
+
+    rows: List[Row] = []
+
+    pls = LSSVC(kernel="rbf", C=C)
+    start = time.perf_counter()
+    pls.fit(X_train, y_train)
+    pls_time = time.perf_counter() - start
+    pls_values = {
+        "time_s": pls_time,
+        "test_accuracy": pls.score(X_test, y_test),
+        "train_accuracy": pls.score(X_train, y_train),
+        "iterations": float(pls.iterations_),
+    }
+
+    thunder = ThunderSVMClassifier(kernel="rbf", C=C)
+    start = time.perf_counter()
+    thunder.fit(X_train, y_train)
+    thunder_time = time.perf_counter() - start
+    thunder_values = {
+        "time_s": thunder_time,
+        "test_accuracy": thunder.score(X_test, y_test),
+        "train_accuracy": thunder.score(X_train, y_train),
+        "iterations": float(thunder.result_.outer_iterations),
+    }
+
+    if model_paper_scale:
+        spec = default_gpu()
+        pls_model = model_lssvm_gpu_run(
+            spec,
+            "cuda",
+            num_points=PAPER_TRAIN_IMAGES,
+            num_features=X.shape[1],
+            kernel="rbf",
+            iterations=pls.iterations_,
+        )
+        pls_values["modeled_a100_min"] = pls_model.device_seconds / 60.0
+        outer_rate = thunder.result_.outer_iterations / X_train.shape[0]
+        thunder_model = model_thunder_gpu_run(
+            spec,
+            "cuda_smo",
+            num_points=PAPER_TRAIN_IMAGES,
+            num_features=X.shape[1],
+            kernel="rbf",
+            outer_iterations=max(int(outer_rate * PAPER_TRAIN_IMAGES), 1),
+        )
+        thunder_values["modeled_a100_min"] = thunder_model.device_seconds / 60.0
+
+    rows.append(Row(meta={"solver": "plssvm", "kernel": "rbf"}, values=pls_values))
+    rows.append(Row(meta={"solver": "thundersvm", "kernel": "rbf"}, values=thunder_values))
+    return ExperimentResult(
+        experiment="sat6",
+        description=(
+            f"SAT-6-like workload: {num_images} images (rbf, C={C:g}); paper: "
+            f"PLSSVM 95% in {PAPER_PLSSVM_MINUTES} min vs ThunderSVM 94% in "
+            f"{PAPER_THUNDER_MINUTES} min"
+        ),
+        mode="mixed",
+        rows=rows,
+    )

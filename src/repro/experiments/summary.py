@@ -1,0 +1,203 @@
+"""§IV-C text results — speedup factors and runtime stability.
+
+The prose of the evaluation reports:
+
+* up to 10x speedup over LIBSVM on the CPU and up to 14x over ThunderSVM
+  on the GPU;
+* drastically steadier runtimes: coefficients of variation 0.26 (PLSSVM)
+  vs 0.92/0.60/0.66 (ThunderSVM/LIBSVM/LIBSVM-DENSE) on the CPU, 0.11 vs
+  0.37 on the GPU;
+* ThunderSVM launches >1600 micro-kernels per training run against
+  PLSSVM's 3 distinct kernels, whose matvec sustains 32 % of FP64 peak.
+
+:func:`run_speedups` derives the speedup table from measured CPU sweeps
+and modeled GPU runs; :func:`run_variation` repeats measured trainings on
+freshly generated data (the paper regenerates the data per run) and
+reports per-solver coefficients of variation; :func:`run_kernel_census`
+reports launch counts and achieved fractions of peak from the simulated
+devices.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..core.lssvm import LSSVC
+from ..data.synthetic import make_planes
+from ..profiling.stats import coefficient_of_variation
+from ..simgpu.catalog import default_gpu
+from ..smo.libsvm import LibSVMClassifier
+from ..smo.thundersvm import ThunderSVMClassifier
+from .analytic import model_lssvm_gpu_run, model_thunder_gpu_run
+from .common import ExperimentResult, Row
+from .figure1 import measure_thunder_outer_iterations
+
+__all__ = ["run_speedups", "run_variation", "run_kernel_census"]
+
+
+def run_speedups(
+    *, num_points: int = 1024, num_features: int = 64, rng: int = 9
+) -> ExperimentResult:
+    """Measured CPU speedup of PLSSVM over the SMO solvers + modeled GPU speedup."""
+    X, y = make_planes(num_points, num_features, rng=rng)
+    rows: List[Row] = []
+
+    def timed(clf) -> float:
+        start = time.perf_counter()
+        clf.fit(X, y)
+        return time.perf_counter() - start
+
+    t_pls = timed(LSSVC(kernel="linear", C=1.0))
+    t_libsvm = timed(LibSVMClassifier(kernel="linear", C=1.0, layout="sparse"))
+    t_dense = timed(LibSVMClassifier(kernel="linear", C=1.0, layout="dense"))
+    t_thunder = timed(ThunderSVMClassifier(kernel="linear", C=1.0))
+    rows.append(
+        Row(
+            meta={"platform": "cpu", "workload": f"{num_points}x{num_features}"},
+            values={
+                "plssvm_s": t_pls,
+                "libsvm_s": t_libsvm,
+                "libsvm_dense_s": t_dense,
+                "thundersvm_s": t_thunder,
+                "speedup_vs_libsvm": t_libsvm / t_pls,
+                "speedup_vs_libsvm_dense": t_dense / t_pls,
+                "speedup_vs_thundersvm": t_thunder / t_pls,
+            },
+        )
+    )
+
+    # Modeled GPU head-to-head at the paper's Fig. 1d anchor
+    # (2^15 points, 2^11 features: the published 14.2x data point).
+    spec = default_gpu()
+    cg_iters = LSSVC(kernel="linear", C=1.0).fit(X, y).iterations_
+    rate = measure_thunder_outer_iterations()
+    m, d = 2**15, 2**11
+    pls = model_lssvm_gpu_run(
+        spec, "cuda", num_points=m, num_features=d, iterations=cg_iters
+    )
+    thunder = model_thunder_gpu_run(
+        spec, "cuda_smo", num_points=m, num_features=d,
+        outer_iterations=max(int(rate * m), 1),
+    )
+    rows.append(
+        Row(
+            meta={"platform": "gpu_a100", "workload": f"{m}x{d}"},
+            values={
+                "plssvm_s": pls.device_seconds,
+                "thundersvm_s": thunder.device_seconds,
+                "speedup_vs_thundersvm": thunder.device_seconds / pls.device_seconds,
+            },
+        )
+    )
+    return ExperimentResult(
+        experiment="summary_speedups",
+        description="Speedup summary (paper: <=10x vs LIBSVM CPU, <=14x vs ThunderSVM GPU)",
+        mode="mixed",
+        rows=rows,
+    )
+
+
+def run_variation(
+    *,
+    runs: int = 5,
+    num_points: int = 512,
+    num_features: int = 32,
+    seeds: Sequence[int] = (),
+) -> ExperimentResult:
+    """Coefficient of variation across runs on freshly generated data.
+
+    The paper regenerates the data set for every run, so run-to-run spread
+    mixes data variation with solver-inherent variation — SMO's iteration
+    count is far more sensitive to the data layout than CG's, which is the
+    effect the CV comparison captures.
+    """
+    seeds = list(seeds) or list(range(100, 100 + runs))
+    solvers = {
+        "plssvm": lambda: LSSVC(kernel="linear", C=1.0),
+        "libsvm": lambda: LibSVMClassifier(kernel="linear", C=1.0, layout="sparse"),
+        "libsvm_dense": lambda: LibSVMClassifier(kernel="linear", C=1.0, layout="dense"),
+        "thundersvm": lambda: ThunderSVMClassifier(kernel="linear", C=1.0),
+    }
+    rows: List[Row] = []
+    for name, factory in solvers.items():
+        samples = []
+        for seed in seeds:
+            X, y = make_planes(num_points, num_features, rng=seed)
+            clf = factory()
+            start = time.perf_counter()
+            clf.fit(X, y)
+            samples.append(time.perf_counter() - start)
+        rows.append(
+            Row(
+                meta={"solver": name},
+                values={
+                    "mean_s": sum(samples) / len(samples),
+                    "cv": coefficient_of_variation(samples),
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment="summary_variation",
+        description=(
+            "Runtime coefficient of variation over regenerated data sets "
+            "(paper CPU: 0.26 vs 0.92/0.60/0.66)"
+        ),
+        mode="measured",
+        rows=rows,
+    )
+
+
+def run_kernel_census(
+    *, num_points: int = 2**14, num_features: int = 2**12
+) -> ExperimentResult:
+    """Kernel launch counts + achieved fraction of peak (§IV-C profiling).
+
+    Uses the dry-run device models at the paper's profiled workload
+    (2^14 points x 2^12 features): PLSSVM should show few fat kernels with
+    high sustained FLOPs; ThunderSVM a swarm of slivers at low utilization.
+    """
+    spec = default_gpu()
+    X, y = make_planes(1024, 64, rng=7)
+    cg_iters = LSSVC(kernel="linear", C=1.0).fit(X, y).iterations_
+    rate = measure_thunder_outer_iterations()
+
+    pls = model_lssvm_gpu_run(
+        spec, "cuda", num_points=num_points, num_features=num_features,
+        iterations=cg_iters,
+    )
+    thunder = model_thunder_gpu_run(
+        spec, "cuda_smo", num_points=num_points, num_features=num_features,
+        outer_iterations=max(int(rate * num_points), 1),
+    )
+    rows = [
+        Row(
+            meta={"solver": "plssvm", "distinct_kernels": 3},
+            values={
+                "launches": float(pls.launches_per_device),
+                "device_s": pls.device_seconds,
+                "fraction_of_peak": pls.flops_per_device
+                / pls.device_seconds
+                / spec.fp64_flops,
+            },
+        ),
+        Row(
+            meta={"solver": "thundersvm", "distinct_kernels": 4},
+            values={
+                "launches": float(thunder.launches_per_device),
+                "device_s": thunder.device_seconds,
+                "fraction_of_peak": thunder.flops_per_device
+                / thunder.device_seconds
+                / spec.fp64_flops,
+            },
+        ),
+    ]
+    return ExperimentResult(
+        experiment="summary_kernel_census",
+        description=(
+            "Kernel launch census at 2^14 x 2^12 (paper: >1600 ThunderSVM "
+            "micro-kernels at 2.4% of peak vs 3 PLSSVM kernels at 32%)"
+        ),
+        mode="modeled",
+        rows=rows,
+    )

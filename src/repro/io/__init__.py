@@ -1,0 +1,34 @@
+"""File I/O: LIBSVM sparse data files, model files, and svm-scale.
+
+PLSSVM is a drop-in LIBSVM replacement, so all on-disk formats follow
+LIBSVM:
+
+* :mod:`repro.io.libsvm_format` — the sparse ``label idx:value ...`` data
+  format, read into a *dense* array (the paper's §III: sparse files are
+  densified by filling in zeros) and written back sparsely;
+* model files live in :mod:`repro.core.model` (re-exported here);
+* :mod:`repro.io.scaling` — the ``svm-scale`` workflow: linear feature
+  scaling to ``[-1, 1]`` with scale-factor files that can be saved and
+  re-applied to test data.
+"""
+
+from ..core.model import load_model, save_model
+from .binary_format import read_binary_file, write_binary_file
+from .csv_format import csv_to_libsvm, read_csv_file, write_csv_file
+from .libsvm_format import read_libsvm_file, write_libsvm_file
+from .scaling import FeatureScaler, load_scaling, save_scaling
+
+__all__ = [
+    "read_libsvm_file",
+    "write_libsvm_file",
+    "read_binary_file",
+    "write_binary_file",
+    "read_csv_file",
+    "write_csv_file",
+    "csv_to_libsvm",
+    "load_model",
+    "save_model",
+    "FeatureScaler",
+    "save_scaling",
+    "load_scaling",
+]

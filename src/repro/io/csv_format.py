@@ -1,0 +1,126 @@
+"""CSV data files (conversion convenience around the LIBSVM format).
+
+Real-world tabular data usually arrives as CSV; the LIBSVM ecosystem ships
+converters for exactly this reason. The reader accepts a configurable label
+column (first by default), an optional header line, and any single-char
+delimiter; missing values are rejected loudly (SVMs have no NA semantics).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import FileFormatError
+
+__all__ = ["read_csv_file", "write_csv_file", "csv_to_libsvm"]
+
+
+def read_csv_file(
+    path: Union[str, Path],
+    *,
+    label_column: int = 0,
+    delimiter: str = ",",
+    has_header: Optional[bool] = None,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a CSV file into ``(X, y)``.
+
+    Parameters
+    ----------
+    label_column:
+        Index of the label column (negative indices count from the end).
+    has_header:
+        ``None`` sniffs: when the first row contains any non-numeric cell,
+        it is treated as a header.
+    """
+    path = Path(path)
+    rows: List[List[str]] = []
+    with path.open("r", newline="", encoding="utf-8") as f:
+        for record in csv.reader(f, delimiter=delimiter):
+            if record and any(cell.strip() for cell in record):
+                rows.append([cell.strip() for cell in record])
+    if not rows:
+        raise FileFormatError(f"{path}: file contains no data rows")
+
+    def _is_numeric_row(row: List[str]) -> bool:
+        try:
+            for cell in row:
+                float(cell)
+            return True
+        except ValueError:
+            return False
+
+    if has_header is None:
+        has_header = not _is_numeric_row(rows[0])
+    if has_header:
+        rows = rows[1:]
+        if not rows:
+            raise FileFormatError(f"{path}: only a header line, no data")
+
+    width = len(rows[0])
+    if width < 2:
+        raise FileFormatError(f"{path}: need a label column plus features")
+    label_idx = label_column if label_column >= 0 else width + label_column
+    if not 0 <= label_idx < width:
+        raise FileFormatError(
+            f"{path}: label column {label_column} out of range for {width} columns"
+        )
+
+    labels = np.empty(len(rows), dtype=dtype)
+    X = np.empty((len(rows), width - 1), dtype=dtype)
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise FileFormatError(
+                f"{path}: row {i + 1} has {len(row)} cells, expected {width}"
+            )
+        try:
+            values = [float(cell) for cell in row]
+        except ValueError as exc:
+            raise FileFormatError(f"{path}: row {i + 1}: {exc}") from None
+        labels[i] = values[label_idx]
+        X[i] = values[:label_idx] + values[label_idx + 1 :]
+    return X, labels
+
+
+def write_csv_file(
+    path: Union[str, Path],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    delimiter: str = ",",
+    header: bool = True,
+) -> None:
+    """Write ``(X, y)`` as CSV with the label in the first column."""
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    if X.ndim != 2 or X.shape[0] != y.shape[0]:
+        raise FileFormatError("data/labels shape mismatch")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        if header:
+            writer.writerow(["label"] + [f"f{i}" for i in range(1, X.shape[1] + 1)])
+        for label, row in zip(y, X):
+            writer.writerow([repr(float(label))] + [repr(float(v)) for v in row])
+
+
+def csv_to_libsvm(
+    csv_path: Union[str, Path],
+    libsvm_path: Union[str, Path],
+    *,
+    label_column: int = 0,
+    delimiter: str = ",",
+    has_header: Optional[bool] = None,
+) -> Tuple[int, int]:
+    """Convert a CSV file to LIBSVM format; returns ``(points, features)``."""
+    from .libsvm_format import write_libsvm_file
+
+    X, y = read_csv_file(
+        csv_path, label_column=label_column, delimiter=delimiter, has_header=has_header
+    )
+    write_libsvm_file(libsvm_path, X, y)
+    return X.shape

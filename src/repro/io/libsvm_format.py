@@ -1,0 +1,132 @@
+"""The LIBSVM sparse data file format.
+
+Each line is ``<label> <index>:<value> <index>:<value> ...`` with 1-based,
+strictly increasing feature indices; ``#`` starts a comment. PLSSVM parses
+sparse files but computes on dense data — "when parsing sparse data, we
+allocate memory for all features including those that are zero" (§IV-H) —
+so :func:`read_libsvm_file` returns a dense array. The reader is the
+``read`` component of the paper's runtime breakdown.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import FileFormatError
+
+__all__ = ["read_libsvm_file", "write_libsvm_file"]
+
+
+def read_libsvm_file(
+    path: Union[str, Path],
+    *,
+    num_features: Optional[int] = None,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a LIBSVM data file into ``(X_dense, y)``.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    num_features:
+        Pad/validate to this many columns (needed when test data misses
+        trailing features the training data had). ``None`` infers the
+        maximum index present.
+    """
+    path = Path(path)
+    labels: List[float] = []
+    rows: List[List[Tuple[int, float]]] = []
+    max_index = 0
+    with path.open("r", encoding="ascii") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            try:
+                label = float(tokens[0])
+            except ValueError:
+                raise FileFormatError(
+                    f"{path}:{lineno}: malformed label {tokens[0]!r}"
+                ) from None
+            entries: List[Tuple[int, float]] = []
+            last_index = 0
+            for token in tokens[1:]:
+                idx_str, sep, val_str = token.partition(":")
+                if not sep:
+                    raise FileFormatError(
+                        f"{path}:{lineno}: malformed feature entry {token!r}"
+                    )
+                try:
+                    idx, val = int(idx_str), float(val_str)
+                except ValueError:
+                    raise FileFormatError(
+                        f"{path}:{lineno}: malformed feature entry {token!r}"
+                    ) from None
+                if idx < 1:
+                    raise FileFormatError(
+                        f"{path}:{lineno}: feature indices are 1-based, got {idx}"
+                    )
+                if idx <= last_index:
+                    raise FileFormatError(
+                        f"{path}:{lineno}: feature indices must increase, "
+                        f"got {idx} after {last_index}"
+                    )
+                last_index = idx
+                entries.append((idx, val))
+            max_index = max(max_index, last_index)
+            labels.append(label)
+            rows.append(entries)
+
+    if not rows:
+        raise FileFormatError(f"{path}: file contains no data points")
+    width = num_features if num_features is not None else max_index
+    if width < max_index:
+        raise FileFormatError(
+            f"{path}: file has feature index {max_index}, "
+            f"but only {width} features were requested"
+        )
+    X = np.zeros((len(rows), max(width, 1)), dtype=dtype)
+    for i, entries in enumerate(rows):
+        for idx, val in entries:
+            X[i, idx - 1] = val
+    return X, np.asarray(labels, dtype=dtype)
+
+
+def write_libsvm_file(
+    path: Union[str, Path],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    write_zeros: bool = False,
+) -> None:
+    """Write ``(X, y)`` in LIBSVM format.
+
+    ``write_zeros=True`` emits every feature including zeros (producing a
+    "dense" file, like PLSSVM's data writer); the default omits zeros,
+    producing a classic sparse file.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    if X.ndim != 2:
+        raise FileFormatError("data must be 2-D")
+    if X.shape[0] != y.shape[0]:
+        raise FileFormatError("data and labels disagree in length")
+    path = Path(path)
+    with path.open("w", encoding="ascii") as f:
+        for label, row in zip(y, X):
+            parts = [_format_number(label)]
+            for idx, value in enumerate(row, start=1):
+                if write_zeros or value != 0.0:
+                    parts.append(f"{idx}:{value:.17g}")
+            f.write(" ".join(parts))
+            f.write("\n")
+
+
+def _format_number(value: float) -> str:
+    value = float(value)
+    return f"{int(value)}" if value.is_integer() else f"{value:.17g}"

@@ -1,0 +1,133 @@
+"""Feature scaling à la ``svm-scale`` (used for SAT-6 in §IV-D).
+
+LIBSVM's ``svm-scale`` maps every feature linearly onto a target interval
+(the paper scales SAT-6 to ``[-1, 1]``), saves the per-feature ranges to a
+scale-factor file, and re-applies the *training* ranges to test data. The
+same three operations live here: :meth:`FeatureScaler.fit` /
+:meth:`~FeatureScaler.transform`, :func:`save_scaling` and
+:func:`load_scaling` (the file layout matches svm-scale's ``-s``/``-r``
+files: an ``x`` header, the target interval, then ``index min max`` rows).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import ScalingError
+
+__all__ = ["FeatureScaler", "save_scaling", "load_scaling"]
+
+
+class FeatureScaler:
+    """Per-feature linear scaling onto ``[lower, upper]``.
+
+    Constant features (min == max) are mapped to the interval midpoint,
+    matching svm-scale's behaviour of effectively zeroing them out.
+    """
+
+    def __init__(self, lower: float = -1.0, upper: float = 1.0) -> None:
+        if not np.isfinite(lower) or not np.isfinite(upper) or lower >= upper:
+            raise ScalingError(f"invalid target interval [{lower}, {upper}]")
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.feature_min: Optional[np.ndarray] = None
+        self.feature_max: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.feature_min is not None
+
+    def fit(self, X: np.ndarray) -> "FeatureScaler":
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[0] < 1:
+            raise ScalingError("scaling requires a non-empty 2-D array")
+        self.feature_min = X.min(axis=0).astype(np.float64)
+        self.feature_max = X.max(axis=0).astype(np.float64)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise ScalingError("scaler is not fitted; call fit() or load a scale file")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ScalingError("scaling requires a 2-D array")
+        if X.shape[1] != self.feature_min.shape[0]:
+            raise ScalingError(
+                f"data has {X.shape[1]} features, scale factors cover "
+                f"{self.feature_min.shape[0]}"
+            )
+        span = self.feature_max - self.feature_min
+        safe_span = np.where(span > 0, span, 1.0)
+        scaled = (X - self.feature_min) / safe_span
+        scaled = self.lower + scaled * (self.upper - self.lower)
+        midpoint = 0.5 * (self.lower + self.upper)
+        return np.where(span > 0, scaled, midpoint)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X_scaled: np.ndarray) -> np.ndarray:
+        """Undo the scaling (constant features return their original value)."""
+        if not self.is_fitted:
+            raise ScalingError("scaler is not fitted")
+        X_scaled = np.asarray(X_scaled, dtype=np.float64)
+        span = self.feature_max - self.feature_min
+        unit = (X_scaled - self.lower) / (self.upper - self.lower)
+        restored = self.feature_min + unit * span
+        return np.where(span > 0, restored, self.feature_min)
+
+
+def save_scaling(scaler: FeatureScaler, path: Union[str, Path]) -> None:
+    """Write an svm-scale-compatible scale-factor file."""
+    if not scaler.is_fitted:
+        raise ScalingError("cannot save an unfitted scaler")
+    path = Path(path)
+    with path.open("w", encoding="ascii") as f:
+        f.write("x\n")
+        f.write(f"{scaler.lower:.17g} {scaler.upper:.17g}\n")
+        for idx, (lo, hi) in enumerate(
+            zip(scaler.feature_min, scaler.feature_max), start=1
+        ):
+            f.write(f"{idx} {lo:.17g} {hi:.17g}\n")
+
+
+def load_scaling(path: Union[str, Path]) -> FeatureScaler:
+    """Read a scale-factor file written by :func:`save_scaling` (or svm-scale)."""
+    path = Path(path)
+    lines = [
+        ln.strip()
+        for ln in path.read_text(encoding="ascii").splitlines()
+        if ln.strip()
+    ]
+    if len(lines) < 2 or lines[0] != "x":
+        raise ScalingError(f"{path}: not an svm-scale factor file")
+    try:
+        lower, upper = (float(v) for v in lines[1].split())
+    except ValueError:
+        raise ScalingError(f"{path}: malformed target interval line") from None
+    scaler = FeatureScaler(lower, upper)
+    entries: dict = {}
+    for line in lines[2:]:
+        parts = line.split()
+        if len(parts) != 3:
+            raise ScalingError(f"{path}: malformed range line {line!r}")
+        try:
+            idx = int(parts[0])
+            lo, hi = float(parts[1]), float(parts[2])
+        except ValueError:
+            raise ScalingError(f"{path}: malformed range line {line!r}") from None
+        if idx < 1:
+            raise ScalingError(f"{path}: feature indices are 1-based, got {idx}")
+        entries[idx] = (lo, hi)
+    if not entries:
+        raise ScalingError(f"{path}: scale file lists no features")
+    width = max(entries)
+    fmin = np.zeros(width, dtype=np.float64)
+    fmax = np.zeros(width, dtype=np.float64)
+    for idx, (lo, hi) in entries.items():
+        fmin[idx - 1], fmax[idx - 1] = lo, hi
+    scaler.feature_min, scaler.feature_max = fmin, fmax
+    return scaler

@@ -1,0 +1,144 @@
+"""Classification metrics for evaluating trained (LS-)SVMs.
+
+The paper reports plain accuracy; a production classifier needs the rest
+of the standard binary-classification toolbox — confusion matrix,
+precision/recall/F1, and the ROC curve with its AUC (computed from the
+LS-SVM's continuous decision values, which are well-suited to ranking: the
+model regresses the labels, so its scores are naturally calibrated around
+the +/-1 targets).
+
+All functions take the *positive label* explicitly (default +1) because
+LS-SVM labels can be arbitrary values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from .exceptions import DataError
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_recall_f1",
+    "roc_curve",
+    "roc_auc_score",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _validate(y_true: np.ndarray, y_other: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_other = np.asarray(y_other).ravel()
+    if y_true.shape[0] != y_other.shape[0]:
+        raise DataError("label vectors disagree in length")
+    if y_true.shape[0] == 0:
+        raise DataError("label vectors are empty")
+    return y_true, y_other
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: float = 1.0
+) -> ConfusionMatrix:
+    """Binary confusion counts with an explicit positive label."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    pos_true = y_true == positive_label
+    pos_pred = y_pred == positive_label
+    return ConfusionMatrix(
+        true_positive=int(np.sum(pos_true & pos_pred)),
+        false_positive=int(np.sum(~pos_true & pos_pred)),
+        true_negative=int(np.sum(~pos_true & ~pos_pred)),
+        false_negative=int(np.sum(pos_true & ~pos_pred)),
+    )
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: float = 1.0
+) -> Tuple[float, float, float]:
+    """(precision, recall, F1) for the positive class."""
+    cm = confusion_matrix(y_true, y_pred, positive_label=positive_label)
+    return cm.precision, cm.recall, cm.f1
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray, *, positive_label: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points ``(fpr, tpr, thresholds)`` from continuous scores.
+
+    Thresholds descend; ties in score collapse to a single point, and the
+    conventional (0, 0) / (1, 1) endpoints are included.
+    """
+    y_true, scores = _validate(y_true, scores)
+    positives = y_true == positive_label
+    n_pos = int(positives.sum())
+    n_neg = positives.shape[0] - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("ROC needs both classes present in y_true")
+
+    order = np.argsort(scores)[::-1]
+    sorted_scores = scores[order]
+    sorted_pos = positives[order].astype(np.float64)
+
+    tp = np.cumsum(sorted_pos)
+    fp = np.cumsum(1.0 - sorted_pos)
+    # Keep only the last index of each tied score group.
+    distinct = np.r_[np.nonzero(np.diff(sorted_scores))[0], sorted_pos.shape[0] - 1]
+    tpr = np.r_[0.0, tp[distinct] / n_pos]
+    fpr = np.r_[0.0, fp[distinct] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(
+    y_true: np.ndarray, scores: np.ndarray, *, positive_label: float = 1.0
+) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores, positive_label=positive_label)
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,171 @@
+"""Cross-validation and grid search (LIBSVM workflow parity).
+
+LIBSVM ships k-fold cross validation (``svm-train -v k``) and a ``grid.py``
+utility sweeping ``(C, gamma)`` pairs; PLSSVM inherits the need for both.
+This module provides them estimator-agnostically: anything exposing
+``fit(X, y)`` and ``score(X, y)`` works — :class:`repro.core.lssvm.LSSVC`,
+the SMO baselines, the weighted/sparse/multiclass variants, and
+:class:`repro.core.regression.LSSVR` (whose score is R^2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .exceptions import DataError
+
+__all__ = ["kfold_indices", "cross_val_score", "GridSearch", "GridPoint"]
+
+
+def kfold_indices(
+    num_samples: int, k: int, *, rng: Union[None, int, np.random.Generator] = None
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold partition: a list of ``(train_idx, test_idx)`` pairs.
+
+    Folds differ in size by at most one sample; every sample appears in
+    exactly one test fold.
+    """
+    if k < 2:
+        raise DataError("k-fold cross validation requires k >= 2")
+    if num_samples < k:
+        raise DataError(f"cannot split {num_samples} samples into {k} folds")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    order = gen.permutation(num_samples)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(k) if j != i]))
+        out.append((train, test))
+    return out
+
+
+def cross_val_score(
+    estimator_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    k: int = 5,
+    rng: Union[None, int, np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-fold test scores of a freshly constructed estimator.
+
+    ``estimator_factory`` must return a *new* estimator per call (fitted
+    state must not leak across folds).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise DataError("data and labels disagree in length")
+    scores = []
+    for train_idx, test_idx in kfold_indices(X.shape[0], k, rng=rng):
+        estimator = estimator_factory()
+        estimator.fit(X[train_idx], y[train_idx])
+        scores.append(float(estimator.score(X[test_idx], y[test_idx])))
+    return np.asarray(scores)
+
+
+@dataclasses.dataclass
+class GridPoint:
+    """One evaluated parameter combination."""
+
+    params: Dict[str, object]
+    mean_score: float
+    std_score: float
+    fold_scores: np.ndarray
+
+
+class GridSearch:
+    """Exhaustive cross-validated parameter sweep (grid.py equivalent).
+
+    Parameters
+    ----------
+    estimator_factory:
+        Callable taking the grid parameters as keyword arguments and
+        returning a fresh estimator, e.g.
+        ``lambda **p: LSSVC(kernel="rbf", **p)``.
+    param_grid:
+        Mapping from parameter name to the values to sweep; the grid is
+        the cartesian product. LIBSVM's classic grid is exponential in
+        both axes: ``{"C": 2.0**np.arange(-5, 16, 2), "gamma": ...}``.
+    k:
+        Cross-validation folds per grid point.
+    """
+
+    def __init__(
+        self,
+        estimator_factory: Callable[..., object],
+        param_grid: Dict[str, Iterable],
+        *,
+        k: int = 5,
+        rng: Union[None, int] = 0,
+    ) -> None:
+        if not param_grid:
+            raise DataError("param_grid must name at least one parameter")
+        self._factory = estimator_factory
+        self.param_grid = {name: list(values) for name, values in param_grid.items()}
+        for name, values in self.param_grid.items():
+            if not values:
+                raise DataError(f"parameter {name!r} has no candidate values")
+        self.k = int(k)
+        self.rng = rng
+        self.results_: List[GridPoint] = []
+        self.best_: Optional[GridPoint] = None
+        self.best_estimator_: Optional[object] = None
+
+    def _combinations(self) -> Sequence[Dict[str, object]]:
+        names = list(self.param_grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.param_grid[n] for n in names))
+        ]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearch":
+        """Evaluate the full grid, then refit the best point on all data."""
+        self.results_ = []
+        for params in self._combinations():
+            scores = cross_val_score(
+                lambda params=params: self._factory(**params),
+                X,
+                y,
+                k=self.k,
+                rng=self.rng,
+            )
+            self.results_.append(
+                GridPoint(
+                    params=params,
+                    mean_score=float(scores.mean()),
+                    std_score=float(scores.std()),
+                    fold_scores=scores,
+                )
+            )
+        self.best_ = max(self.results_, key=lambda p: p.mean_score)
+        self.best_estimator_ = self._factory(**self.best_.params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    @property
+    def best_params_(self) -> Dict[str, object]:
+        if self.best_ is None:
+            raise DataError("GridSearch is not fitted yet; call fit() first")
+        return self.best_.params
+
+    @property
+    def best_score_(self) -> float:
+        if self.best_ is None:
+            raise DataError("GridSearch is not fitted yet; call fit() first")
+        return self.best_.mean_score
+
+    def predict(self, X: np.ndarray):
+        if self.best_estimator_ is None:
+            raise DataError("GridSearch is not fitted yet; call fit() first")
+        return self.best_estimator_.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        if self.best_estimator_ is None:
+            raise DataError("GridSearch is not fitted yet; call fit() first")
+        return self.best_estimator_.score(X, y)

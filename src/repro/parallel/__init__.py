@@ -1,0 +1,35 @@
+"""Parallel execution utilities shared by the CPU and (simulated) GPU backends.
+
+The helpers here are deliberately small and composable:
+
+* :mod:`repro.parallel.partition` — index-space decomposition: contiguous
+  row blocks, padded tiles, and the feature-wise splits used for multi-GPU
+  execution of the linear kernel (paper §III-C5).
+* :mod:`repro.parallel.thread_pool` — a persistent worker pool with an
+  OpenMP-style ``parallel_for`` over chunks (NumPy releases the GIL inside
+  its inner kernels, so chunked BLAS calls genuinely overlap).
+* :mod:`repro.parallel.reduction` — deterministic tree reductions for
+  combining per-worker/per-device partial results.
+"""
+
+from .partition import (
+    BlockRange,
+    chunk_ranges,
+    feature_split,
+    round_up,
+    tile_grid,
+)
+from .reduction import tree_reduce, sum_partials
+from .thread_pool import ThreadPool, parallel_for
+
+__all__ = [
+    "BlockRange",
+    "chunk_ranges",
+    "feature_split",
+    "round_up",
+    "tile_grid",
+    "tree_reduce",
+    "sum_partials",
+    "ThreadPool",
+    "parallel_for",
+]

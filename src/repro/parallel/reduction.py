@@ -1,0 +1,49 @@
+"""Deterministic reductions over per-worker / per-device partial results.
+
+Floating point addition is not associative, so naive left-to-right folding
+of partial vectors produced by a varying number of workers would make runs
+with different thread counts bit-for-bit incomparable. A fixed-shape binary
+tree keeps the reduction order independent of how the partials were
+computed, which the test suite relies on when comparing single- vs
+multi-device execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["tree_reduce", "sum_partials"]
+
+T = TypeVar("T")
+
+
+def tree_reduce(items: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Reduce ``items`` with a balanced binary tree of ``combine`` calls."""
+    if len(items) == 0:
+        raise ValueError("cannot reduce an empty sequence")
+    level: List[T] = list(items)
+    while len(level) > 1:
+        nxt: List[T] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def sum_partials(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-device partial result vectors (multi-GPU linear kernel).
+
+    This is the host-side reduction of §III-C5: "only the result vectors of
+    the single devices have to be summed up". The output is a fresh array;
+    the partials are left untouched.
+    """
+    if len(partials) == 0:
+        raise ValueError("no partial results to sum")
+    shapes = {p.shape for p in partials}
+    if len(shapes) != 1:
+        raise ValueError(f"partial results disagree in shape: {sorted(shapes)}")
+    return tree_reduce([np.array(p, copy=True) for p in partials], lambda a, b: a + b)

@@ -1,0 +1,122 @@
+"""Wall-clock timers with the paper's component taxonomy.
+
+Two layers:
+
+* :class:`Timer` — a context-manager stopwatch accumulating across entries;
+* :class:`ComponentTimer` — a named collection of timers following the
+  paper's breakdown (``read`` / ``transform`` / ``cg`` / ``write``), with
+  ``total`` covering the whole run so that the residual
+  ``total - sum(components)`` captures untimed overhead (backend/device
+  initialization, cleanup — the "remaining 3%" of §IV-E).
+
+Timers can also be advanced by *simulated* seconds (:meth:`Timer.add`),
+which lets the device simulator report modeled GPU time through the same
+reporting pipeline as measured host time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+__all__ = ["Timer", "ComponentTimer", "COMPONENTS"]
+
+#: Canonical component names of the paper's runtime analysis (§IV-E).
+COMPONENTS = ("read", "transform", "cg", "write")
+
+
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    ``with timer: ...`` adds the enclosed wall time; :meth:`add` injects
+    simulated time. Both may be mixed (e.g. host-side CG orchestration is
+    measured while device kernel time is modeled).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.entries = 0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} is already running")
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self.entries += 1
+        self._start = None
+
+    def add(self, seconds: float) -> None:
+        """Add ``seconds`` of (possibly simulated) time."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.elapsed += seconds
+        self.entries += 1
+
+    def reset(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"cannot reset running timer {self.name!r}")
+        self.elapsed = 0.0
+        self.entries = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name!r}, elapsed={self.elapsed:.6f}s, entries={self.entries})"
+
+
+class ComponentTimer:
+    """Named timers for the PLSSVM training pipeline components."""
+
+    def __init__(self, components: Iterable[str] = COMPONENTS) -> None:
+        self._timers: Dict[str, Timer] = {name: Timer(name) for name in components}
+        self._timers.setdefault("total", Timer("total"))
+
+    def __getitem__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def section(self, name: str) -> Timer:
+        """Timer for component ``name`` (created on first use)."""
+        return self[name]
+
+    def elapsed(self, name: str) -> float:
+        return self._timers[name].elapsed if name in self._timers else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Elapsed seconds per component (zero-entry timers included)."""
+        return {name: t.elapsed for name, t in self._timers.items()}
+
+    @property
+    def untimed(self) -> float:
+        """``total`` minus the sum of all named components (init/cleanup overhead)."""
+        total = self.elapsed("total")
+        parts = sum(t.elapsed for name, t in self._timers.items() if name != "total")
+        return max(0.0, total - parts)
+
+    def merge(self, other: "ComponentTimer") -> None:
+        """Accumulate another run's timings into this one."""
+        for name, timer in other._timers.items():
+            self[name].add(timer.elapsed)
+
+    def report(self) -> str:
+        """Human-readable component table (used by the CLI's verbose mode).
+
+        Shares are computed against ``max(total, sum of components)`` —
+        components recorded outside the ``total`` span (e.g. a model write
+        after training) must not produce >100 % shares.
+        """
+        parts = sum(t.elapsed for n, t in self._timers.items() if n != "total")
+        total = max(self.elapsed("total"), parts)
+        lines = []
+        for name, timer in self._timers.items():
+            if name == "total":
+                continue
+            share = (timer.elapsed / total * 100.0) if total > 0 else 0.0
+            lines.append(f"{name:>10}: {timer.elapsed:10.4f}s ({share:5.1f}%)")
+        lines.append(f"{'total':>10}: {total:10.4f}s (100.0%)")
+        return "\n".join(lines)

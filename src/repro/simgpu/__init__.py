@@ -1,0 +1,50 @@
+"""Simulated heterogeneous compute devices.
+
+The paper's evaluation runs on hardware we do not have (NVIDIA A100/V100/
+P100/GTX 1080 Ti/RTX 3080, AMD Radeon VII, Intel Gen9 iGPU, 128-core EPYC
+nodes). This package substitutes that hardware with an *execution + cost
+model*:
+
+* the backends execute the real blocked algorithms (NumPy does the
+  arithmetic, so results are exact);
+* every device interaction — buffer allocation, host<->device transfer,
+  kernel launch — is recorded by a :class:`SimulatedDevice`, which advances
+  a per-device clock using a roofline cost model
+  (:mod:`repro.simgpu.costmodel`): a kernel costs its launch overhead plus
+  the maximum of its compute time (FLOPs / effective FP64 throughput) and
+  its memory time (bytes / bandwidth, per memory level).
+
+Device parameters live in :mod:`repro.simgpu.catalog` and are taken from
+the paper's §IV-A hardware description and public spec sheets; per-backend
+efficiency factors are calibrated against Table I so that the simulated
+backend/device ordering matches the published one.
+"""
+
+from .catalog import (
+    DEVICE_CATALOG,
+    cpu_spec,
+    default_gpu,
+    device_names,
+    devices_for_platform,
+    get_device_spec,
+)
+from .costmodel import CostModel, kernel_time, transfer_time
+from .device import DeviceCounters, SimulatedDevice
+from .kernel import KernelLaunch
+from .spec import DeviceSpec
+
+__all__ = [
+    "DeviceSpec",
+    "SimulatedDevice",
+    "DeviceCounters",
+    "KernelLaunch",
+    "CostModel",
+    "kernel_time",
+    "transfer_time",
+    "DEVICE_CATALOG",
+    "get_device_spec",
+    "device_names",
+    "devices_for_platform",
+    "default_gpu",
+    "cpu_spec",
+]

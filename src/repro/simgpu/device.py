@@ -1,0 +1,222 @@
+"""The simulated device: memory tracking, transfers, kernel launches, a clock.
+
+A :class:`SimulatedDevice` does not execute anything itself — the backends
+run the arithmetic in NumPy on the host — but every interaction the real
+backend *would* have with the hardware is recorded here and priced by the
+cost model. The device clock therefore advances exactly as often and by as
+much as the real device would be busy, which is what the paper's
+hardware-dependent figures measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import DeviceError, DeviceMemoryError, KernelLaunchError
+from .costmodel import CostModel, transfer_time
+from .kernel import KernelLaunch
+from .spec import DeviceSpec
+
+__all__ = ["SimulatedDevice", "DeviceCounters"]
+
+
+class DeviceCounters:
+    """Aggregate activity counters of one device."""
+
+    def __init__(self) -> None:
+        self.launches = 0
+        self.flops = 0.0
+        self.global_bytes = 0.0
+        self.shared_bytes = 0.0
+        self.bytes_to_device = 0.0
+        self.bytes_from_device = 0.0
+        self.transfers = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "launches": self.launches,
+            "flops": self.flops,
+            "global_bytes": self.global_bytes,
+            "shared_bytes": self.shared_bytes,
+            "bytes_to_device": self.bytes_to_device,
+            "bytes_from_device": self.bytes_from_device,
+            "transfers": self.transfers,
+        }
+
+
+class SimulatedDevice:
+    """One simulated accelerator (or CPU socket) with its own clock.
+
+    Parameters
+    ----------
+    spec:
+        Static device description.
+    efficiency_key:
+        Backend efficiency key (``"cuda"``, ``"opencl"``, ...) used to
+        price compute kernels; raises immediately when the backend cannot
+        target this device (Table I's dashes).
+    device_id:
+        Ordinal within a multi-device context.
+    """
+
+    def __init__(self, spec: DeviceSpec, efficiency_key: str, device_id: int = 0) -> None:
+        if not spec.supports(efficiency_key):
+            raise DeviceError(
+                f"device {spec.name!r} cannot be driven by backend {efficiency_key!r}"
+            )
+        self.spec = spec
+        self.efficiency_key = efficiency_key
+        self.device_id = device_id
+        self.cost_model = CostModel(spec, efficiency_key)
+        self.clock = 0.0
+        self.initialized = False
+        self.counters = DeviceCounters()
+        self.launch_log: List[KernelLaunch] = []
+        self._allocations: Dict[str, int] = {}
+        self._peak_bytes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Create the (simulated) context; charged once per device.
+
+        This is the static GPU-access overhead that flattens the left end of
+        Fig. 1c for small data sets.
+        """
+        if not self.initialized:
+            self.clock += self.spec.init_overhead_s
+            self.initialized = True
+
+    def reset(self) -> None:
+        """Clear clock, counters, log and allocations (keep initialization state)."""
+        self.clock = 0.0
+        self.initialized = False
+        self.counters = DeviceCounters()
+        self.launch_log.clear()
+        self._allocations.clear()
+        self._peak_bytes = 0
+
+    # -- memory --------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        return self._peak_bytes
+
+    def malloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` of device memory under ``name``."""
+        if nbytes < 0:
+            raise DeviceMemoryError(f"negative allocation size {nbytes}")
+        if name in self._allocations:
+            raise DeviceMemoryError(f"buffer {name!r} is already allocated")
+        new_total = self.allocated_bytes + nbytes
+        if new_total > self.spec.memory_bytes:
+            raise DeviceMemoryError(
+                f"allocating {nbytes / 1024**3:.2f} GiB for {name!r} exceeds "
+                f"{self.spec.name} capacity of {self.spec.memory_gib:.2f} GiB "
+                f"({self.allocated_bytes / 1024**3:.2f} GiB already in use)"
+            )
+        self._allocations[name] = nbytes
+        self._peak_bytes = max(self._peak_bytes, new_total)
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise DeviceMemoryError(f"buffer {name!r} is not allocated")
+        del self._allocations[name]
+
+    def buffer_size(self, name: str) -> int:
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise DeviceMemoryError(f"buffer {name!r} is not allocated") from None
+
+    # -- transfers -------------------------------------------------------------
+
+    def copy_to_device(self, nbytes: int) -> float:
+        """Charge a host->device transfer; returns the modeled duration."""
+        self._require_initialized()
+        duration = transfer_time(self.spec, nbytes)
+        self.clock += duration
+        self.counters.bytes_to_device += nbytes
+        self.counters.transfers += 1
+        return duration
+
+    def copy_from_device(self, nbytes: int) -> float:
+        """Charge a device->host transfer; returns the modeled duration."""
+        self._require_initialized()
+        duration = transfer_time(self.spec, nbytes)
+        self.clock += duration
+        self.counters.bytes_from_device += nbytes
+        self.counters.transfers += 1
+        return duration
+
+    # -- kernels ---------------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        *,
+        flops: float,
+        global_bytes: float,
+        shared_bytes: float = 0.0,
+        grid_blocks: int = 1,
+        block_threads: int = 1,
+        precision: str = "fp64",
+    ) -> KernelLaunch:
+        """Charge one kernel launch; returns the recorded launch."""
+        self._require_initialized()
+        if grid_blocks < 1 or block_threads < 1:
+            raise KernelLaunchError(
+                f"invalid launch configuration {grid_blocks}x{block_threads} for {name!r}"
+            )
+        duration = self.cost_model.kernel_time(
+            flops, global_bytes, shared_bytes, precision
+        )
+        launch = KernelLaunch(
+            name=name,
+            flops=flops,
+            global_bytes=global_bytes,
+            shared_bytes=shared_bytes,
+            duration_s=duration,
+            grid_blocks=grid_blocks,
+            block_threads=block_threads,
+        )
+        self.clock += duration
+        self.counters.launches += 1
+        self.counters.flops += flops
+        self.counters.global_bytes += global_bytes
+        self.counters.shared_bytes += shared_bytes
+        self.launch_log.append(launch)
+        return launch
+
+    def _require_initialized(self) -> None:
+        if not self.initialized:
+            raise DeviceError(
+                f"device {self.spec.name!r} used before initialize() was called"
+            )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def utilization_of_peak(self) -> float:
+        """Overall fraction of FP64 peak achieved across all launches."""
+        if self.clock <= 0:
+            return 0.0
+        return self.counters.flops / self.clock / self.spec.fp64_flops
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "clock_s": self.clock,
+            "peak_gib": self.peak_allocated_bytes / 1024**3,
+            "utilization": self.utilization_of_peak(),
+        }
+        out.update(self.counters.as_dict())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedDevice({self.spec.name!r}, id={self.device_id}, "
+            f"clock={self.clock:.4f}s, launches={self.counters.launches})"
+        )

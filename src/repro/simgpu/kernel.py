@@ -1,0 +1,46 @@
+"""Kernel launch records kept by the simulated devices.
+
+Each launch stores its logical grid configuration together with the cost
+inputs and the modeled duration — enough to reproduce the paper's profiling
+observations (kernel count, per-kernel compute intensity, fraction of FP64
+peak; §IV-C compares PLSSVM's 3 fat kernels to ThunderSVM's >1600 slivers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["KernelLaunch"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelLaunch:
+    """One simulated kernel execution."""
+
+    name: str
+    flops: float
+    global_bytes: float
+    shared_bytes: float
+    duration_s: float
+    grid_blocks: int = 1
+    block_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("kernel duration must be non-negative")
+        if self.grid_blocks < 1 or self.block_threads < 1:
+            raise ValueError("grid/block sizes must be positive")
+
+    @property
+    def gflops_rate(self) -> float:
+        """Achieved GFLOP/s of this launch (0 for pure-memory kernels)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.flops / self.duration_s / 1e9
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of global traffic (infinite traffic-free kernels -> 0 bytes)."""
+        if self.global_bytes <= 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.global_bytes

@@ -1,0 +1,126 @@
+"""Static description of a simulated compute device."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from ..types import TargetPlatform
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Performance-relevant parameters of one device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"NVIDIA A100"``.
+    platform:
+        Vendor platform (decides which backends can drive the device).
+    fp64_tflops:
+        Theoretical double precision peak in TFLOPS.
+    mem_bandwidth_gbs:
+        Global/device memory bandwidth in GB/s.
+    shared_bandwidth_gbs:
+        Aggregate on-chip (shared memory / L1) bandwidth in GB/s. Roughly an
+        order of magnitude above global bandwidth on modern GPUs; consumed
+        by the block-level-caching cost model (§III-C3).
+    memory_gib:
+        Device memory capacity in GiB (allocations beyond it raise).
+    launch_overhead_us:
+        Fixed host-side cost of one kernel launch, microseconds.
+    init_overhead_s:
+        One-time context/runtime initialization cost, seconds (the "static
+        overhead using a GPU" visible as the flat floor of Fig. 1c).
+    pcie_gbs:
+        Host <-> device interconnect bandwidth in GB/s.
+    compute_capability:
+        CUDA compute capability (NVIDIA only) — Table I shows hipSYCL
+        falling off a cliff below 7.0, which the efficiency table encodes.
+    backend_efficiency:
+        Fraction of ``fp64_tflops`` a backend's compute kernels sustain,
+        keyed by efficiency-key strings (``"cuda"``, ``"opencl"``,
+        ``"sycl_hipsycl"``, ``"sycl_dpcpp"``, ``"openmp"``). A missing key
+        means the backend cannot target this device at all (the dashes in
+        Table I).
+    """
+
+    name: str
+    platform: TargetPlatform
+    fp64_tflops: float
+    mem_bandwidth_gbs: float
+    shared_bandwidth_gbs: float
+    memory_gib: float
+    launch_overhead_us: float
+    init_overhead_s: float
+    pcie_gbs: float
+    backend_efficiency: Mapping[str, float]
+    compute_capability: Optional[float] = None
+    #: Single precision peak. Server GPUs run FP32 at ~2x FP64; consumer
+    #: GPUs gate FP64 to 1/32 of FP32 — the reason the paper's "single
+    #: template parameter" precision switch matters so much on them.
+    #: ``None`` defaults to ``2 * fp64_tflops``.
+    fp32_tflops: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "fp64_tflops",
+            "mem_bandwidth_gbs",
+            "shared_bandwidth_gbs",
+            "memory_gib",
+            "pcie_gbs",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive for {self.name}")
+        if self.launch_overhead_us < 0 or self.init_overhead_s < 0:
+            raise ValueError(f"overheads must be non-negative for {self.name}")
+        if self.fp32_tflops is not None and self.fp32_tflops <= 0:
+            raise ValueError(f"fp32_tflops must be positive for {self.name}")
+        if not self.backend_efficiency:
+            raise ValueError(f"{self.name} supports no backend")
+        for key, eff in self.backend_efficiency.items():
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(
+                    f"efficiency for {key!r} on {self.name} must lie in (0, 1], got {eff}"
+                )
+
+    @property
+    def fp64_flops(self) -> float:
+        """Peak FP64 throughput in FLOP/s."""
+        return self.fp64_tflops * 1e12
+
+    @property
+    def fp32_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s (defaults to 2x FP64)."""
+        if self.fp32_tflops is not None:
+            return self.fp32_tflops * 1e12
+        return 2.0 * self.fp64_flops
+
+    def peak_flops(self, precision: str = "fp64") -> float:
+        """Peak throughput for a precision key (``"fp64"`` or ``"fp32"``)."""
+        if precision == "fp64":
+            return self.fp64_flops
+        if precision == "fp32":
+            return self.fp32_flops
+        raise ValueError(f"unknown precision {precision!r}")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Capacity in bytes."""
+        return int(self.memory_gib * 1024**3)
+
+    def supports(self, efficiency_key: str) -> bool:
+        """Whether a backend (by efficiency key) can target this device."""
+        return efficiency_key in self.backend_efficiency
+
+    def efficiency(self, efficiency_key: str) -> float:
+        """Sustained fraction of peak for the given backend key."""
+        try:
+            return self.backend_efficiency[efficiency_key]
+        except KeyError:
+            raise KeyError(
+                f"device {self.name!r} is not reachable via backend {efficiency_key!r}"
+            ) from None

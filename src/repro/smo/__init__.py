@@ -1,0 +1,35 @@
+"""SMO-based baselines: reimplementations of the paper's comparators.
+
+The paper benchmarks PLSSVM against LIBSVM (sparse and dense storage) and
+ThunderSVM (CPU and CUDA). Those systems are reimplemented here so the
+comparison figures run on the same data with the same kernels:
+
+* :mod:`repro.smo.libsvm` — classic C-SVC SMO with second-order working
+  pair selection (WSS2, Fan et al.), an LRU kernel cache and optional
+  shrinking; the two storage layouts of :mod:`repro.smo.storage` give the
+  "LIBSVM" (sparse) and "LIBSVM-DENSE" variants.
+* :mod:`repro.smo.thundersvm` — batched working-set SMO in the style of
+  ThunderSVM: large working sets solved in an inner loop, gradients
+  updated with batched kernel rows, and (in simulated-GPU mode) a swarm of
+  small device kernel launches — the >1600 micro-kernels the paper's
+  profiling observes.
+
+Both expose the LIBSVM dual semantics: decision function
+``f(x) = sum_i y_i alpha_i k(x_i, x) - rho`` over the support vectors.
+"""
+
+from .kernel_cache import KernelCache
+from .libsvm import LibSVMClassifier, SMOResult, smo_solve
+from .storage import DenseStorage, SparseStorage, make_storage
+from .thundersvm import ThunderSVMClassifier
+
+__all__ = [
+    "KernelCache",
+    "LibSVMClassifier",
+    "ThunderSVMClassifier",
+    "SMOResult",
+    "smo_solve",
+    "DenseStorage",
+    "SparseStorage",
+    "make_storage",
+]

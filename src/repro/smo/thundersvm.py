@@ -1,0 +1,356 @@
+"""ThunderSVM-style batched working-set SMO (CPU and simulated GPU).
+
+ThunderSVM (Wen et al., JMLR 2018) keeps the SMO mathematics but processes
+*working sets* of hundreds of variables per outer iteration: the most
+violating candidates are gathered, their kernel rows are computed in a
+batch, a local SMO solve runs over the set, and the global gradient is
+updated with one batched product. That exposes data parallelism inside each
+outer iteration — but the outer loop stays sequential, and each iteration
+issues several small device kernels. The paper's Nsight profiling (§IV-C)
+counts over 1600 micro-kernel launches for a single training run, the
+highest-intensity one reaching only 2.4 % of FP64 peak; the simulated-GPU
+mode reproduces exactly that launch pattern and its cost.
+
+The classifier exposes the same LIBSVM dual semantics as
+:class:`repro.smo.libsvm.LibSVMClassifier`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.kernels import kernel_flops_per_entry, kernel_matrix
+from ..core.lssvm import encode_labels
+from ..exceptions import DataError, NotFittedError
+from ..parameter import Parameter
+from ..simgpu.device import SimulatedDevice
+from ..types import KernelType
+from .libsvm import _update_pair
+from .storage import Storage, make_storage
+
+__all__ = ["ThunderSVMClassifier", "ThunderSMOResult"]
+
+_TAU = 1e-12
+
+
+@dataclasses.dataclass
+class ThunderSMOResult:
+    """Outcome of a batched working-set SMO solve."""
+
+    alpha: np.ndarray
+    rho: float
+    outer_iterations: int
+    inner_iterations: int
+    device_launches: int
+
+    @property
+    def num_support_vectors(self) -> int:
+        return int(np.count_nonzero(self.alpha > 0.0))
+
+
+def _select_working_set(
+    y: np.ndarray, alpha: np.ndarray, G: np.ndarray, C: float, q: int
+) -> np.ndarray:
+    """Pick up to ``q`` indices: the top violators from I_up and I_low."""
+    minus_yG = -y * G
+    up = ((y > 0) & (alpha < C)) | ((y < 0) & (alpha > 0))
+    low = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < C))
+    half = max(q // 2, 1)
+    up_idx = np.nonzero(up)[0]
+    low_idx = np.nonzero(low)[0]
+    top_up = up_idx[np.argsort(minus_yG[up_idx])[::-1][:half]]
+    top_low = low_idx[np.argsort(minus_yG[low_idx])[:half]]
+    ws = np.unique(np.concatenate([top_up, top_low]))
+    return ws
+
+
+def _local_smo(
+    K_ws: np.ndarray,
+    y_ws: np.ndarray,
+    alpha_ws: np.ndarray,
+    G_ws: np.ndarray,
+    C: float,
+    eps: float,
+    max_inner: int,
+) -> Tuple[np.ndarray, int]:
+    """SMO restricted to the working set (ThunderSVM's device-local solver).
+
+    ``K_ws`` is the working set's q x q kernel block; gradients are
+    maintained locally, the caller applies the aggregate ``delta alpha``.
+    Returns ``(delta_alpha, inner_iterations)``.
+    """
+    q = y_ws.shape[0]
+    alpha_loc = alpha_ws.copy()
+    G_loc = G_ws.copy()
+    diag = np.diag(K_ws)
+    for inner in range(max_inner):
+        minus_yG = -y_ws * G_loc
+        up = ((y_ws > 0) & (alpha_loc < C)) | ((y_ws < 0) & (alpha_loc > 0))
+        low = ((y_ws > 0) & (alpha_loc > 0)) | ((y_ws < 0) & (alpha_loc < C))
+        if not up.any() or not low.any():
+            return alpha_loc - alpha_ws, inner
+        up_vals = np.where(up, minus_yG, -np.inf)
+        i = int(np.argmax(up_vals))
+        g_max = up_vals[i]
+        low_vals = np.where(low, minus_yG, np.inf)
+        g_min = float(low_vals.min())
+        if g_max - g_min <= eps:
+            return alpha_loc - alpha_ws, inner
+        b_t = g_max - minus_yG
+        a_t = diag[i] + diag - 2.0 * K_ws[i]
+        a_t = np.where(a_t <= 0, _TAU, a_t)
+        score = np.where(low & (b_t > 0), b_t * b_t / a_t, -np.inf)
+        j = int(np.argmax(score))
+        if not np.isfinite(score[j]):
+            return alpha_loc - alpha_ws, inner
+
+        yi, yj = y_ws[i], y_ws[j]
+        old_ai, old_aj = alpha_loc[i], alpha_loc[j]
+        ai, aj = _update_pair(
+            old_ai, old_aj, yi, yj, G_loc[i], G_loc[j], diag[i], diag[j], K_ws[i, j], C
+        )
+        dai, daj = ai - old_ai, aj - old_aj
+        if abs(dai) < _TAU and abs(daj) < _TAU:
+            return alpha_loc - alpha_ws, inner
+        alpha_loc[i], alpha_loc[j] = ai, aj
+        G_loc += (dai * yi) * y_ws * K_ws[i] + (daj * yj) * y_ws * K_ws[j]
+    return alpha_loc - alpha_ws, max_inner
+
+
+def thunder_smo_solve(
+    storage: Storage,
+    y: np.ndarray,
+    param: Parameter,
+    *,
+    eps: float = 1e-3,
+    working_set_size: int = 512,
+    max_outer: int = 10_000,
+    inner_factor: int = 4,
+    device: Optional[SimulatedDevice] = None,
+) -> ThunderSMOResult:
+    """Batched working-set SMO over internal +/-1 labels.
+
+    With ``device`` set, every outer iteration charges the simulated GPU
+    with ThunderSVM's launch pattern: one batched kernel-row kernel, the
+    selection/reduction slivers, the local-SMO kernel and the gradient
+    update — several small launches per outer iteration.
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    n = storage.num_points
+    if y.shape[0] != n:
+        raise DataError("label count does not match storage")
+    C = param.cost
+    kw = dict(gamma=param.gamma, degree=param.degree, coef0=param.coef0)
+    q = int(min(working_set_size, n))
+    flops_entry = kernel_flops_per_entry(param.kernel, storage.num_features)
+
+    alpha = np.zeros(n, dtype=np.float64)
+    G = -np.ones(n, dtype=np.float64)
+    launches = 0
+    inner_total = 0
+
+    if device is not None:
+        device.initialize()
+        device.malloc("data", n * storage.num_features * 8)
+        device.malloc("state", 4 * n * 8)
+        device.copy_to_device(n * storage.num_features * 8)
+
+    def charge_outer(ws_size: int, inner_iters: int) -> int:
+        """ThunderSVM's per-outer-iteration kernel swarm on the device."""
+        if device is None:
+            return 0
+        count = 0
+        # Batched kernel rows for the working set: the only fat kernel, yet
+        # memory-bound (it streams the whole data matrix).
+        device.launch(
+            "thunder_kernel_rows",
+            flops=ws_size * n * flops_entry,
+            global_bytes=(n * storage.num_features + ws_size * n) * 8.0,
+            grid_blocks=max(ws_size, 1),
+            block_threads=256,
+        )
+        count += 1
+        # Selection reductions (argmax over up/low sets) - two slivers.
+        for _ in range(2):
+            device.launch(
+                "thunder_select",
+                flops=4.0 * n,
+                global_bytes=3.0 * n * 8.0,
+                grid_blocks=max(n // 256, 1),
+                block_threads=256,
+            )
+            count += 1
+        # The local SMO kernel: sequential micro-updates inside one block.
+        device.launch(
+            "thunder_local_smo",
+            flops=float(inner_iters) * 8.0 * ws_size,
+            global_bytes=ws_size * ws_size * 8.0,
+            grid_blocks=1,
+            block_threads=min(ws_size, 1024),
+        )
+        count += 1
+        # Global gradient update with the batched rows.
+        device.launch(
+            "thunder_gradient_update",
+            flops=2.0 * ws_size * n,
+            global_bytes=(ws_size * n + 2 * n) * 8.0,
+            grid_blocks=max(n // 256, 1),
+            block_threads=256,
+        )
+        count += 1
+        return count
+
+    outer = 0
+    for outer in range(1, max_outer + 1):
+        minus_yG = -y * G
+        up = ((y > 0) & (alpha < C)) | ((y < 0) & (alpha > 0))
+        low = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < C))
+        if not up.any() or not low.any():
+            break
+        gap = minus_yG[up].max() - minus_yG[low].min()
+        if gap <= eps:
+            outer -= 1
+            break
+
+        ws = _select_working_set(y, alpha, G, C, q)
+        rows = storage.kernel_rows(ws, param.kernel, **kw)  # (|ws|, n)
+        K_ws = rows[:, ws]
+        delta, inner = _local_smo(
+            K_ws, y[ws], alpha[ws], G[ws], C, eps * 0.5, inner_factor * len(ws)
+        )
+        inner_total += inner
+        launches += charge_outer(len(ws), inner)
+        if not np.any(delta != 0.0):
+            break
+        alpha[ws] += delta
+        G += ((delta * y[ws]) @ rows) * y
+
+    if device is not None:
+        device.copy_from_device(n * 8)
+
+    free = (alpha > 0) & (alpha < C)
+    minus_yG = -y * G
+    if free.any():
+        rho = -float(minus_yG[free].mean())
+    else:
+        up = ((y > 0) & (alpha < C)) | ((y < 0) & (alpha > 0))
+        low = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < C))
+        hi = minus_yG[up].max() if up.any() else 0.0
+        lo = minus_yG[low].min() if low.any() else 0.0
+        rho = -float(hi + lo) / 2.0
+
+    return ThunderSMOResult(
+        alpha=alpha,
+        rho=rho,
+        outer_iterations=outer,
+        inner_iterations=inner_total,
+        device_launches=launches,
+    )
+
+
+class ThunderSVMClassifier:
+    """ThunderSVM-equivalent binary C-SVC.
+
+    Parameters
+    ----------
+    device:
+        ``None`` runs on the host (the CPU baseline); a
+        :class:`SimulatedDevice` enables the simulated-GPU mode with
+        ThunderSVM's launch pattern.
+    working_set_size:
+        Outer working set size (ThunderSVM default ballpark 512).
+    """
+
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "linear",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        eps: float = 1e-3,
+        working_set_size: int = 512,
+        max_outer: int = 10_000,
+        device: Optional[SimulatedDevice] = None,
+        layout: str = "dense",
+    ) -> None:
+        self.param = Parameter(
+            kernel=kernel, cost=C, gamma=gamma, degree=degree, coef0=coef0
+        )
+        self.eps = float(eps)
+        self.working_set_size = int(working_set_size)
+        self.max_outer = int(max_outer)
+        self.device = device
+        self.layout = layout
+        self.result_: Optional[ThunderSMOResult] = None
+        self._sv: Optional[np.ndarray] = None
+        self._sv_coef: Optional[np.ndarray] = None
+        self._rho = 0.0
+        self._labels: Tuple[float, float] = (1.0, -1.0)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ThunderSVMClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y_enc, labels = encode_labels(y)
+        self._labels = labels
+        param = self.param.with_gamma_for(X.shape[1])
+        self.param = param
+        if self.device is not None:
+            self.device.reset()
+        storage = make_storage(X, self.layout)
+        result = thunder_smo_solve(
+            storage,
+            y_enc,
+            param,
+            eps=self.eps,
+            working_set_size=self.working_set_size,
+            max_outer=self.max_outer,
+            device=self.device,
+        )
+        self.result_ = result
+        sv_mask = result.alpha > 0.0
+        self._sv = X[sv_mask]
+        self._sv_coef = (result.alpha * y_enc)[sv_mask]
+        self._rho = result.rho
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._sv is None:
+            raise NotFittedError("ThunderSVMClassifier is not fitted yet")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        kw = self.param.kernel_kwargs()
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for start in range(0, X.shape[0], 2048):
+            rows = slice(start, min(start + 2048, X.shape[0]))
+            K = kernel_matrix(X[rows], self._sv, self.param.kernel, **kw)
+            out[rows] = K @ self._sv_coef
+        out -= self._rho
+        return out[0] if single else out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        f = np.atleast_1d(self.decision_function(X))
+        pos, neg = self._labels
+        return np.where(f >= 0.0, pos, neg)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y).ravel()))
+
+    def device_time(self) -> float:
+        """Simulated device seconds of the last fit (GPU mode only)."""
+        if self.device is None:
+            raise DataError("no simulated device attached")
+        return self.device.clock
+
+    @property
+    def num_support_vectors(self) -> int:
+        self._require_fitted()
+        return self._sv.shape[0]

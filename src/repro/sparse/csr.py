@@ -1,0 +1,152 @@
+"""A self-contained Compressed Sparse Row matrix.
+
+Only the operations the sparse CG path needs are implemented — forward and
+transposed matrix-vector products, row slicing for the eliminated point,
+and conversions — keeping the substrate free of external sparse libraries.
+The products are fully vectorized: the forward product gathers and
+segment-sums with ``numpy.add.reduceat``; the transposed product scatters
+with ``numpy.add.at``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """CSR matrix over float64 values.
+
+    Attributes
+    ----------
+    indptr, indices, data:
+        The classic CSR triplet; ``indptr`` has ``num_rows + 1`` entries.
+    shape:
+        ``(num_rows, num_cols)``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self.shape
+        if rows < 0 or cols < 0:
+            raise DataError("matrix shape must be non-negative")
+        if self.indptr.shape[0] != rows + 1:
+            raise DataError(
+                f"indptr has {self.indptr.shape[0]} entries for {rows} rows"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise DataError("indptr must start at 0 and be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise DataError("indices/data length disagrees with indptr")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= cols):
+            raise DataError("column index out of range")
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise DataError("from_dense expects a 2-D array")
+        mask = dense != 0.0
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(indptr, cols, dense[rows, cols], dense.shape)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            out[i, self.indices[lo:hi]] = self.data[lo:hi]
+        return out
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    # -- products -----------------------------------------------------------------
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """``A @ v`` in O(nnz)."""
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.shape[1]:
+            raise DataError(
+                f"vector length {v.shape[0]} does not match {self.shape[1]} columns"
+            )
+        if self.nnz == 0:
+            return np.zeros(self.shape[0])
+        gathered = np.concatenate([self.data * v[self.indices], [0.0]])
+        sums = np.add.reduceat(gathered, self.indptr[:-1])
+        return sums * (np.diff(self.indptr) > 0)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        """``A.T @ v`` in O(nnz)."""
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.shape[0]:
+            raise DataError(
+                f"vector length {v.shape[0]} does not match {self.shape[0]} rows"
+            )
+        out = np.zeros(self.shape[1], dtype=np.float64)
+        if self.nnz == 0:
+            return out
+        row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        np.add.at(out, self.indices, self.data * v[row_of])
+        return out
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i`` as a dense vector."""
+        if not 0 <= i < self.shape[0]:
+            raise DataError(f"row index {i} out of range")
+        out = np.zeros(self.shape[1], dtype=np.float64)
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        out[self.indices[lo:hi]] = self.data[lo:hi]
+        return out
+
+    def head(self, num_rows: int) -> "CSRMatrix":
+        """The first ``num_rows`` rows as a new CSR matrix (O(1) views)."""
+        if not 0 <= num_rows <= self.shape[0]:
+            raise DataError(f"cannot take {num_rows} rows of {self.shape[0]}")
+        end = int(self.indptr[num_rows])
+        return CSRMatrix(
+            self.indptr[: num_rows + 1],
+            self.indices[:end],
+            self.data[:end],
+            (num_rows, self.shape[1]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )

@@ -1,0 +1,141 @@
+"""Enumerations shared across the library.
+
+These correspond to the runtime-selectable enums of the C++ PLSSVM library:
+``plssvm::kernel_type``, ``plssvm::backend_type`` and
+``plssvm::target_platform``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["KernelType", "BackendType", "TargetPlatform", "SolverStatus", "SyclImplementation"]
+
+
+class KernelType(enum.Enum):
+    """Kernel function used inside the (LS-)SVM.
+
+    Values match the integer codes of LIBSVM's ``-t`` option so that model
+    files and command lines stay drop-in compatible:
+
+    * ``LINEAR``     (0): ``k(x, y) = <x, y>``
+    * ``POLYNOMIAL`` (1): ``k(x, y) = (gamma * <x, y> + coef0) ** degree``
+    * ``RBF``        (2): ``k(x, y) = exp(-gamma * ||x - y||^2)``
+    * ``SIGMOID``    (3): ``k(x, y) = tanh(gamma * <x, y> + coef0)``
+      (extension; LIBSVM has it, the PLSSVM paper lists it as future work)
+    """
+
+    LINEAR = 0
+    POLYNOMIAL = 1
+    RBF = 2
+    SIGMOID = 3
+
+    @classmethod
+    def from_name(cls, name: "str | int | KernelType") -> "KernelType":
+        """Parse a kernel from its name, LIBSVM integer code, or enum value."""
+        if isinstance(name, cls):
+            return name
+        if isinstance(name, int):
+            return cls(name)
+        key = str(name).strip().lower()
+        aliases = {
+            "linear": cls.LINEAR,
+            "poly": cls.POLYNOMIAL,
+            "polynomial": cls.POLYNOMIAL,
+            "rbf": cls.RBF,
+            "radial": cls.RBF,
+            "gaussian": cls.RBF,
+            "sigmoid": cls.SIGMOID,
+        }
+        try:
+            return aliases[key]
+        except KeyError:
+            raise ValueError(f"unknown kernel type: {name!r}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+class BackendType(enum.Enum):
+    """Compute backend executing the CG kernels.
+
+    ``AUTOMATIC`` picks the best available backend for the requested target
+    platform, replicating the runtime backend selection of PLSSVM.
+    """
+
+    AUTOMATIC = "automatic"
+    OPENMP = "openmp"
+    CUDA = "cuda"
+    OPENCL = "opencl"
+    SYCL = "sycl"
+
+    @classmethod
+    def from_name(cls, name: "str | BackendType") -> "BackendType":
+        if isinstance(name, cls):
+            return name
+        key = str(name).strip().lower()
+        for member in cls:
+            if member.value == key:
+                return member
+        raise ValueError(f"unknown backend type: {name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SyclImplementation(enum.Enum):
+    """SYCL compiler/runtime flavour (PLSSVM supports hipSYCL and DPC++)."""
+
+    HIPSYCL = "hipsycl"
+    DPCPP = "dpcpp"
+
+    @classmethod
+    def from_name(cls, name: "str | SyclImplementation") -> "SyclImplementation":
+        if isinstance(name, cls):
+            return name
+        key = str(name).strip().lower().replace("++", "pp").replace("-", "")
+        for member in cls:
+            if member.value == key:
+                return member
+        raise ValueError(f"unknown SYCL implementation: {name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class TargetPlatform(enum.Enum):
+    """Hardware target a backend may run on."""
+
+    AUTOMATIC = "automatic"
+    CPU = "cpu"
+    GPU_NVIDIA = "gpu_nvidia"
+    GPU_AMD = "gpu_amd"
+    GPU_INTEL = "gpu_intel"
+
+    @classmethod
+    def from_name(cls, name: "str | TargetPlatform") -> "TargetPlatform":
+        if isinstance(name, cls):
+            return name
+        key = str(name).strip().lower()
+        for member in cls:
+            if member.value == key:
+                return member
+        raise ValueError(f"unknown target platform: {name!r}")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in (TargetPlatform.GPU_NVIDIA, TargetPlatform.GPU_AMD, TargetPlatform.GPU_INTEL)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SolverStatus(enum.Enum):
+    """Termination status of the iterative solver."""
+
+    CONVERGED = "converged"
+    MAX_ITERATIONS = "max_iterations"
+    STAGNATED = "stagnated"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_planes
+from repro.parameter import Parameter
+
+
+@pytest.fixture(scope="session")
+def planes_small():
+    """A small, reproducible 'planes' instance (128 x 8)."""
+    return make_planes(128, 8, rng=0)
+
+@pytest.fixture(scope="session")
+def planes_medium():
+    """A medium 'planes' instance (512 x 32)."""
+    return make_planes(512, 32, rng=1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def linear_param():
+    return Parameter(kernel="linear", cost=1.0)
+
+
+@pytest.fixture
+def rbf_param():
+    return Parameter(kernel="rbf", cost=10.0, gamma=0.05)

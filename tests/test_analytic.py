@@ -1,0 +1,259 @@
+"""Tests pinning the dry-run performance models to the functional backends.
+
+The paper-scale experiments rely on :mod:`repro.experiments.analytic`
+replaying the exact charge sequence of the functional device code. These
+tests run both paths at feasible sizes and require *exact* agreement —
+clock, launch count, and memory — so the modeled figures are guaranteed to
+be the functional simulator evaluated at a different size, not a separate
+approximation that could drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import KernelConfig
+from repro.core.lssvm import LSSVC
+from repro.data.synthetic import make_planes
+from repro.experiments.analytic import (
+    amdahl_time,
+    cpu_component_scaling,
+    lssvm_device_memory_bytes,
+    model_lssvm_gpu_run,
+    model_thunder_gpu_run,
+    thunder_device_memory_bytes,
+)
+from repro.simgpu.catalog import default_gpu
+from repro.simgpu.device import SimulatedDevice
+from repro.smo.thundersvm import ThunderSVMClassifier
+
+
+class TestLSSVMDryRunPinning:
+    @pytest.mark.parametrize("n_devices", [1, 2, 4])
+    def test_clock_matches_functional_run(self, n_devices):
+        X, y = make_planes(192, 24, rng=3)
+        clf = LSSVC(kernel="linear", backend="cuda", n_devices=n_devices).fit(X, y)
+        backend = clf._backend_instance
+        model = model_lssvm_gpu_run(
+            default_gpu(),
+            "cuda",
+            num_points=X.shape[0],
+            num_features=X.shape[1],
+            iterations=clf.iterations_,
+            n_devices=n_devices,
+        )
+        assert model.device_seconds == pytest.approx(backend.device_time(), rel=1e-12)
+
+    def test_memory_matches_functional_run(self):
+        X, y = make_planes(192, 24, rng=3)
+        for n_devices in (1, 2, 3):
+            clf = LSSVC(kernel="linear", backend="cuda", n_devices=n_devices).fit(X, y)
+            functional = clf._backend_instance.memory_per_device_gib()
+            modeled = lssvm_device_memory_bytes(
+                X.shape[0], X.shape[1], n_devices=n_devices
+            )
+            assert functional[0] * 1024**3 == pytest.approx(modeled[0])
+
+    def test_launch_count_matches_functional_run(self):
+        X, y = make_planes(128, 16, rng=4)
+        clf = LSSVC(kernel="linear", backend="cuda").fit(X, y)
+        backend = clf._backend_instance
+        model = model_lssvm_gpu_run(
+            default_gpu(),
+            "cuda",
+            num_points=X.shape[0],
+            num_features=X.shape[1],
+            iterations=clf.iterations_,
+        )
+        assert model.launches_per_device == backend.devices[0].counters.launches
+
+    def test_rbf_kernel_model(self):
+        X, y = make_planes(96, 8, rng=5)
+        clf = LSSVC(kernel="rbf", C=10.0, backend="cuda").fit(X, y)
+        model = model_lssvm_gpu_run(
+            default_gpu(),
+            "cuda",
+            num_points=X.shape[0],
+            num_features=X.shape[1],
+            kernel="rbf",
+            iterations=clf.iterations_,
+        )
+        assert model.device_seconds == pytest.approx(
+            clf._backend_instance.device_time(), rel=1e-12
+        )
+
+
+class TestThunderDryRunPinning:
+    def test_clock_and_launches_match_functional_run(self, planes_small):
+        X, y = planes_small
+        device = SimulatedDevice(default_gpu(), "cuda_smo")
+        clf = ThunderSVMClassifier(kernel="linear", device=device).fit(X, y)
+        result = clf.result_
+        # Reconstruct inner-iteration count per outer step is not tracked
+        # per step; pin launches and memory, and clock structure via the
+        # same outer count with the recorded average inner count.
+        model = model_thunder_gpu_run(
+            default_gpu(),
+            "cuda_smo",
+            num_points=X.shape[0],
+            num_features=X.shape[1],
+            outer_iterations=result.outer_iterations,
+        )
+        assert model.launches_per_device == result.device_launches
+        assert model.memory_per_device_bytes <= device.spec.memory_bytes
+
+    def test_memory_model_exceeds_plssvm(self):
+        # §IV-G: 13.08 GiB (ThunderSVM) vs 8.15 GiB (PLSSVM) at 2^16 x 2^14.
+        m, d = 2**16, 2**14
+        thunder = thunder_device_memory_bytes(m, d) / 1024**3
+        pls = lssvm_device_memory_bytes(m, d)[0] / 1024**3
+        assert thunder == pytest.approx(13.08, rel=0.05)
+        assert pls == pytest.approx(8.15, rel=0.05)
+        assert thunder > pls
+
+
+class TestPaperAnchors:
+    """Quantitative anchors from §IV, reproduced by the models."""
+
+    def test_multi_gpu_memory_reduction(self):
+        # 8.15 GiB -> 2.14 GiB per GPU (factor ~3.6-3.8, not the ideal 4).
+        m, d = 2**16, 2**14
+        mem1 = lssvm_device_memory_bytes(m, d, n_devices=1)[0]
+        mem4 = lssvm_device_memory_bytes(m, d, n_devices=4)[0]
+        ratio = mem1 / mem4
+        assert 3.5 <= ratio <= 4.0
+
+    def test_multi_gpu_speedup_close_to_paper(self):
+        m, d = 2**16, 2**14
+        t1 = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=m, num_features=d, iterations=26
+        ).device_seconds
+        t4 = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=m, num_features=d, iterations=26,
+            n_devices=4,
+        ).device_seconds
+        # Paper: 3.71x on the total runtime; cg alone scales near-ideally.
+        assert 3.4 <= t1 / t4 <= 4.0
+
+    def test_gpu_overhead_floor_for_small_data(self):
+        # Fig. 1c: flat runtime region below 2^11 points.
+        times = [
+            model_lssvm_gpu_run(
+                default_gpu(), "cuda", num_points=m, num_features=2**12, iterations=25
+            ).device_seconds
+            for m in (2**8, 2**9, 2**10, 2**11)
+        ]
+        assert max(times) / min(times) < 1.5  # flat
+        big = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=2**15, num_features=2**12, iterations=25
+        ).device_seconds
+        assert big > 5 * times[0]  # and growth beyond the floor
+
+    def test_doubling_features_roughly_doubles_matvec_time(self):
+        # §IV-E: doubling the features doubles the per-entry effort.
+        base = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=2**13, num_features=2**10,
+            iterations=20, include_init=False,
+        ).device_seconds
+        double = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=2**13, num_features=2**11,
+            iterations=20, include_init=False,
+        ).device_seconds
+        assert double / base == pytest.approx(2.0, rel=0.15)
+
+    def test_doubling_points_roughly_quadruples_cg_work(self):
+        # Fig. 2a: the cg component grows by ~3.3x per point doubling
+        # (quadratic entries, slightly sublinear iteration effects).
+        base = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=2**13, num_features=2**10,
+            iterations=20, include_init=False,
+        ).device_seconds
+        double = model_lssvm_gpu_run(
+            default_gpu(), "cuda", num_points=2**14, num_features=2**10,
+            iterations=20, include_init=False,
+        ).device_seconds
+        assert 3.0 <= double / base <= 4.5
+
+
+class TestAmdahl:
+    def test_single_core_identity(self):
+        assert amdahl_time(100.0, 1, 0.9) == 100.0
+
+    def test_fully_parallel(self):
+        assert amdahl_time(100.0, 4, 1.0) == 25.0
+
+    def test_cg_speedup_at_256_cores_matches_paper(self):
+        # Fig. 4a: 74.7x parallel speedup of the cg component at 256 threads.
+        t1 = cpu_component_scaling("cg", 1518.0, 1)
+        t256 = cpu_component_scaling("cg", 1518.0, 256)
+        assert t1 / t256 == pytest.approx(74.7, rel=0.02)
+
+    def test_io_components_degrade_past_socket(self):
+        # Fig. 4a: read/write get *slower* beyond 64 cores (second socket).
+        t64 = cpu_component_scaling("read", 55.0, 64)
+        t128 = cpu_component_scaling("read", 55.0, 128)
+        assert t128 > t64
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_component_scaling("transform", 1.0, 4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            amdahl_time(1.0, 0, 0.5)
+        with pytest.raises(ValueError):
+            amdahl_time(1.0, 2, 1.5)
+
+
+class TestPrecision:
+    """The FP64/FP32 template switch in the cost model."""
+
+    def test_fp32_pinned_to_functional_backend(self):
+        import numpy as np
+
+        from repro.core.lssvm import LSSVC
+
+        X, y = make_planes(256, 32, rng=3)
+        clf = LSSVC(kernel="linear", backend="cuda", dtype=np.float32).fit(X, y)
+        model = model_lssvm_gpu_run(
+            default_gpu(),
+            "cuda",
+            num_points=256,
+            num_features=32,
+            iterations=clf.iterations_,
+            precision="fp32",
+        )
+        assert model.device_seconds == pytest.approx(
+            clf._backend_instance.device_time(), rel=1e-12
+        )
+
+    def test_fp32_doubles_throughput_on_server_gpus(self):
+        common = dict(num_points=2**14, num_features=2**11, iterations=20,
+                      include_init=False)
+        t64 = model_lssvm_gpu_run(default_gpu(), "cuda", **common).device_seconds
+        t32 = model_lssvm_gpu_run(
+            default_gpu(), "cuda", precision="fp32", **common
+        ).device_seconds
+        assert t64 / t32 == pytest.approx(2.0, rel=0.1)
+
+    def test_fp32_is_transformative_on_consumer_gpus(self):
+        from repro.simgpu.catalog import get_device_spec
+
+        spec = get_device_spec("nvidia_gtx1080ti")
+        common = dict(num_points=2**14, num_features=2**11, iterations=20,
+                      include_init=False)
+        t64 = model_lssvm_gpu_run(spec, "cuda", **common).device_seconds
+        t32 = model_lssvm_gpu_run(spec, "cuda", precision="fp32", **common).device_seconds
+        # FP64 units are gated to 1/32 of FP32 on consumer silicon.
+        assert t64 / t32 > 10.0
+
+    def test_fp32_halves_device_memory(self):
+        common = dict(num_points=2**14, num_features=2**11, iterations=5)
+        m64 = model_lssvm_gpu_run(default_gpu(), "cuda", **common)
+        m32 = model_lssvm_gpu_run(default_gpu(), "cuda", precision="fp32", **common)
+        assert m64.memory_per_device_bytes == pytest.approx(
+            2 * m32.memory_per_device_bytes, rel=0.01
+        )
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            default_gpu().peak_flops("fp16")

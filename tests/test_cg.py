@@ -1,0 +1,212 @@
+"""Tests for the Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cg import CGResult, conjugate_gradient
+from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.types import SolverStatus
+
+
+def spd_matrix(n, seed=0, cond=10.0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.linspace(1.0, cond, n)
+    return (Q * eigs) @ Q.T
+
+
+class TestBasicSolve:
+    def test_identity(self):
+        b = np.array([1.0, 2.0, 3.0])
+        res = conjugate_gradient(np.eye(3), b, epsilon=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, b)
+
+    def test_solves_spd_system(self):
+        A = spd_matrix(20, seed=1)
+        rng = np.random.default_rng(2)
+        x_true = rng.standard_normal(20)
+        b = A @ x_true
+        res = conjugate_gradient(A, b, epsilon=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_matches_numpy_solve(self):
+        A = spd_matrix(15, seed=3, cond=100.0)
+        b = np.random.default_rng(4).standard_normal(15)
+        res = conjugate_gradient(A, b, epsilon=1e-13)
+        assert np.allclose(res.x, np.linalg.solve(A, b), atol=1e-7)
+
+    def test_zero_rhs_returns_zero(self):
+        res = conjugate_gradient(np.eye(4), np.zeros(4))
+        assert res.converged
+        assert res.iterations == 0
+        assert np.allclose(res.x, 0.0)
+
+    def test_operator_interface(self):
+        A = spd_matrix(10, seed=5)
+
+        class Op:
+            shape = A.shape
+            dtype = A.dtype
+
+            @staticmethod
+            def matvec(v):
+                return A @ v
+
+        b = np.ones(10)
+        res = conjugate_gradient(Op(), b, epsilon=1e-10)
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+
+class TestTermination:
+    def test_respects_epsilon(self):
+        A = spd_matrix(30, seed=6, cond=1000.0)
+        b = np.ones(30)
+        loose = conjugate_gradient(A, b, epsilon=1e-2)
+        tight = conjugate_gradient(A, b, epsilon=1e-10)
+        assert loose.iterations <= tight.iterations
+        assert loose.residual <= 1e-2
+        assert tight.residual <= 1e-10
+
+    def test_max_iter_warns(self):
+        A = spd_matrix(40, seed=7, cond=1e6)
+        b = np.ones(40)
+        with pytest.warns(ConvergenceWarning):
+            res = conjugate_gradient(A, b, epsilon=1e-14, max_iter=2)
+        assert res.status is SolverStatus.MAX_ITERATIONS
+        assert not res.converged
+
+    def test_warning_suppressible(self):
+        A = spd_matrix(10, seed=8, cond=1e5)
+        res = conjugate_gradient(
+            A, np.ones(10), epsilon=1e-15, max_iter=1, warn_on_no_convergence=False
+        )
+        assert res.iterations == 1
+
+    def test_exact_arithmetic_bound(self):
+        # CG terminates in at most n iterations (plus rounding slack).
+        A = spd_matrix(12, seed=9)
+        res = conjugate_gradient(A, np.ones(12), epsilon=1e-10)
+        assert res.iterations <= 14
+
+    def test_non_spd_stagnates(self):
+        A = -np.eye(5)  # negative definite: curvature test must trip
+        res = conjugate_gradient(A, np.ones(5), warn_on_no_convergence=False)
+        assert res.status is SolverStatus.STAGNATED
+
+
+class TestHistory:
+    def test_history_matches_iterations(self):
+        A = spd_matrix(20, seed=10, cond=50.0)
+        res = conjugate_gradient(A, np.ones(20), epsilon=1e-9)
+        assert len(res.residual_history) == res.iterations + 1
+        assert res.residual_history[-1] == pytest.approx(res.residual)
+
+    def test_history_starts_at_one(self):
+        A = spd_matrix(10, seed=11)
+        res = conjugate_gradient(A, np.ones(10), epsilon=1e-9)
+        assert res.residual_history[0] == pytest.approx(1.0)
+
+    def test_callback_invoked(self):
+        A = spd_matrix(10, seed=12, cond=100.0)
+        seen = []
+        conjugate_gradient(
+            A, np.ones(10), epsilon=1e-10, callback=lambda i, r: seen.append((i, r))
+        )
+        assert seen
+        assert seen[0][0] == 1
+        assert all(r >= 0 for _, r in seen)
+
+
+class TestResidualRecompute:
+    def test_recompute_does_not_break_convergence(self):
+        A = spd_matrix(50, seed=13, cond=1e4)
+        b = np.ones(50)
+        res = conjugate_gradient(A, b, epsilon=1e-10, recompute_interval=3)
+        assert res.converged
+        true_res = np.linalg.norm(b - A @ res.x) / np.linalg.norm(b)
+        assert true_res <= 1e-8
+
+
+class TestPreconditioning:
+    def test_jacobi_reduces_iterations_on_scaled_system(self):
+        rng = np.random.default_rng(14)
+        diag = 10.0 ** rng.uniform(-2, 2, size=40)
+        A = spd_matrix(40, seed=15, cond=10.0)
+        A = A + np.diag(diag) * 5
+        b = rng.standard_normal(40)
+        plain = conjugate_gradient(A, b, epsilon=1e-10, warn_on_no_convergence=False)
+        pre = conjugate_gradient(
+            A, b, epsilon=1e-10, preconditioner=np.diag(A), warn_on_no_convergence=False
+        )
+        assert pre.converged
+        assert pre.iterations <= plain.iterations + 2
+
+    def test_preconditioned_solution_is_correct(self):
+        A = spd_matrix(20, seed=16, cond=100.0)
+        b = np.ones(20)
+        res = conjugate_gradient(A, b, epsilon=1e-12, preconditioner=np.diag(A))
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+    def test_nonpositive_preconditioner_raises(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.eye(3), np.ones(3), preconditioner=np.zeros(3))
+
+
+class TestInitialGuess:
+    def test_warm_start_from_solution_terminates_immediately(self):
+        A = spd_matrix(10, seed=17)
+        x_true = np.arange(10.0)
+        b = A @ x_true
+        res = conjugate_gradient(A, b, epsilon=1e-8, x0=x_true)
+        assert res.iterations == 0
+        assert res.converged
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.ones((3, 4)), np.ones(3))
+
+    def test_rejects_mismatched_rhs(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.eye(3), np.ones(4))
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.eye(3), np.ones(3), epsilon=1.5)
+
+    def test_rejects_bad_recompute_interval(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.eye(3), np.ones(3), recompute_interval=0)
+
+    def test_rejects_wrong_preconditioner_length(self):
+        with pytest.raises(InvalidParameterError):
+            conjugate_gradient(np.eye(3), np.ones(3), preconditioner=np.ones(4))
+
+
+class TestProperties:
+    @given(n=st.integers(2, 25), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_solves_random_spd_systems(self, n, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        A = M @ M.T + n * np.eye(n)
+        b = rng.standard_normal(n)
+        res = conjugate_gradient(A, b, epsilon=1e-10, warn_on_no_convergence=False)
+        rel = np.linalg.norm(b - A @ res.x) / max(np.linalg.norm(b), 1e-30)
+        assert rel <= 1e-8
+
+    @given(n=st.integers(2, 15), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_residual_history_is_reported_consistently(self, n, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        A = M @ M.T + np.eye(n)
+        b = rng.standard_normal(n)
+        res = conjugate_gradient(A, b, epsilon=1e-8, warn_on_no_convergence=False)
+        assert isinstance(res, CGResult)
+        assert res.residual == pytest.approx(res.residual_history[-1])

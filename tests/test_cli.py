@@ -1,0 +1,220 @@
+"""End-to-end tests of the command-line tools."""
+
+import numpy as np
+import pytest
+
+from repro.cli.generate_data import main as generate_main
+from repro.cli.predict import main as predict_main
+from repro.cli.scale import main as scale_main
+from repro.cli.train import main as train_main
+from repro.core.model import load_model
+from repro.data.synthetic import make_planes
+from repro.io.libsvm_format import read_libsvm_file, write_libsvm_file
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    X, y = make_planes(96, 8, rng=0)
+    path = tmp_path / "train.libsvm"
+    write_libsvm_file(path, X, y)
+    return path
+
+
+class TestGenerateData:
+    def test_planes(self, tmp_path, capsys):
+        out = tmp_path / "gen.libsvm"
+        rc = generate_main([str(out), "-n", "50", "-f", "6", "--seed", "1"])
+        assert rc == 0
+        X, y = read_libsvm_file(out, num_features=6)
+        assert X.shape == (50, 6)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+        assert "50 points" in capsys.readouterr().out
+
+    def test_sat6(self, tmp_path):
+        out = tmp_path / "sat6.libsvm"
+        rc = generate_main([str(out), "--problem", "sat6", "-n", "10", "--seed", "2"])
+        assert rc == 0
+        X, _ = read_libsvm_file(out, num_features=3136)
+        assert X.shape == (10, 3136)
+
+    def test_too_few_points(self, tmp_path, capsys):
+        rc = generate_main([str(tmp_path / "x"), "-n", "1"])
+        assert rc == 2
+
+
+class TestTrain:
+    def test_default_model_path(self, data_file, capsys):
+        rc = train_main([str(data_file)])
+        assert rc == 0
+        model = load_model(f"{data_file}.model")
+        assert model.num_support_vectors == 96
+        assert "CG iterations" in capsys.readouterr().out
+
+    def test_explicit_model_path_and_kernel(self, data_file, tmp_path):
+        model_path = tmp_path / "out.model"
+        rc = train_main(
+            [str(data_file), str(model_path), "-t", "2", "-c", "5", "-g", "0.1"]
+        )
+        assert rc == 0
+        model = load_model(model_path)
+        assert model.param.kernel.name == "RBF"
+        assert model.param.gamma == pytest.approx(0.1)
+
+    def test_verbose_prints_components(self, data_file, tmp_path, capsys):
+        rc = train_main([str(data_file), str(tmp_path / "m"), "-v"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for section in ("cg", "total", "parameters"):
+            assert section in out
+
+    def test_backend_selection(self, data_file, tmp_path):
+        rc = train_main(
+            [str(data_file), str(tmp_path / "m"), "-b", "cuda", "-p", "gpu_nvidia"]
+        )
+        assert rc == 0
+
+    def test_float32(self, data_file, tmp_path):
+        rc = train_main([str(data_file), str(tmp_path / "m"), "--float32"])
+        assert rc == 0
+
+    def test_cross_validation_flag(self, data_file, capsys):
+        rc = train_main([str(data_file), "-x", "4", "-v"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Cross Validation Accuracy" in out
+        assert "per-fold" in out
+        accuracy = float(out.split("=")[1].split("%")[0])
+        assert accuracy > 80.0
+
+    def test_cross_validation_rejects_k1(self, data_file, capsys):
+        rc = train_main([str(data_file), "-x", "1"])
+        assert rc == 2
+
+
+class TestPredict:
+    def test_accuracy_output(self, data_file, tmp_path, capsys):
+        model_path = tmp_path / "m.model"
+        train_main([str(data_file), str(model_path)])
+        capsys.readouterr()
+        rc = predict_main([str(data_file), str(model_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Accuracy = " in out
+        preds_file = f"{data_file}.predict"
+        lines = open(preds_file).read().split()
+        assert len(lines) == 96
+        assert set(lines) <= {"1", "-1"}
+
+    def test_training_accuracy_is_high(self, data_file, tmp_path, capsys):
+        model_path = tmp_path / "m.model"
+        train_main([str(data_file), str(model_path)])
+        capsys.readouterr()
+        predict_main([str(data_file), str(model_path)])
+        out = capsys.readouterr().out
+        accuracy = float(out.split("=")[1].split("%")[0])
+        assert accuracy > 90.0
+
+
+class TestScale:
+    def test_scale_and_restore(self, data_file, tmp_path, capsys):
+        scaled = tmp_path / "scaled.libsvm"
+        ranges = tmp_path / "ranges"
+        rc = scale_main([str(data_file), str(scaled), "-s", str(ranges)])
+        assert rc == 0
+        X, _ = read_libsvm_file(scaled, num_features=8)
+        assert X.min() >= -1.0 - 1e-9 and X.max() <= 1.0 + 1e-9
+
+        # Restoring onto the same data reproduces the same file contents.
+        restored = tmp_path / "restored.libsvm"
+        rc = scale_main([str(data_file), str(restored), "-r", str(ranges)])
+        assert rc == 0
+        X2, _ = read_libsvm_file(restored, num_features=8)
+        assert np.allclose(X, X2)
+
+    def test_custom_bounds(self, data_file, tmp_path):
+        out = tmp_path / "s.libsvm"
+        rc = scale_main([str(data_file), str(out), "-l", "0", "-u", "1"])
+        assert rc == 0
+        X, _ = read_libsvm_file(out, num_features=8)
+        assert X.min() >= -1e-9 and X.max() <= 1.0 + 1e-9
+
+    def test_save_and_restore_mutually_exclusive(self, data_file, tmp_path, capsys):
+        rc = scale_main(
+            [str(data_file), "-s", str(tmp_path / "a"), "-r", str(tmp_path / "b")]
+        )
+        assert rc == 2
+
+
+class TestFullWorkflow:
+    def test_generate_scale_train_predict(self, tmp_path, capsys):
+        """The complete LIBSVM-style workflow through all four tools."""
+        data = tmp_path / "d.libsvm"
+        scaled = tmp_path / "d.scaled"
+        ranges = tmp_path / "d.ranges"
+        model = tmp_path / "d.model"
+        out = tmp_path / "d.predict"
+
+        assert generate_main([str(data), "-n", "80", "-f", "10", "--seed", "3"]) == 0
+        assert scale_main([str(data), str(scaled), "-s", str(ranges)]) == 0
+        assert train_main([str(scaled), str(model), "-t", "rbf", "-c", "10"]) == 0
+        assert predict_main([str(scaled), str(model), str(out)]) == 0
+        text = capsys.readouterr().out
+        accuracy = float(text.rsplit("Accuracy = ", 1)[1].split("%")[0])
+        assert accuracy > 85.0
+
+
+class TestInfo:
+    def test_shows_devices_and_backends(self, capsys):
+        from repro.cli.info import main as info_main
+
+        rc = info_main([])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nvidia_a100" in out
+        assert "backend availability" in out
+        assert "automatic" in out
+
+    def test_devices_only(self, capsys):
+        from repro.cli.info import main as info_main
+
+        rc = info_main(["--devices"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "device catalog" in out
+        assert "backend availability" not in out
+
+    def test_backend_matrix_reflects_vendor_locks(self, capsys):
+        from repro.cli.info import main as info_main
+
+        info_main(["--backends"])
+        out = capsys.readouterr().out
+        amd_row = next(l for l in out.splitlines() if l.strip().startswith("gpu_amd"))
+        assert "opencl" in out
+        # CUDA column shows a dash on the AMD row; OpenMP too (host-only).
+        assert amd_row.split()[1] == "-"  # openmp
+        assert amd_row.split()[2] == "-"  # cuda
+
+
+class TestConvert:
+    def test_csv_to_libsvm_workflow(self, tmp_path, capsys):
+        from repro.cli.convert import main as convert_main
+
+        csv_path = tmp_path / "d.csv"
+        csv_path.write_text("label,a,b\n1,0.5,0\n-1,0,0.25\n")
+        out = tmp_path / "d.libsvm"
+        rc = convert_main([str(csv_path), str(out), "--header", "yes"])
+        assert rc == 0
+        X, y = read_libsvm_file(out, num_features=2)
+        assert X.shape == (2, 2)
+        assert np.allclose(y, [1.0, -1.0])
+        # The converted file trains directly.
+        assert "converted 2 points" in capsys.readouterr().out
+
+    def test_convert_error_path(self, tmp_path, capsys):
+        from repro.cli.convert import main as convert_main
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\nxx,yy\n")
+        rc = convert_main([str(bad)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,200 @@
+"""Tests for the synthetic data generators and splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sat6 import NUM_FEATURES, SAT6_CLASSES, make_sat6_like, sat6_binary_labels
+from repro.data.splits import train_test_split
+from repro.data.synthetic import make_planes
+from repro.exceptions import DataError
+
+
+class TestMakePlanes:
+    def test_shapes_and_labels(self):
+        X, y = make_planes(100, 7, rng=0)
+        assert X.shape == (100, 7)
+        assert y.shape == (100,)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+    def test_reproducible_with_seed(self):
+        a = make_planes(50, 3, rng=42)
+        b = make_planes(50, 3, rng=42)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_without_seed(self):
+        a = make_planes(50, 3)
+        b = make_planes(50, 3)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_default_separability_matches_paper_regime(self):
+        # §IV-B targets ~97 % accuracy on the training data.
+        from repro.core.lssvm import LSSVC
+
+        X, y = make_planes(512, 32, rng=1)
+        acc = LSSVC(kernel="linear", C=1.0).fit(X, y).score(X, y)
+        assert 0.93 <= acc <= 1.0
+
+    def test_perfectly_separable_without_noise(self):
+        from repro.core.lssvm import LSSVC
+
+        X, y = make_planes(256, 8, class_sep=4.0, flip_fraction=0.0, rng=2)
+        acc = LSSVC(kernel="linear", C=10.0).fit(X, y).score(X, y)
+        assert acc >= 0.99
+
+    def test_label_noise_reduces_separability(self):
+        from repro.core.lssvm import LSSVC
+
+        X0, y0 = make_planes(1000, 4, flip_fraction=0.0, class_sep=4.0, rng=3)
+        X1, y1 = make_planes(1000, 4, flip_fraction=0.3, class_sep=4.0, rng=3)
+        clean = LSSVC(kernel="linear").fit(X0, y0).score(X0, y0)
+        noisy = LSSVC(kernel="linear").fit(X1, y1).score(X1, y1)
+        assert clean > noisy + 0.05
+
+    def test_balance(self):
+        _, y = make_planes(1000, 4, balance=0.8, flip_fraction=0.0, rng=4)
+        assert np.mean(y == 1.0) == pytest.approx(0.8, abs=0.02)
+
+    def test_both_classes_always_present(self):
+        for seed in range(20):
+            _, y = make_planes(4, 2, flip_fraction=0.4, rng=seed)
+            assert len(np.unique(y)) == 2
+
+    def test_dtype(self):
+        X, y = make_planes(10, 2, dtype=np.float32, rng=0)
+        assert X.dtype == np.float32
+        assert y.dtype == np.float32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_points": 1, "num_features": 2},
+            {"num_points": 10, "num_features": 0},
+            {"num_points": 10, "num_features": 2, "flip_fraction": 0.7},
+            {"num_points": 10, "num_features": 2, "balance": 0.0},
+            {"num_points": 10, "num_features": 2, "class_sep": -1.0},
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(DataError):
+            make_planes(**kwargs)
+
+    @given(
+        n=st.integers(2, 64),
+        d=st.integers(1, 8),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_output(self, n, d, seed):
+        X, y = make_planes(n, d, rng=seed)
+        assert X.shape == (n, d)
+        assert np.all(np.isfinite(X))
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+
+class TestSat6:
+    def test_shapes(self):
+        X, y = make_sat6_like(20, rng=0)
+        assert X.shape == (20, NUM_FEATURES)
+        assert NUM_FEATURES == 3136  # 28 * 28 * 4, as in the paper
+
+    def test_pixel_range(self):
+        X, _ = make_sat6_like(20, rng=1)
+        assert X.min() >= 0.0
+        assert X.max() <= 1.0
+
+    def test_binary_labels(self):
+        _, y = make_sat6_like(50, rng=2)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+    def test_man_made_fraction(self):
+        _, y = make_sat6_like(2000, man_made_fraction=0.6, label_noise=0.0, rng=3)
+        assert np.mean(y == -1.0) == pytest.approx(0.6, abs=0.04)
+
+    def test_class_names_returned(self):
+        X, y, classes = make_sat6_like(30, return_class_names=True, label_noise=0.0, rng=4)
+        assert len(classes) == 30
+        assert set(classes) <= set(SAT6_CLASSES)
+        # labels must match class man-made flags when label noise is off.
+        assert np.array_equal(sat6_binary_labels(classes), y)
+
+    def test_classes_are_learnable(self):
+        from repro.core.lssvm import LSSVC
+
+        X, y = make_sat6_like(300, rng=5)
+        acc = LSSVC(kernel="rbf", C=10.0).fit(X, y).score(X, y)
+        assert acc > 0.9
+
+    def test_ir_channel_separates_trees_from_roads(self):
+        X, y, classes = make_sat6_like(
+            400, return_class_names=True, noise=0.02, spectral_jitter=0.0, rng=6
+        )
+        imgs = X.reshape(-1, 28, 28, 4)
+        ir = imgs[..., 3].mean(axis=(1, 2))
+        trees = ir[classes == "trees"]
+        roads = ir[classes == "road"]
+        if len(trees) and len(roads):
+            assert trees.mean() > roads.mean()
+
+    def test_reproducible(self):
+        a, _ = make_sat6_like(10, rng=7)
+        b, _ = make_sat6_like(10, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_unknown_class_name_raises(self):
+        with pytest.raises(DataError):
+            sat6_binary_labels(["skyscraper"])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_images": 1},
+            {"num_images": 10, "man_made_fraction": 1.5},
+            {"num_images": 10, "noise": -0.1},
+            {"num_images": 10, "label_noise": 0.9},
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(DataError):
+            make_sat6_like(**kwargs)
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self, rng):
+        X = rng.standard_normal((100, 3))
+        y = rng.choice([-1.0, 1.0], size=100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25, rng=0)
+        assert Xtr.shape[0] == 75 and Xte.shape[0] == 25
+        assert ytr.shape[0] == 75 and yte.shape[0] == 25
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        X = np.arange(50, dtype=np.float64)[:, None]
+        y = np.ones(50)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_fraction=0.2, rng=1)
+        combined = np.sort(np.concatenate([Xtr.ravel(), Xte.ravel()]))
+        assert np.array_equal(combined, np.arange(50))
+
+    def test_labels_follow_rows(self, rng):
+        X = np.arange(30, dtype=np.float64)[:, None]
+        y = X.ravel() * 10
+        Xtr, Xte, ytr, yte = train_test_split(X, y, rng=2)
+        assert np.allclose(Xtr.ravel() * 10, ytr)
+        assert np.allclose(Xte.ravel() * 10, yte)
+
+    def test_reproducible(self, rng):
+        X = rng.standard_normal((40, 2))
+        y = np.ones(40)
+        a = train_test_split(X, y, rng=3)
+        b = train_test_split(X, y, rng=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_args(self, rng):
+        X = rng.standard_normal((10, 2))
+        with pytest.raises(DataError):
+            train_test_split(X, np.ones(9))
+        with pytest.raises(DataError):
+            train_test_split(X, np.ones(10), test_fraction=1.5)
+        with pytest.raises(DataError):
+            train_test_split(X[:1], np.ones(1))

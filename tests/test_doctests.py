@@ -1,0 +1,19 @@
+"""Execute the package's docstring examples (they must stay honest)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.regression
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.regression],
+    ids=lambda m: m.__name__,
+)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0

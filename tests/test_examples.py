@@ -1,0 +1,45 @@
+"""Smoke tests executing every example script end to end.
+
+The examples are a deliverable in their own right; each must run clean
+from a fresh process (import paths, seeds, assertions inside the scripts)
+and print its expected headline.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "test accuracy"),
+    ("backend_comparison.py", "interchangeable"),
+    ("multi_gpu_scaling.py", "paper anchors"),
+    ("sat6_landcover.py", "rbf kernel"),
+    ("epsilon_study.py", "iterations"),
+    ("libsvm_cli_workflow.py", "plssvm-train"),
+    ("extensions_tour.py", "grid search"),
+    ("profiling_tools.py", "launch census"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert expected in result.stdout, f"{script} output missing {expected!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"

@@ -1,0 +1,396 @@
+"""Tests for the LIBSVM file format and svm-scale workflows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import FileFormatError, ScalingError
+from repro.io.libsvm_format import read_libsvm_file, write_libsvm_file
+from repro.io.scaling import FeatureScaler, load_scaling, save_scaling
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path, rng):
+        X = rng.standard_normal((10, 5))
+        y = rng.choice([-1.0, 1.0], size=10)
+        path = tmp_path / "data.libsvm"
+        write_libsvm_file(path, X, y)
+        X2, y2 = read_libsvm_file(path)
+        assert np.allclose(X, X2, atol=1e-12)
+        assert np.array_equal(y, y2)
+
+    def test_sparse_values_omitted(self, tmp_path):
+        X = np.array([[1.0, 0.0, 3.0], [0.0, 0.0, 0.0]])
+        y = np.array([1.0, -1.0])
+        path = tmp_path / "sparse.libsvm"
+        write_libsvm_file(path, X, y)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "1 1:1 3:3"
+        assert lines[1] == "-1"
+
+    def test_write_zeros_mode(self, tmp_path):
+        X = np.array([[1.0, 0.0]])
+        path = tmp_path / "dense.libsvm"
+        write_libsvm_file(path, X, np.array([1.0]), write_zeros=True)
+        assert "2:0" in path.read_text()
+
+    def test_trailing_zero_features_need_width_hint(self, tmp_path):
+        X = np.array([[1.0, 0.0], [2.0, 0.0]])
+        path = tmp_path / "t.libsvm"
+        write_libsvm_file(path, X, np.array([1.0, -1.0]))
+        X2, _ = read_libsvm_file(path)
+        assert X2.shape[1] == 1  # last column was all zeros -> not inferable
+        X3, _ = read_libsvm_file(path, num_features=2)
+        assert X3.shape == (2, 2)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.libsvm"
+        path.write_text("# header\n\n1 1:2.5  # trailing comment\n-1 2:1\n")
+        X, y = read_libsvm_file(path)
+        assert X.shape == (2, 2)
+        assert np.allclose(y, [1.0, -1.0])
+        assert X[0, 0] == 2.5
+
+    def test_integer_and_float_labels(self, tmp_path):
+        path = tmp_path / "l.libsvm"
+        path.write_text("+1 1:1\n-1 1:2\n2.5 1:3\n")
+        _, y = read_libsvm_file(path)
+        assert np.allclose(y, [1.0, -1.0, 2.5])
+
+    def test_high_precision_roundtrip(self, tmp_path):
+        X = np.array([[np.pi, np.e, 1.0 / 3.0]])
+        path = tmp_path / "p.libsvm"
+        write_libsvm_file(path, X, np.array([1.0]))
+        X2, _ = read_libsvm_file(path)
+        assert np.array_equal(X, X2)  # %.17g is lossless for float64
+
+
+class TestReadErrors:
+    def _file(self, tmp_path, text):
+        p = tmp_path / "bad.libsvm"
+        p.write_text(text)
+        return p
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(FileFormatError, match="no data"):
+            read_libsvm_file(self._file(tmp_path, "# nothing\n"))
+
+    def test_bad_label(self, tmp_path):
+        with pytest.raises(FileFormatError, match="label"):
+            read_libsvm_file(self._file(tmp_path, "abc 1:1\n"))
+
+    def test_bad_feature_entry(self, tmp_path):
+        with pytest.raises(FileFormatError, match="feature entry"):
+            read_libsvm_file(self._file(tmp_path, "1 1:x\n"))
+
+    def test_missing_colon(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            read_libsvm_file(self._file(tmp_path, "1 12\n"))
+
+    def test_zero_index(self, tmp_path):
+        with pytest.raises(FileFormatError, match="1-based"):
+            read_libsvm_file(self._file(tmp_path, "1 0:5\n"))
+
+    def test_non_increasing_indices(self, tmp_path):
+        with pytest.raises(FileFormatError, match="increase"):
+            read_libsvm_file(self._file(tmp_path, "1 2:1 2:2\n"))
+
+    def test_width_hint_too_small(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            read_libsvm_file(self._file(tmp_path, "1 5:1\n"), num_features=3)
+
+    def test_error_reports_line_number(self, tmp_path):
+        with pytest.raises(FileFormatError, match=":2:"):
+            read_libsvm_file(self._file(tmp_path, "1 1:1\nbroken 1:1\n"))
+
+    def test_shape_mismatch_on_write(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            write_libsvm_file(tmp_path / "w", np.ones((2, 2)), np.ones(3))
+
+
+class TestScaler:
+    def test_maps_to_target_interval(self, rng):
+        X = rng.uniform(-5, 20, size=(50, 4))
+        scaled = FeatureScaler(-1, 1).fit_transform(X)
+        assert scaled.min() >= -1.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+        assert np.allclose(scaled.min(axis=0), -1.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_custom_interval(self, rng):
+        X = rng.uniform(0, 1, size=(20, 2))
+        scaled = FeatureScaler(0, 10).fit_transform(X)
+        assert scaled.min() >= 0 and scaled.max() <= 10
+
+    def test_constant_feature_maps_to_midpoint(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        scaled = FeatureScaler(-1, 1).fit_transform(X)
+        assert np.allclose(scaled[:, 1], 0.0)
+
+    def test_train_ranges_applied_to_test(self, rng):
+        X_train = rng.uniform(0, 10, size=(30, 3))
+        X_test = rng.uniform(-5, 15, size=(10, 3))
+        scaler = FeatureScaler().fit(X_train)
+        scaled = scaler.transform(X_test)
+        # Test values outside the training range exceed the target interval,
+        # exactly as svm-scale behaves.
+        assert scaled.min() < -1.0
+        assert scaled.max() > 1.0
+
+    def test_inverse_transform(self, rng):
+        X = rng.uniform(-3, 7, size=(20, 3))
+        scaler = FeatureScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ScalingError):
+            FeatureScaler().transform(np.ones((2, 2)))
+
+    def test_dimension_mismatch_raises(self, rng):
+        scaler = FeatureScaler().fit(rng.uniform(size=(5, 3)))
+        with pytest.raises(ScalingError):
+            scaler.transform(np.ones((2, 4)))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ScalingError):
+            FeatureScaler(1.0, -1.0)
+
+
+class TestScaleFiles:
+    def test_roundtrip(self, tmp_path, rng):
+        X = rng.uniform(-2, 9, size=(20, 5))
+        scaler = FeatureScaler(-1, 1).fit(X)
+        path = tmp_path / "ranges"
+        save_scaling(scaler, path)
+        loaded = load_scaling(path)
+        assert np.allclose(loaded.transform(X), scaler.transform(X))
+        assert loaded.lower == -1.0 and loaded.upper == 1.0
+
+    def test_file_layout_matches_svm_scale(self, tmp_path, rng):
+        scaler = FeatureScaler().fit(rng.uniform(size=(5, 2)))
+        path = tmp_path / "ranges"
+        save_scaling(scaler, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x"
+        assert len(lines[1].split()) == 2
+        assert lines[2].startswith("1 ")
+
+    def test_unfitted_save_raises(self, tmp_path):
+        with pytest.raises(ScalingError):
+            save_scaling(FeatureScaler(), tmp_path / "r")
+
+    def test_malformed_files(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.write_text("y\n-1 1\n")
+        with pytest.raises(ScalingError):
+            load_scaling(bad)
+        bad.write_text("x\n-1 1\n1 2\n")  # range line with 2 fields
+        with pytest.raises(ScalingError):
+            load_scaling(bad)
+        bad.write_text("x\n-1 1\n")  # no features at all
+        with pytest.raises(ScalingError):
+            load_scaling(bad)
+
+
+class TestProperties:
+    @given(
+        X=st.integers(1, 10).flatmap(
+            lambda n: st.integers(1, 6).flatmap(
+                lambda d: arrays(np.float64, (n, d), elements=finite)
+            )
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_file_roundtrip_property(self, X, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("io")
+        y = np.ones(X.shape[0])
+        y[:: 2] = -1.0
+        path = tmp / "f.libsvm"
+        write_libsvm_file(path, X, y)
+        X2, y2 = read_libsvm_file(path, num_features=X.shape[1])
+        assert np.array_equal(X, X2)
+        assert np.array_equal(y, y2)
+
+    @given(
+        X=st.integers(2, 10).flatmap(
+            lambda n: st.integers(1, 5).flatmap(
+                lambda d: arrays(
+                    np.float64,
+                    (n, d),
+                    elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+                )
+            )
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_bounds_property(self, X):
+        scaled = FeatureScaler(-1, 1).fit_transform(X)
+        assert np.all(scaled >= -1.0 - 1e-9)
+        assert np.all(scaled <= 1.0 + 1e-9)
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path, rng):
+        from repro.io.csv_format import read_csv_file, write_csv_file
+
+        X = rng.standard_normal((8, 4))
+        y = rng.choice([-1.0, 1.0], size=8)
+        path = tmp_path / "data.csv"
+        write_csv_file(path, X, y)
+        X2, y2 = read_csv_file(path)
+        assert np.array_equal(X, X2)
+        assert np.array_equal(y, y2)
+
+    def test_header_sniffing(self, tmp_path):
+        from repro.io.csv_format import read_csv_file
+
+        path = tmp_path / "h.csv"
+        path.write_text("label,a,b\n1,0.5,0.25\n-1,0.1,0.2\n")
+        X, y = read_csv_file(path)
+        assert X.shape == (2, 2)
+        assert np.allclose(y, [1.0, -1.0])
+
+    def test_headerless_numeric_first_row(self, tmp_path):
+        from repro.io.csv_format import read_csv_file
+
+        path = tmp_path / "n.csv"
+        path.write_text("1,0.5,0.25\n-1,0.1,0.2\n")
+        X, y = read_csv_file(path)
+        assert X.shape == (2, 2)
+
+    def test_label_column_selection(self, tmp_path):
+        from repro.io.csv_format import read_csv_file
+
+        path = tmp_path / "c.csv"
+        path.write_text("0.5,0.25,1\n0.1,0.2,-1\n")
+        X, y = read_csv_file(path, label_column=-1)
+        assert np.allclose(y, [1.0, -1.0])
+        assert np.allclose(X[0], [0.5, 0.25])
+
+    def test_custom_delimiter(self, tmp_path):
+        from repro.io.csv_format import read_csv_file
+
+        path = tmp_path / "t.tsv"
+        path.write_text("1\t0.5\t0.25\n-1\t0.1\t0.2\n")
+        X, y = read_csv_file(path, delimiter="\t")
+        assert X.shape == (2, 2)
+
+    def test_conversion_to_libsvm(self, tmp_path, rng):
+        from repro.io.csv_format import csv_to_libsvm, write_csv_file
+
+        X = rng.standard_normal((6, 3))
+        y = rng.choice([-1.0, 1.0], size=6)
+        csv_path = tmp_path / "d.csv"
+        libsvm_path = tmp_path / "d.libsvm"
+        write_csv_file(csv_path, X, y)
+        shape = csv_to_libsvm(csv_path, libsvm_path)
+        assert shape == (6, 3)
+        X2, y2 = read_libsvm_file(libsvm_path, num_features=3)
+        assert np.allclose(X, X2)
+        assert np.array_equal(y, y2)
+
+    def test_errors(self, tmp_path):
+        from repro.io.csv_format import read_csv_file
+
+        empty = tmp_path / "empty.csv"
+        empty.write_text("\n\n")
+        with pytest.raises(FileFormatError):
+            read_csv_file(empty)
+
+        ragged = tmp_path / "ragged.csv"
+        ragged.write_text("1,2,3\n1,2\n")
+        with pytest.raises(FileFormatError, match="cells"):
+            read_csv_file(ragged)
+
+        non_numeric = tmp_path / "nn.csv"
+        non_numeric.write_text("a,b\n1,x\n")
+        with pytest.raises(FileFormatError):
+            read_csv_file(non_numeric)
+
+        bad_col = tmp_path / "bc.csv"
+        bad_col.write_text("1,2\n")
+        with pytest.raises(FileFormatError, match="label column"):
+            read_csv_file(bad_col, label_column=5)
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path, rng):
+        from repro.io.binary_format import read_binary_file, write_binary_file
+
+        X = rng.standard_normal((12, 5))
+        y = rng.choice([-1.0, 1.0], size=12)
+        path = tmp_path / "data.plsb"
+        write_binary_file(path, X, y)
+        X2, y2 = read_binary_file(path)
+        assert np.array_equal(X, X2)
+        assert np.array_equal(y, y2)
+
+    def test_roundtrip_without_mmap(self, tmp_path, rng):
+        from repro.io.binary_format import read_binary_file, write_binary_file
+
+        X = rng.standard_normal((4, 3)).astype(np.float32)
+        y = np.ones(4, dtype=np.float32)
+        path = tmp_path / "f32.plsb"
+        write_binary_file(path, X, y)
+        X2, y2 = read_binary_file(path, mmap=False)
+        assert X2.dtype == np.float32
+        assert np.array_equal(X, X2)
+
+    def test_binary_much_smaller_and_lossless(self, tmp_path, rng):
+        from repro.io.binary_format import write_binary_file
+
+        X = rng.standard_normal((100, 50))
+        y = rng.choice([-1.0, 1.0], size=100)
+        text_path = tmp_path / "t.libsvm"
+        bin_path = tmp_path / "t.plsb"
+        write_libsvm_file(text_path, X, y)
+        write_binary_file(bin_path, X, y)
+        assert bin_path.stat().st_size < text_path.stat().st_size
+
+    def test_bad_magic(self, tmp_path):
+        from repro.io.binary_format import read_binary_file
+
+        path = tmp_path / "bad.plsb"
+        path.write_bytes(b"NOPE" + b"\x00" * 60)
+        with pytest.raises(FileFormatError, match="magic"):
+            read_binary_file(path)
+
+    def test_truncated_payload(self, tmp_path, rng):
+        from repro.io.binary_format import read_binary_file, write_binary_file
+
+        path = tmp_path / "trunc.plsb"
+        write_binary_file(path, rng.standard_normal((5, 3)), np.ones(5))
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(FileFormatError, match="truncated"):
+            read_binary_file(path)
+
+    def test_tiny_file(self, tmp_path):
+        from repro.io.binary_format import read_binary_file
+
+        path = tmp_path / "tiny.plsb"
+        path.write_bytes(b"PL")
+        with pytest.raises(FileFormatError, match="too small"):
+            read_binary_file(path)
+
+    def test_unsupported_dtype(self, tmp_path):
+        from repro.io.binary_format import write_binary_file
+
+        with pytest.raises(FileFormatError, match="dtype"):
+            write_binary_file(tmp_path / "x", np.ones((2, 2), dtype=np.int32), np.ones(2))
+
+    def test_trains_from_binary_file(self, tmp_path):
+        from repro import LSSVC
+        from repro.data import make_planes
+        from repro.io.binary_format import read_binary_file, write_binary_file
+
+        X, y = make_planes(96, 8, rng=1)
+        path = tmp_path / "train.plsb"
+        write_binary_file(path, X, y)
+        X2, y2 = read_binary_file(path)
+        clf = LSSVC(kernel="linear").fit(X2, y2)
+        assert clf.score(X2, y2) > 0.9

@@ -1,0 +1,127 @@
+"""Tests for the classification metrics module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.metrics import (
+    ConfusionMatrix,
+    accuracy_score,
+    confusion_matrix,
+    precision_recall_f1,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([1, 1, 1, -1, -1, -1], dtype=float)
+        y_pred = np.array([1, 1, -1, -1, 1, -1], dtype=float)
+        cm = confusion_matrix(y_true, y_pred)
+        assert (cm.true_positive, cm.false_negative) == (2, 1)
+        assert (cm.true_negative, cm.false_positive) == (2, 1)
+        assert cm.total == 6
+        assert cm.accuracy == pytest.approx(4 / 6)
+
+    def test_precision_recall_f1(self):
+        y_true = np.array([1, 1, 1, -1, -1, -1], dtype=float)
+        y_pred = np.array([1, 1, -1, -1, 1, -1], dtype=float)
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_custom_positive_label(self):
+        y_true = np.array([5.0, 5.0, 9.0])
+        y_pred = np.array([5.0, 9.0, 9.0])
+        cm = confusion_matrix(y_true, y_pred, positive_label=5.0)
+        assert cm.true_positive == 1
+        assert cm.false_negative == 1
+        assert cm.true_negative == 1
+
+    def test_degenerate_precision_recall(self):
+        cm = ConfusionMatrix(0, 0, 5, 0)
+        assert cm.precision == 0.0
+        assert cm.recall == 0.0
+        assert cm.f1 == 0.0
+
+    def test_accuracy_score(self):
+        assert accuracy_score([1, -1, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            confusion_matrix(np.ones(3), np.ones(4))
+        with pytest.raises(DataError):
+            accuracy_score([], [])
+
+
+class TestROC:
+    def test_perfect_ranking_auc_one(self):
+        y = np.array([1, 1, -1, -1], dtype=float)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_ranking_auc_zero(self):
+        y = np.array([1, 1, -1, -1], dtype=float)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = np.where(rng.random(4000) < 0.5, 1.0, -1.0)
+        scores = rng.random(4000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        y = np.array([1, -1, 1, -1], dtype=float)
+        fpr, tpr, thresholds = roc_curve(y, np.array([0.9, 0.6, 0.4, 0.1]))
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_tied_scores_collapse(self):
+        y = np.array([1, -1, 1, -1], dtype=float)
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert len(fpr) == 2  # just (0,0) and (1,1)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            roc_curve(np.ones(4), np.arange(4.0))
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_equals_pairwise_ranking_probability(self, seed):
+        """AUC == P(score(pos) > score(neg)) + 0.5 P(tie) — the
+        Mann-Whitney identity, checked by brute force."""
+        rng = np.random.default_rng(seed)
+        n = rng.integers(4, 30)
+        y = np.where(rng.random(n) < 0.5, 1.0, -1.0)
+        if len(np.unique(y)) < 2:
+            y[0], y[1] = 1.0, -1.0
+        scores = rng.integers(0, 5, size=n).astype(float)  # force ties
+        auc = roc_auc_score(y, scores)
+        pos, neg = scores[y == 1.0], scores[y == -1.0]
+        wins = sum((p > q) + 0.5 * (p == q) for p in pos for q in neg)
+        assert auc == pytest.approx(wins / (len(pos) * len(neg)), abs=1e-9)
+
+
+class TestWithClassifier:
+    def test_lssvc_metrics_pipeline(self):
+        from repro import LSSVC
+        from repro.data import make_planes, train_test_split
+
+        X, y = make_planes(512, 16, rng=7)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, rng=7)
+        clf = LSSVC(kernel="rbf", C=10.0).fit(X_tr, y_tr)
+        preds = clf.predict(X_te)
+        scores = clf.decision_function(X_te)
+        pos = clf.model_.labels[0]
+        cm = confusion_matrix(y_te, preds, positive_label=pos)
+        assert cm.accuracy == pytest.approx(clf.score(X_te, y_te))
+        auc = roc_auc_score(y_te, scores, positive_label=pos)
+        assert auc > 0.9  # LS-SVM scores rank well on separable-ish data

@@ -1,0 +1,100 @@
+"""Tests for the Parameter dataclass (hyper-parameter validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.parameter import DEFAULT_EPSILON, Parameter, resolve_gamma
+from repro.types import KernelType
+
+
+class TestDefaults:
+    def test_defaults_match_plssvm(self):
+        p = Parameter()
+        assert p.kernel is KernelType.LINEAR
+        assert p.cost == 1.0
+        assert p.gamma is None
+        assert p.degree == 3
+        assert p.coef0 == 0.0
+        assert p.epsilon == DEFAULT_EPSILON == 1e-3
+        assert p.dtype == np.float64
+
+    def test_kernel_accepts_strings_and_codes(self):
+        assert Parameter(kernel="rbf").kernel is KernelType.RBF
+        assert Parameter(kernel=2).kernel is KernelType.RBF
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cost", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_cost(self, cost):
+        with pytest.raises(InvalidParameterError):
+            Parameter(cost=cost)
+
+    @pytest.mark.parametrize("gamma", [0.0, -0.5, float("nan")])
+    def test_invalid_gamma(self, gamma):
+        with pytest.raises(InvalidParameterError):
+            Parameter(gamma=gamma)
+
+    @pytest.mark.parametrize("degree", [0, -3])
+    def test_invalid_degree(self, degree):
+        with pytest.raises(InvalidParameterError):
+            Parameter(degree=degree)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, 2.0, -1e-3])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            Parameter(epsilon=epsilon)
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(InvalidParameterError):
+            Parameter(max_iter=0)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(InvalidParameterError):
+            Parameter(dtype=np.int32)
+
+    def test_float32_accepted(self):
+        assert Parameter(dtype=np.float32).dtype == np.float32
+
+
+class TestGammaResolution:
+    def test_linear_keeps_none(self):
+        p = Parameter(kernel="linear")
+        assert resolve_gamma(p, 100) is None
+
+    def test_rbf_defaults_to_one_over_features(self):
+        p = Parameter(kernel="rbf")
+        assert resolve_gamma(p, 50) == pytest.approx(1.0 / 50)
+
+    def test_explicit_gamma_wins(self):
+        p = Parameter(kernel="rbf", gamma=0.25)
+        assert resolve_gamma(p, 50) == 0.25
+
+    def test_with_gamma_for_returns_copy(self):
+        p = Parameter(kernel="rbf")
+        q = p.with_gamma_for(10)
+        assert p.gamma is None
+        assert q.gamma == pytest.approx(0.1)
+
+    def test_zero_features_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_gamma(Parameter(kernel="rbf"), 0)
+
+
+class TestUtility:
+    def test_replace(self):
+        p = Parameter(cost=1.0).replace(cost=5.0)
+        assert p.cost == 5.0
+
+    def test_kernel_kwargs(self):
+        p = Parameter(kernel="polynomial", gamma=0.5, degree=4, coef0=1.5)
+        assert p.kernel_kwargs() == {"gamma": 0.5, "degree": 4, "coef0": 1.5}
+
+    def test_describe_mentions_kernel_specifics(self):
+        assert "degree=4" in Parameter(kernel="polynomial", degree=4).describe()
+        assert "gamma" in Parameter(kernel="rbf").describe()
+        assert "gamma" not in Parameter(kernel="linear").describe()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Parameter().cost = 2.0

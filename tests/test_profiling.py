@@ -1,0 +1,197 @@
+"""Tests for the timing instrumentation and statistics."""
+
+import time
+
+import pytest
+
+from repro.profiling.stats import (
+    TimingStats,
+    coefficient_of_variation,
+    speedup,
+    summarize,
+)
+from repro.profiling.timer import COMPONENTS, ComponentTimer, Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("x")
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.02
+        assert t.entries == 2
+
+    def test_add_simulated_time(self):
+        t = Timer()
+        t.add(1.5)
+        t.add(0.5)
+        assert t.elapsed == pytest.approx(2.0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timer().add(-1.0)
+
+    def test_reentry_rejected(self):
+        t = Timer("x")
+        t.__enter__()
+        with pytest.raises(RuntimeError):
+            t.__enter__()
+        t.__exit__(None, None, None)
+
+    def test_reset(self):
+        t = Timer()
+        t.add(3.0)
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.entries == 0
+
+    def test_reset_while_running_rejected(self):
+        t = Timer()
+        t.__enter__()
+        with pytest.raises(RuntimeError):
+            t.reset()
+        t.__exit__(None, None, None)
+
+
+class TestComponentTimer:
+    def test_paper_components_present(self):
+        ct = ComponentTimer()
+        for name in COMPONENTS:
+            assert ct.elapsed(name) == 0.0
+        assert "total" in ct.as_dict()
+
+    def test_sections_accumulate(self):
+        ct = ComponentTimer()
+        ct.section("cg").add(2.0)
+        ct.section("cg").add(1.0)
+        ct.section("read").add(0.5)
+        assert ct.elapsed("cg") == pytest.approx(3.0)
+        assert ct.elapsed("read") == pytest.approx(0.5)
+
+    def test_dynamic_sections(self):
+        ct = ComponentTimer()
+        ct.section("cg_device").add(1.0)
+        assert ct.as_dict()["cg_device"] == 1.0
+
+    def test_untimed_overhead(self):
+        ct = ComponentTimer()
+        ct.section("total").add(10.0)
+        ct.section("cg").add(9.0)
+        ct.section("read").add(0.5)
+        assert ct.untimed == pytest.approx(0.5)
+
+    def test_merge(self):
+        a, b = ComponentTimer(), ComponentTimer()
+        a.section("cg").add(1.0)
+        b.section("cg").add(2.0)
+        a.merge(b)
+        assert a.elapsed("cg") == pytest.approx(3.0)
+
+    def test_report_format(self):
+        ct = ComponentTimer()
+        ct.section("total").add(10.0)
+        ct.section("cg").add(9.2)
+        report = ct.report()
+        assert "cg" in report
+        assert "92.0%" in report
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.count == 3
+        assert s.std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_cv(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_cv_zero_mean(self):
+        assert TimingStats(0.0, 1.0, 0.0, 0.0, 2).cv == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+
+class TestRoofline:
+    def _device_with_launches(self):
+        from repro.simgpu.catalog import default_gpu
+        from repro.simgpu.device import SimulatedDevice
+
+        dev = SimulatedDevice(default_gpu(), "cuda")
+        dev.initialize()
+        # A fat compute-bound kernel (high intensity), twice.
+        for _ in range(2):
+            dev.launch("matvec", flops=1e12, global_bytes=1e9)
+        # A memory-bound kernel (low intensity).
+        dev.launch("vector_ops", flops=1e6, global_bytes=1e9)
+        # A launch-bound sliver.
+        dev.launch("tiny", flops=10.0, global_bytes=10.0)
+        return dev
+
+    def test_report_groups_by_kernel_name(self):
+        from repro.profiling.roofline import roofline_report
+
+        stats = roofline_report(self._device_with_launches())
+        by = {s.name: s for s in stats}
+        assert by["matvec"].launches == 2
+        assert by["vector_ops"].launches == 1
+        assert len(stats) == 3
+
+    def test_bound_classification(self):
+        from repro.profiling.roofline import roofline_report
+
+        by = {s.name: s for s in roofline_report(self._device_with_launches())}
+        assert by["matvec"].bound == "compute"
+        assert by["vector_ops"].bound == "memory"
+        assert by["tiny"].bound == "launch"
+
+    def test_heaviest_kernel_first(self):
+        from repro.profiling.roofline import roofline_report
+
+        stats = roofline_report(self._device_with_launches())
+        assert stats[0].name == "matvec"
+        times = [s.total_seconds for s in stats]
+        assert times == sorted(times, reverse=True)
+
+    def test_fraction_of_peak_bounded_by_efficiency(self):
+        from repro.profiling.roofline import roofline_report
+
+        by = {s.name: s for s in roofline_report(self._device_with_launches())}
+        # A compute-bound CUDA kernel cannot exceed its calibrated 32 %.
+        assert 0.0 < by["matvec"].fraction_of_peak <= 0.32 + 1e-9
+
+    def test_format_roofline(self):
+        from repro.profiling.roofline import format_roofline
+
+        text = format_roofline(self._device_with_launches())
+        assert "A100" in text
+        assert "matvec" in text
+        assert "ridge" in text
+
+    def test_plssvm_training_roofline(self):
+        """End-to-end: PLSSVM's matvec dominates and runs compute-bound."""
+        from repro.core.lssvm import LSSVC
+        from repro.data.synthetic import make_planes
+        from repro.profiling.roofline import roofline_report
+
+        X, y = make_planes(512, 64, rng=0)
+        clf = LSSVC(kernel="linear", backend="cuda").fit(X, y)
+        device = clf._backend_instance.devices[0]
+        stats = roofline_report(device)
+        names = {s.name for s in stats}
+        assert "device_kernel_linear" in names
+        by = {s.name: s for s in stats}
+        assert by["device_kernel_linear"].launches == clf.iterations_

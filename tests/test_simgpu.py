@@ -1,0 +1,322 @@
+"""Tests for the simulated device substrate."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DeviceError, DeviceMemoryError, KernelLaunchError
+from repro.simgpu.catalog import (
+    DEVICE_CATALOG,
+    cpu_spec,
+    default_gpu,
+    device_names,
+    devices_for_platform,
+    get_device_spec,
+)
+from repro.simgpu.costmodel import CostModel, kernel_time, transfer_time
+from repro.simgpu.device import SimulatedDevice
+from repro.simgpu.kernel import KernelLaunch
+from repro.simgpu.spec import DeviceSpec
+from repro.types import TargetPlatform
+
+
+@pytest.fixture
+def a100():
+    return default_gpu()
+
+
+@pytest.fixture
+def device(a100):
+    dev = SimulatedDevice(a100, "cuda")
+    dev.initialize()
+    return dev
+
+
+class TestSpec:
+    def test_catalog_contains_paper_hardware(self):
+        names = device_names()
+        for key in (
+            "nvidia_a100",
+            "nvidia_v100",
+            "nvidia_p100",
+            "nvidia_gtx1080ti",
+            "nvidia_rtx3080",
+            "amd_radeon_vii",
+            "intel_uhd_p630",
+        ):
+            assert key in names
+
+    def test_a100_matches_paper_specs(self, a100):
+        # §IV-A: 40 GB HBM2, 1555 GB/s, 9.7 TFLOPS FP64.
+        assert a100.memory_gib == 40.0
+        assert a100.mem_bandwidth_gbs == 1555.0
+        assert a100.fp64_tflops == 9.7
+
+    def test_no_cuda_on_amd_or_intel(self):
+        assert not get_device_spec("amd_radeon_vii").supports("cuda")
+        assert not get_device_spec("intel_uhd_p630").supports("cuda")
+
+    def test_all_nvidia_support_cuda(self):
+        for spec in devices_for_platform(TargetPlatform.GPU_NVIDIA):
+            assert spec.supports("cuda")
+
+    def test_efficiency_lookup(self, a100):
+        assert a100.efficiency("cuda") == pytest.approx(0.32)
+        with pytest.raises(KeyError):
+            get_device_spec("amd_radeon_vii").efficiency("cuda")
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device_spec("nvidia_h100")
+
+    def test_cpu_spec(self):
+        spec = cpu_spec()
+        assert spec.platform is TargetPlatform.CPU
+        assert spec.supports("openmp")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bogus",
+                platform=TargetPlatform.GPU_NVIDIA,
+                fp64_tflops=-1.0,
+                mem_bandwidth_gbs=100.0,
+                shared_bandwidth_gbs=1000.0,
+                memory_gib=8.0,
+                launch_overhead_us=5.0,
+                init_overhead_s=0.1,
+                pcie_gbs=16.0,
+                backend_efficiency={"cuda": 0.5},
+            )
+
+    def test_efficiency_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bogus",
+                platform=TargetPlatform.GPU_NVIDIA,
+                fp64_tflops=1.0,
+                mem_bandwidth_gbs=100.0,
+                shared_bandwidth_gbs=1000.0,
+                memory_gib=8.0,
+                launch_overhead_us=5.0,
+                init_overhead_s=0.1,
+                pcie_gbs=16.0,
+                backend_efficiency={"cuda": 1.5},
+            )
+
+
+class TestCostModel:
+    def test_compute_bound_kernel(self, a100):
+        # Huge FLOPs, tiny traffic: time ~ flops / sustained.
+        t = kernel_time(a100, 0.32, flops=3.1e12, global_bytes=1e3)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_memory_bound_kernel(self, a100):
+        t = kernel_time(a100, 0.32, flops=1e3, global_bytes=1555e9)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_roofline_takes_max(self, a100):
+        compute_only = kernel_time(a100, 0.32, flops=1e12, global_bytes=0)
+        mem_only = kernel_time(a100, 0.32, flops=0, global_bytes=1e12)
+        both = kernel_time(a100, 0.32, flops=1e12, global_bytes=1e12)
+        assert both == pytest.approx(max(compute_only, mem_only))
+
+    def test_launch_overhead_floor(self, a100):
+        t = kernel_time(a100, 0.32, flops=0, global_bytes=0)
+        assert t == pytest.approx(a100.launch_overhead_us * 1e-6)
+
+    def test_transfer_time_scales_with_bytes(self, a100):
+        one_gib = transfer_time(a100, 1024**3)
+        two_gib = transfer_time(a100, 2 * 1024**3)
+        assert two_gib > one_gib
+        assert one_gib == pytest.approx(10e-6 + 1024**3 / 16e9)
+
+    def test_negative_inputs_raise(self, a100):
+        with pytest.raises(ValueError):
+            kernel_time(a100, 0.32, flops=-1, global_bytes=0)
+        with pytest.raises(ValueError):
+            transfer_time(a100, -5)
+
+    def test_cost_model_binding(self, a100):
+        cm = CostModel(a100, "cuda")
+        assert cm.sustained_flops == pytest.approx(9.7e12 * 0.32)
+        with pytest.raises(KeyError):
+            CostModel(get_device_spec("amd_radeon_vii"), "cuda")
+
+
+class TestSimulatedDevice:
+    def test_requires_initialize(self, a100):
+        dev = SimulatedDevice(a100, "cuda")
+        with pytest.raises(DeviceError):
+            dev.launch("k", flops=1.0, global_bytes=1.0)
+        with pytest.raises(DeviceError):
+            dev.copy_to_device(8)
+
+    def test_initialize_charges_once(self, a100):
+        dev = SimulatedDevice(a100, "cuda")
+        dev.initialize()
+        clock = dev.clock
+        assert clock == pytest.approx(a100.init_overhead_s)
+        dev.initialize()
+        assert dev.clock == clock
+
+    def test_unsupported_backend_rejected(self):
+        with pytest.raises(DeviceError):
+            SimulatedDevice(get_device_spec("amd_radeon_vii"), "cuda")
+
+    def test_launch_advances_clock_and_counters(self, device):
+        before = device.clock
+        launch = device.launch("matvec", flops=1e9, global_bytes=1e6)
+        assert device.clock > before
+        assert device.counters.launches == 1
+        assert device.counters.flops == 1e9
+        assert isinstance(launch, KernelLaunch)
+        assert launch.duration_s > 0
+
+    def test_memory_tracking(self, device):
+        device.malloc("data", 1024)
+        device.malloc("vectors", 2048)
+        assert device.allocated_bytes == 3072
+        device.free("data")
+        assert device.allocated_bytes == 2048
+        assert device.peak_allocated_bytes == 3072
+        assert device.buffer_size("vectors") == 2048
+
+    def test_double_allocation_rejected(self, device):
+        device.malloc("buf", 16)
+        with pytest.raises(DeviceMemoryError):
+            device.malloc("buf", 16)
+
+    def test_free_unknown_rejected(self, device):
+        with pytest.raises(DeviceMemoryError):
+            device.free("ghost")
+
+    def test_capacity_enforced(self, device):
+        # A100 has 40 GiB; the paper notes ThunderSVM's 13 GiB fits but
+        # larger-than-memory problems must fail loudly.
+        with pytest.raises(DeviceMemoryError, match="exceeds"):
+            device.malloc("huge", 41 * 1024**3)
+
+    def test_transfers_counted(self, device):
+        device.copy_to_device(1024)
+        device.copy_from_device(2048)
+        assert device.counters.bytes_to_device == 1024
+        assert device.counters.bytes_from_device == 2048
+        assert device.counters.transfers == 2
+
+    def test_invalid_launch_config(self, device):
+        with pytest.raises(KernelLaunchError):
+            device.launch("k", flops=1.0, global_bytes=0.0, grid_blocks=0)
+
+    def test_reset(self, device):
+        device.malloc("b", 8)
+        device.launch("k", flops=1.0, global_bytes=1.0)
+        device.reset()
+        assert device.clock == 0.0
+        assert device.allocated_bytes == 0
+        assert device.counters.launches == 0
+        assert not device.initialized
+
+    def test_utilization(self, device):
+        device.launch("k", flops=3.104e12, global_bytes=0.0)  # exactly 1s at 32%
+        assert device.utilization_of_peak() <= 0.32 + 1e-6
+        assert device.utilization_of_peak() > 0.2
+
+    def test_summary_keys(self, device):
+        s = device.summary()
+        for key in ("clock_s", "peak_gib", "utilization", "launches", "flops"):
+            assert key in s
+
+
+class TestKernelLaunch:
+    def test_rates(self):
+        k = KernelLaunch("k", flops=2e9, global_bytes=1e9, shared_bytes=0, duration_s=1.0)
+        assert k.gflops_rate == pytest.approx(2.0)
+        assert k.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_zero_traffic_intensity(self):
+        k = KernelLaunch("k", flops=1.0, global_bytes=0, shared_bytes=0, duration_s=1.0)
+        assert math.isinf(k.arithmetic_intensity)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            KernelLaunch("k", flops=1, global_bytes=1, shared_bytes=0, duration_s=-1)
+
+
+class TestTableOneCalibration:
+    """The catalog must preserve Table I's qualitative ordering."""
+
+    def _modeled_time(self, key, backend):
+        spec = DEVICE_CATALOG[key]
+        eff = spec.efficiency(backend)
+        # Time for a fixed compute-bound workload is 1 / (peak * eff).
+        return 1.0 / (spec.fp64_tflops * eff)
+
+    def test_cuda_fastest_on_every_nvidia_gpu(self):
+        for key in ("nvidia_a100", "nvidia_v100", "nvidia_p100", "nvidia_gtx1080ti"):
+            cuda = self._modeled_time(key, "cuda")
+            opencl = self._modeled_time(key, "opencl")
+            sycl = self._modeled_time(key, "sycl_hipsycl")
+            assert cuda <= opencl <= sycl
+
+    def test_hipsycl_cliff_on_old_compute_capability(self):
+        # Table I: >3x slower than CUDA on the P100 (CC 6.0), close on V100+.
+        p100_ratio = self._modeled_time("nvidia_p100", "sycl_hipsycl") / self._modeled_time(
+            "nvidia_p100", "cuda"
+        )
+        a100_ratio = self._modeled_time("nvidia_a100", "sycl_hipsycl") / self._modeled_time(
+            "nvidia_a100", "cuda"
+        )
+        assert p100_ratio > 3.0
+        assert a100_ratio < 1.5
+
+    def test_dpcpp_slower_than_opencl_on_intel(self):
+        intel = DEVICE_CATALOG["intel_uhd_p630"]
+        assert intel.efficiency("sycl_dpcpp") < intel.efficiency("opencl")
+
+    def test_thundersvm_kernel_efficiency(self):
+        # §IV-C: ThunderSVM's best kernel reaches only ~2.4 % of FP64 peak.
+        assert DEVICE_CATALOG["nvidia_a100"].efficiency("cuda_smo") == pytest.approx(
+            0.024
+        )
+
+
+class TestChromeTrace:
+    def test_events_reconstruct_timeline(self, device):
+        from repro.simgpu.trace import trace_events
+
+        device.launch("a", flops=3.104e10, global_bytes=0.0)  # 10 ms
+        device.launch("b", flops=3.104e10, global_bytes=0.0)
+        events = trace_events([device])
+        assert len(events) == 2
+        assert events[0]["name"] == "a"
+        assert events[1]["ts"] == pytest.approx(events[0]["dur"], rel=1e-9)
+        assert events[0]["ph"] == "X"
+
+    def test_write_chrome_trace(self, device, tmp_path):
+        import json
+
+        from repro.simgpu.trace import write_chrome_trace
+
+        device.launch("k", flops=1e9, global_bytes=1e6)
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, [device])
+        assert count == 1
+        payload = json.loads(path.read_text())
+        kinds = {e["ph"] for e in payload["traceEvents"]}
+        assert kinds == {"M", "X"}  # metadata + complete events
+
+    def test_multi_device_rows(self, a100, tmp_path):
+        from repro.simgpu.trace import write_chrome_trace
+
+        devices = [SimulatedDevice(a100, "cuda", device_id=i) for i in range(3)]
+        for dev in devices:
+            dev.initialize()
+            dev.launch("k", flops=1e9, global_bytes=1e6)
+        path = tmp_path / "multi.json"
+        write_chrome_trace(path, devices)
+        import json
+
+        events = json.loads(path.read_text())["traceEvents"]
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tids == {0, 1, 2}

@@ -1,0 +1,322 @@
+"""Tests for the SMO baselines (LIBSVM-style and ThunderSVM-style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lssvm import LSSVC, encode_labels
+from repro.data.synthetic import make_planes
+from repro.exceptions import NotFittedError
+from repro.parameter import Parameter
+from repro.simgpu.catalog import default_gpu
+from repro.simgpu.device import SimulatedDevice
+from repro.smo.kernel_cache import KernelCache
+from repro.smo.libsvm import LibSVMClassifier, _update_pair, smo_solve
+from repro.smo.storage import DenseStorage, SparseStorage, make_storage
+from repro.smo.thundersvm import ThunderSVMClassifier, thunder_smo_solve
+
+
+class TestKernelCache:
+    def test_hit_miss_accounting(self):
+        calls = []
+        cache = KernelCache(lambda i: (calls.append(i), np.full(4, i))[1], 32, 1024)
+        cache.get(1)
+        cache.get(1)
+        cache.get(2)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert calls == [1, 2]
+        assert 0 < cache.hit_rate < 1
+
+    def test_lru_eviction(self):
+        cache = KernelCache(lambda i: np.full(2, i), row_bytes=16, capacity_bytes=32)
+        assert cache.max_rows == 2
+        cache.get(1)
+        cache.get(2)
+        cache.get(1)  # touch 1 -> 2 is LRU
+        cache.get(3)  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_budget_always_allows_one_row(self):
+        cache = KernelCache(lambda i: np.full(100, i), row_bytes=800, capacity_bytes=10)
+        assert cache.max_rows == 1
+        assert np.all(cache.get(5) == 5)
+
+    def test_clear(self):
+        cache = KernelCache(lambda i: np.full(2, i), 16, 1024)
+        cache.get(0)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KernelCache(lambda i: None, 0, 10)
+        with pytest.raises(ValueError):
+            KernelCache(lambda i: None, 8, 0)
+
+
+class TestStorage:
+    def test_sparse_roundtrip(self, rng):
+        X = rng.standard_normal((6, 5))
+        X[X < 0] = 0.0  # introduce sparsity
+        sp = SparseStorage(X)
+        assert np.allclose(sp.to_dense(), X)
+        assert sp.nnz == np.count_nonzero(X)
+        assert 0 <= sp.density <= 1
+
+    @pytest.mark.parametrize("kernel,kw", [
+        ("linear", {"gamma": None, "degree": 3, "coef0": 0.0}),
+        ("rbf", {"gamma": 0.3, "degree": 3, "coef0": 0.0}),
+        ("polynomial", {"gamma": 0.2, "degree": 2, "coef0": 1.0}),
+    ])
+    def test_sparse_and_dense_kernel_rows_agree(self, rng, kernel, kw):
+        from repro.types import KernelType
+
+        X = rng.standard_normal((8, 6))
+        X[rng.random(X.shape) < 0.4] = 0.0
+        k = KernelType.from_name(kernel)
+        dense, sparse = DenseStorage(X), SparseStorage(X)
+        for i in range(X.shape[0]):
+            assert np.allclose(
+                dense.kernel_row(i, k, **kw), sparse.kernel_row(i, k, **kw), atol=1e-12
+            )
+
+    def test_batched_rows_agree_with_single(self, rng):
+        from repro.types import KernelType
+
+        X = rng.standard_normal((7, 4))
+        st = DenseStorage(X)
+        kw = {"gamma": 0.5, "degree": 3, "coef0": 0.0}
+        idx = np.array([0, 3, 5])
+        batch = st.kernel_rows(idx, KernelType.RBF, **kw)
+        for row, i in zip(batch, idx):
+            assert np.allclose(row, st.kernel_row(i, KernelType.RBF, **kw))
+
+    def test_sparse_handles_empty_rows(self):
+        from repro.types import KernelType
+
+        X = np.array([[0.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        sp = SparseStorage(X)
+        row = sp.kernel_row(1, KernelType.LINEAR, gamma=None, degree=3, coef0=0.0)
+        assert np.allclose(row, [0.0, 5.0, 0.0])
+
+    def test_make_storage(self, rng):
+        X = rng.standard_normal((3, 2))
+        assert isinstance(make_storage(X, "dense"), DenseStorage)
+        assert isinstance(make_storage(X, "sparse"), SparseStorage)
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            make_storage(X, "csr5")
+
+
+class TestPairUpdate:
+    def test_constraint_preserved(self, rng):
+        # y_i a_i + y_j a_j must be invariant under the pair update.
+        for _ in range(200):
+            yi, yj = rng.choice([-1.0, 1.0], size=2)
+            C = float(rng.uniform(0.5, 5.0))
+            ai, aj = float(rng.uniform(0, C)), float(rng.uniform(0, C))
+            Gi, Gj = rng.standard_normal(2)
+            Kii, Kjj = rng.uniform(0.5, 2.0, size=2)
+            Kij = float(rng.uniform(-0.5, 0.5))
+            ni, nj = _update_pair(ai, aj, yi, yj, Gi, Gj, Kii, Kjj, Kij, C)
+            assert yi * ni + yj * nj == pytest.approx(yi * ai + yj * aj, abs=1e-9)
+            assert -1e-12 <= ni <= C + 1e-12
+            assert -1e-12 <= nj <= C + 1e-12
+
+
+def _kkt_violation(storage, y, alpha, param):
+    """Maximal KKT violation m(alpha) - M(alpha) of a dual solution."""
+    n = storage.num_points
+    kw = dict(gamma=param.gamma, degree=param.degree, coef0=param.coef0)
+    G = -np.ones(n)
+    for i in range(n):
+        if alpha[i] != 0.0:
+            G += alpha[i] * y[i] * y * storage.kernel_row(i, param.kernel, **kw)
+    C = param.cost
+    minus_yG = -y * G
+    up = ((y > 0) & (alpha < C)) | ((y < 0) & (alpha > 0))
+    low = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < C))
+    return float(minus_yG[up].max() - minus_yG[low].min())
+
+
+class TestLibSVMSolver:
+    def test_kkt_optimality(self):
+        X, y = make_planes(96, 6, rng=3)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="linear", cost=1.0).with_gamma_for(X.shape[1])
+        st = DenseStorage(X)
+        res = smo_solve(st, y_enc, param, eps=1e-3)
+        assert _kkt_violation(st, y_enc, res.alpha, param) <= 1e-3 + 1e-9
+
+    def test_equality_constraint(self):
+        X, y = make_planes(64, 4, rng=4)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="rbf", cost=5.0).with_gamma_for(X.shape[1])
+        res = smo_solve(DenseStorage(X), y_enc, param, eps=1e-3)
+        assert float(y_enc @ res.alpha) == pytest.approx(0.0, abs=1e-9)
+
+    def test_box_constraints(self):
+        X, y = make_planes(64, 4, rng=5)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="linear", cost=2.0).with_gamma_for(X.shape[1])
+        res = smo_solve(DenseStorage(X), y_enc, param, eps=1e-3)
+        assert np.all(res.alpha >= -1e-12)
+        assert np.all(res.alpha <= 2.0 + 1e-12)
+
+    def test_shrinking_matches_no_shrinking(self):
+        X, y = make_planes(128, 8, rng=6)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="linear", cost=1.0).with_gamma_for(X.shape[1])
+        st = DenseStorage(X)
+        a = smo_solve(st, y_enc, param, eps=1e-4, shrinking=False)
+        b = smo_solve(st, y_enc, param, eps=1e-4, shrinking=True, shrink_interval=50)
+        # Both must be KKT-optimal to the same tolerance (alphas can differ
+        # when the solution is degenerate, but violations must not).
+        assert _kkt_violation(st, y_enc, a.alpha, param) <= 1e-3
+        assert _kkt_violation(st, y_enc, b.alpha, param) <= 1e-3
+
+    def test_two_point_problem_analytic(self):
+        # Two separable points: the margin midpoint is the boundary.
+        X = np.array([[0.0], [2.0]])
+        y = np.array([-1.0, 1.0])
+        clf = LibSVMClassifier(kernel="linear", C=100.0).fit(X, y)
+        assert clf.predict(np.array([[0.9]]))[0] == -1.0
+        assert clf.predict(np.array([[1.1]]))[0] == 1.0
+        assert clf.decision_function(np.array([1.0])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_classifier_accuracy(self, planes_medium):
+        X, y = planes_medium
+        clf = LibSVMClassifier(kernel="linear", C=1.0).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_sparse_dense_layouts_same_predictions(self, planes_small):
+        X, y = planes_small
+        a = LibSVMClassifier(kernel="linear", C=1.0, layout="sparse").fit(X, y)
+        b = LibSVMClassifier(kernel="linear", C=1.0, layout="dense").fit(X, y)
+        agree = np.mean(a.predict(X) == b.predict(X))
+        assert agree >= 0.98
+
+    def test_only_support_vectors_kept(self):
+        X, y = make_planes(128, 4, class_sep=3.0, flip_fraction=0.0, rng=7)
+        clf = LibSVMClassifier(kernel="linear", C=1.0).fit(X, y)
+        # Well-separated data: only a few points carry the margin (the SMO
+        # sparsity property that LS-SVM gives up).
+        assert clf.num_support_vectors < X.shape[0] / 2
+
+    def test_custom_labels(self, planes_small):
+        X, y = planes_small
+        y_named = np.where(y > 0, 10.0, 20.0)
+        clf = LibSVMClassifier(kernel="linear").fit(X, y_named)
+        assert set(np.unique(clf.predict(X))) <= {10.0, 20.0}
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LibSVMClassifier().predict(np.ones((1, 2)))
+
+    def test_agrees_with_lssvc_on_accuracy(self, planes_medium):
+        X, y = planes_medium
+        smo_acc = LibSVMClassifier(kernel="linear", C=1.0).fit(X, y).score(X, y)
+        ls_acc = LSSVC(kernel="linear", C=1.0).fit(X, y).score(X, y)
+        assert abs(smo_acc - ls_acc) < 0.05
+
+
+class TestThunderSolver:
+    def test_kkt_optimality(self):
+        X, y = make_planes(160, 8, rng=8)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="linear", cost=1.0).with_gamma_for(X.shape[1])
+        st = DenseStorage(X)
+        res = thunder_smo_solve(st, y_enc, param, eps=1e-3, working_set_size=64)
+        assert _kkt_violation(st, y_enc, res.alpha, param) <= 1e-3 + 1e-9
+
+    def test_matches_libsvm_predictions(self, planes_medium):
+        X, y = planes_medium
+        a = LibSVMClassifier(kernel="rbf", C=10.0).fit(X, y)
+        b = ThunderSVMClassifier(kernel="rbf", C=10.0).fit(X, y)
+        agree = np.mean(a.predict(X) == b.predict(X))
+        assert agree >= 0.97
+
+    def test_equality_and_box_constraints(self):
+        X, y = make_planes(100, 5, rng=9)
+        y_enc, _ = encode_labels(y)
+        param = Parameter(kernel="linear", cost=3.0).with_gamma_for(X.shape[1])
+        res = thunder_smo_solve(DenseStorage(X), y_enc, param, working_set_size=32)
+        assert float(y_enc @ res.alpha) == pytest.approx(0.0, abs=1e-8)
+        assert np.all((res.alpha >= -1e-12) & (res.alpha <= 3.0 + 1e-12))
+
+    def test_working_set_capped_at_n(self, planes_small):
+        X, y = planes_small
+        clf = ThunderSVMClassifier(kernel="linear", working_set_size=10_000).fit(X, y)
+        assert clf.score(X, y) > 0.85
+
+    def test_gpu_mode_charges_device(self, planes_small):
+        X, y = planes_small
+        device = SimulatedDevice(default_gpu(), "cuda_smo")
+        clf = ThunderSVMClassifier(kernel="linear", device=device).fit(X, y)
+        assert clf.result_.device_launches > 0
+        assert clf.device_time() > 0
+        assert device.counters.launches == clf.result_.device_launches + 0
+        # Five launches per outer iteration (rows, 2x select, local, update).
+        assert clf.result_.device_launches == 5 * clf.result_.outer_iterations
+
+    def test_gpu_mode_does_not_change_result(self, planes_small):
+        X, y = planes_small
+        device = SimulatedDevice(default_gpu(), "cuda_smo")
+        cpu = ThunderSVMClassifier(kernel="linear").fit(X, y)
+        gpu = ThunderSVMClassifier(kernel="linear", device=device).fit(X, y)
+        assert np.allclose(cpu.result_.alpha, gpu.result_.alpha)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ThunderSVMClassifier().decision_function(np.ones((1, 2)))
+
+    def test_device_time_requires_device(self, planes_small):
+        X, y = planes_small
+        clf = ThunderSVMClassifier(kernel="linear").fit(X, y)
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            clf.device_time()
+
+
+class TestSMOvsLSSVM:
+    """Cross-checks between the two formulations (Ye & Xiong's theme)."""
+
+    def test_similar_decision_boundaries_on_separable_data(self):
+        X, y = make_planes(128, 2, class_sep=2.5, flip_fraction=0.0, rng=10)
+        smo = LibSVMClassifier(kernel="linear", C=10.0).fit(X, y)
+        ls = LSSVC(kernel="linear", C=10.0).fit(X, y)
+        grid = np.random.default_rng(0).uniform(-4, 4, size=(400, 2))
+        agree = np.mean(smo.predict(grid) == ls.predict(grid))
+        assert agree > 0.9
+
+    def test_lssvm_uses_all_points_smo_does_not(self):
+        X, y = make_planes(128, 4, class_sep=3.0, flip_fraction=0.0, rng=11)
+        smo = LibSVMClassifier(kernel="linear", C=1.0).fit(X, y)
+        ls = LSSVC(kernel="linear", C=1.0).fit(X, y)
+        assert ls.model_.num_support_vectors == X.shape[0]
+        assert smo.num_support_vectors < X.shape[0]
+
+
+class TestSparseStorageBatched:
+    def test_sparse_batched_rows_agree_with_single(self, rng):
+        from repro.types import KernelType
+
+        X = rng.standard_normal((9, 5))
+        X[rng.random(X.shape) < 0.5] = 0.0
+        st = SparseStorage(X)
+        kw = {"gamma": 0.4, "degree": 3, "coef0": 0.0}
+        idx = np.array([1, 4, 8])
+        batch = st.kernel_rows(idx, KernelType.RBF, **kw)
+        for row, i in zip(batch, idx):
+            assert np.allclose(row, st.kernel_row(i, KernelType.RBF, **kw))
+
+    def test_thunder_with_sparse_layout(self, planes_small):
+        X, y = planes_small
+        Xs = X.copy()
+        Xs[np.abs(Xs) < 0.5] = 0.0
+        dense = ThunderSVMClassifier(kernel="linear", layout="dense").fit(Xs, y)
+        sparse = ThunderSVMClassifier(kernel="linear", layout="sparse").fit(Xs, y)
+        agree = np.mean(dense.predict(Xs) == sparse.predict(Xs))
+        assert agree >= 0.98

@@ -1,0 +1,97 @@
+"""Tests for the shared enumerations."""
+
+import pytest
+
+from repro.types import (
+    BackendType,
+    KernelType,
+    SolverStatus,
+    SyclImplementation,
+    TargetPlatform,
+)
+
+
+class TestKernelType:
+    def test_from_name_strings(self):
+        assert KernelType.from_name("linear") is KernelType.LINEAR
+        assert KernelType.from_name("polynomial") is KernelType.POLYNOMIAL
+        assert KernelType.from_name("poly") is KernelType.POLYNOMIAL
+        assert KernelType.from_name("rbf") is KernelType.RBF
+        assert KernelType.from_name("radial") is KernelType.RBF
+        assert KernelType.from_name("gaussian") is KernelType.RBF
+        assert KernelType.from_name("sigmoid") is KernelType.SIGMOID
+
+    def test_from_name_is_case_insensitive(self):
+        assert KernelType.from_name("  RBF ") is KernelType.RBF
+        assert KernelType.from_name("Linear") is KernelType.LINEAR
+
+    def test_from_libsvm_integer_codes(self):
+        # The -t codes of svm-train.
+        assert KernelType.from_name(0) is KernelType.LINEAR
+        assert KernelType.from_name(1) is KernelType.POLYNOMIAL
+        assert KernelType.from_name(2) is KernelType.RBF
+        assert KernelType.from_name(3) is KernelType.SIGMOID
+
+    def test_from_enum_is_identity(self):
+        assert KernelType.from_name(KernelType.RBF) is KernelType.RBF
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            KernelType.from_name("fourier")
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            KernelType.from_name(7)
+
+    def test_str(self):
+        assert str(KernelType.LINEAR) == "linear"
+
+
+class TestBackendType:
+    def test_from_name(self):
+        for name in ("openmp", "cuda", "opencl", "sycl", "automatic"):
+            assert BackendType.from_name(name).value == name
+
+    def test_from_enum(self):
+        assert BackendType.from_name(BackendType.CUDA) is BackendType.CUDA
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BackendType.from_name("vulkan")
+
+
+class TestSyclImplementation:
+    def test_names(self):
+        assert SyclImplementation.from_name("hipsycl") is SyclImplementation.HIPSYCL
+        assert SyclImplementation.from_name("dpcpp") is SyclImplementation.DPCPP
+
+    def test_dpcpp_spelling_variants(self):
+        assert SyclImplementation.from_name("DPC++") is SyclImplementation.DPCPP
+        assert SyclImplementation.from_name("dpc-pp") is SyclImplementation.DPCPP
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            SyclImplementation.from_name("computecpp")
+
+
+class TestTargetPlatform:
+    def test_from_name(self):
+        assert TargetPlatform.from_name("cpu") is TargetPlatform.CPU
+        assert TargetPlatform.from_name("gpu_nvidia") is TargetPlatform.GPU_NVIDIA
+
+    def test_is_gpu(self):
+        assert TargetPlatform.GPU_NVIDIA.is_gpu
+        assert TargetPlatform.GPU_AMD.is_gpu
+        assert TargetPlatform.GPU_INTEL.is_gpu
+        assert not TargetPlatform.CPU.is_gpu
+        assert not TargetPlatform.AUTOMATIC.is_gpu
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            TargetPlatform.from_name("gpu_apple")
+
+
+class TestSolverStatus:
+    def test_str(self):
+        assert str(SolverStatus.CONVERGED) == "converged"
+        assert str(SolverStatus.MAX_ITERATIONS) == "max_iterations"
