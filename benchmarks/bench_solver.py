@@ -1,0 +1,231 @@
+"""Perf harness for the shared kernel-tile pipeline / block-CG solver stack.
+
+Times three before/after comparisons on synthetic data and writes the
+numbers to ``BENCH_solver.json`` at the repository root:
+
+* ``single_vs_block`` — k one-RHS CG solves against one block-CG solve on
+  the same implicit RBF operator: the block solve pays one kernel-tile
+  sweep per iteration for all k systems.
+* ``tile_cache`` — the same implicit solve with the cross-iteration tile
+  cache disabled vs enabled: every sweep after the first replays cached
+  GEMMs instead of recomputing kernel entries.
+* ``multiclass`` — 4-class one-vs-all RBF training: the legacy path
+  (``shared_solve=False``, one operator assembly + one CG solve per
+  class, exactly the pre-block-solver behaviour) against the shared path
+  (one assembly, one block solve for the whole ensemble).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py [--points 4000 ...]
+
+Not a pytest-benchmark module on purpose: the scenarios time *pairs* of
+code paths against each other rather than regenerating a paper figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cg import conjugate_gradient, conjugate_gradient_block
+from repro.core.multiclass import OneVsAllLSSVC
+from repro.core.qmatrix import build_reduced_system
+from repro.data.synthetic import make_multiclass
+from repro.parameter import Parameter
+from repro.profiling.stats import reset_solver_counters, solver_counters
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _class_targets(y: np.ndarray) -> np.ndarray:
+    classes = np.unique(y)
+    return np.stack([np.where(y == c, 1.0, -1.0) for c in classes], axis=1)
+
+
+def bench_single_vs_block(
+    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
+) -> dict:
+    """k independent CG solves vs one block solve on one implicit operator."""
+    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
+    Y = _class_targets(y)
+    param = Parameter(kernel="rbf", cost=10.0)
+    qmat, _ = build_reduced_system(X, Y[:, 0], param, implicit=True)
+    B = Y[:-1, :] - Y[-1:, :]
+
+    reset_solver_counters()
+    single_seconds, singles = _timed(
+        lambda: [
+            conjugate_gradient(qmat, B[:, j], epsilon=epsilon)
+            for j in range(B.shape[1])
+        ]
+    )
+    single_sweeps = solver_counters().tile_sweeps
+
+    reset_solver_counters()
+    block_seconds, block = _timed(
+        lambda: conjugate_gradient_block(qmat, B, epsilon=epsilon)
+    )
+    block_sweeps = solver_counters().tile_sweeps
+
+    return {
+        "points": m,
+        "rhs_columns": int(B.shape[1]),
+        "single_seconds": single_seconds,
+        "block_seconds": block_seconds,
+        "speedup": single_seconds / block_seconds,
+        "single_iterations": [r.iterations for r in singles],
+        "block_iterations": block.iterations,
+        "single_tile_sweeps": single_sweeps,
+        "block_tile_sweeps": block_sweeps,
+        "block_status": block.status.name,
+    }
+
+
+def bench_tile_cache(
+    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
+) -> dict:
+    """The same block solve with the cross-iteration tile cache off vs on."""
+    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
+    Y = _class_targets(y)
+    param = Parameter(kernel="rbf", cost=10.0)
+    B = Y[:-1, :] - Y[-1:, :]
+
+    def solve(cache_mb):
+        qmat, _ = build_reduced_system(
+            X, Y[:, 0], param, implicit=True, tile_cache_mb=cache_mb
+        )
+        return conjugate_gradient_block(qmat, B, epsilon=epsilon)
+
+    reset_solver_counters()
+    uncached_seconds, _ = _timed(lambda: solve(0.0))
+    uncached = solver_counters().as_dict()
+
+    reset_solver_counters()
+    cached_seconds, _ = _timed(lambda: solve(None))
+    cached = solver_counters().as_dict()
+
+    return {
+        "points": m,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": uncached_seconds / cached_seconds,
+        "uncached_counters": uncached,
+        "cached_counters": cached,
+        "cache_hit_rate": solver_counters().cache_hit_rate,
+    }
+
+
+def bench_multiclass(
+    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
+) -> dict:
+    """Pre-PR per-class one-vs-all training vs the shared block solve."""
+    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
+
+    def fit(shared: bool, **kwargs) -> OneVsAllLSSVC:
+        clf = OneVsAllLSSVC(
+            kernel="rbf", C=10.0, epsilon=epsilon, shared_solve=shared, **kwargs
+        )
+        clf.fit(X, y)
+        return clf
+
+    legacy_seconds, legacy = _timed(lambda: fit(False))
+    shared_seconds, shared = _timed(lambda: fit(True))
+
+    # A third run on the implicit path surfaces the tile-cache counters for
+    # a problem of this size (the explicit path has no tiles to cache).
+    reset_solver_counters()
+    implicit_seconds, _ = _timed(lambda: fit(True, implicit=True))
+    implicit_counters = solver_counters().as_dict()
+
+    return {
+        "points": m,
+        "num_classes": num_classes,
+        "legacy_seconds": legacy_seconds,
+        "shared_seconds": shared_seconds,
+        "speedup": legacy_seconds / shared_seconds,
+        "legacy_accuracy": legacy.score(X, y),
+        "shared_accuracy": shared.score(X, y),
+        "shared_implicit": {
+            "seconds": implicit_seconds,
+            "counters": implicit_counters,
+            "cache_hit_rate": solver_counters().cache_hit_rate,
+        },
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    report = {
+        "harness": "benchmarks/bench_solver.py",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "points": args.points,
+            "solver_points": args.solver_points,
+            "features": args.features,
+            "classes": args.classes,
+            "epsilon": args.epsilon,
+            "seed": args.seed,
+        },
+        "scenarios": {},
+    }
+    print(f"[1/3] single-RHS CG x{args.classes} vs block CG "
+          f"(implicit RBF, m={args.solver_points}) ...")
+    report["scenarios"]["single_vs_block"] = bench_single_vs_block(
+        args.solver_points, args.features, args.classes, args.epsilon, args.seed
+    )
+    print(f"[2/3] tile cache off vs on (implicit RBF, m={args.solver_points}) ...")
+    report["scenarios"]["tile_cache"] = bench_tile_cache(
+        args.solver_points, args.features, args.classes, args.epsilon, args.seed
+    )
+    print(f"[3/3] one-vs-all legacy vs shared block solve (m={args.points}) ...")
+    report["scenarios"]["multiclass"] = bench_multiclass(
+        args.points, args.features, args.classes, args.epsilon, args.seed
+    )
+    return report
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=4000,
+                        help="training points for the multiclass scenario")
+    parser.add_argument("--solver-points", type=int, default=2000,
+                        help="training points for the solver-level scenarios")
+    parser.add_argument("--features", type=int, default=16)
+    parser.add_argument("--classes", type=int, default=4)
+    parser.add_argument("--epsilon", type=float, default=1e-3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    sv = report["scenarios"]["single_vs_block"]
+    tc = report["scenarios"]["tile_cache"]
+    mc = report["scenarios"]["multiclass"]
+    print(f"\nsingle vs block : {sv['single_seconds']:.2f}s -> "
+          f"{sv['block_seconds']:.2f}s ({sv['speedup']:.2f}x, "
+          f"{sv['single_tile_sweeps']} -> {sv['block_tile_sweeps']} tile sweeps)")
+    print(f"tile cache      : {tc['uncached_seconds']:.2f}s -> "
+          f"{tc['cached_seconds']:.2f}s ({tc['speedup']:.2f}x, "
+          f"hit rate {tc['cache_hit_rate']:.1%})")
+    print(f"multiclass      : {mc['legacy_seconds']:.2f}s -> "
+          f"{mc['shared_seconds']:.2f}s ({mc['speedup']:.2f}x, "
+          f"accuracy {mc['legacy_accuracy']:.3f} -> {mc['shared_accuracy']:.3f})")
+    print(f"[saved to {args.output}]")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ Package map
 from .core import (
     LSSVC,
     LSSVR,
+    BlockCGResult,
     CGResult,
     LSSVMModel,
     OneVsAllLSSVC,
@@ -36,6 +37,7 @@ from .core import (
     SparseLSSVC,
     WeightedLSSVC,
     conjugate_gradient,
+    conjugate_gradient_block,
 )
 from .parameter import Parameter
 from .types import BackendType, KernelType, SolverStatus, TargetPlatform
@@ -51,7 +53,9 @@ __all__ = [
     "WeightedLSSVC",
     "SparseLSSVC",
     "CGResult",
+    "BlockCGResult",
     "conjugate_gradient",
+    "conjugate_gradient_block",
     "Parameter",
     "KernelType",
     "BackendType",

@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--num_devices", type=int, default=1, help="simulated devices (linear kernel)"
     )
     parser.add_argument(
+        "--solver-threads",
+        type=int,
+        default=None,
+        help="worker threads for the kernel-tile sweeps of the implicit "
+        "matvec (default: OMP_NUM_THREADS / CPU count)",
+    )
+    parser.add_argument(
+        "--tile-cache-mb",
+        type=float,
+        default=None,
+        help="byte budget (MiB) of the cross-iteration kernel-tile cache "
+        "(0 disables; default 256)",
+    )
+    parser.add_argument(
         "--float32", action="store_true", help="train in single precision"
     )
     parser.add_argument(
@@ -103,6 +117,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         target=args.target_platform,
         n_devices=args.num_devices,
         dtype=np.float32 if args.float32 else np.float64,
+        solver_threads=args.solver_threads,
+        tile_cache_mb=args.tile_cache_mb,
     )
     with clf.timings_.section("read"):
         X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
@@ -146,6 +162,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"parameters: {clf.param.describe()}")
         print(f"CG iterations: {clf.iterations_}")
         print(f"final relative residual: {clf.result_.residual:.3e}")
+        from ..profiling import solver_counters
+
+        counters = solver_counters()
+        if counters.tile_sweeps:
+            print(
+                f"tile sweeps: {counters.tile_sweeps}, tiles computed: "
+                f"{counters.tiles_computed}, cache hit rate: "
+                f"{counters.cache_hit_rate:.1%} "
+                f"({counters.cache_hits} hits / {counters.cache_misses} misses / "
+                f"{counters.cache_evictions} evictions)"
+            )
         print(clf.timings_.report())
     print(
         f"trained on {X.shape[0]} points x {X.shape[1]} features "

@@ -13,13 +13,15 @@ everything else in this package is the machinery behind its ``fit``:
 * :mod:`repro.core.lssvm` — the high-level classifier.
 """
 
-from .cg import CGResult, conjugate_gradient
+from .cg import BlockCGResult, CGResult, conjugate_gradient, conjugate_gradient_block
 from .kernels import (
     kernel_diagonal,
     kernel_matrix,
     kernel_row,
     kernel_scalar,
+    squared_row_norms,
 )
+from .tile_pipeline import TileCache, TilePipeline
 from .lssvm import LSSVC
 from .model import LSSVMModel
 from .multiclass import OneVsAllLSSVC, OneVsOneLSSVC
@@ -30,7 +32,12 @@ from .weighted import WeightedLSSVC, hampel_weights
 
 __all__ = [
     "CGResult",
+    "BlockCGResult",
     "conjugate_gradient",
+    "conjugate_gradient_block",
+    "TilePipeline",
+    "TileCache",
+    "squared_row_norms",
     "kernel_scalar",
     "kernel_row",
     "kernel_matrix",

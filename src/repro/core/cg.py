@@ -29,7 +29,13 @@ import numpy as np
 from ..exceptions import ConvergenceWarning, InvalidParameterError
 from ..types import SolverStatus
 
-__all__ = ["LinearOperatorLike", "CGResult", "conjugate_gradient"]
+__all__ = [
+    "LinearOperatorLike",
+    "CGResult",
+    "BlockCGResult",
+    "conjugate_gradient",
+    "conjugate_gradient_block",
+]
 
 
 class LinearOperatorLike(Protocol):
@@ -84,8 +90,20 @@ def _as_operator(A: Union[np.ndarray, LinearOperatorLike]) -> LinearOperatorLike
             def matvec(v: np.ndarray) -> np.ndarray:
                 return A @ v
 
+            @staticmethod
+            def matvec_multi(V: np.ndarray) -> np.ndarray:
+                return A @ V
+
         return _DenseOp()
     return A
+
+
+def _matvec_multi(op: LinearOperatorLike, V: np.ndarray) -> np.ndarray:
+    """``A @ V`` via the operator's batched path, or a column loop fallback."""
+    fn = getattr(op, "matvec_multi", None)
+    if fn is not None:
+        return fn(V)
+    return np.column_stack([op.matvec(V[:, j]) for j in range(V.shape[1])])
 
 
 def conjugate_gradient(
@@ -111,8 +129,10 @@ def conjugate_gradient(
     epsilon:
         Relative residual termination threshold (paper default 1e-3).
     max_iter:
-        Iteration cap; defaults to the system size (exact-arithmetic CG
-        terminates in at most ``n`` steps).
+        Iteration cap; defaults to ``max(2 * n, 10)`` — twice the system
+        size, because finite-precision CG routinely needs more than the
+        exact-arithmetic bound of ``n`` steps (plus a floor of 10 so tiny
+        systems are not cut off mid-convergence).
     x0:
         Initial guess (zeros by default — the paper's choice).
     recompute_interval:
@@ -227,3 +247,258 @@ def conjugate_gradient(
             stacklevel=2,
         )
     return CGResult(x, iteration, rel_res, status, history)
+
+
+@dataclasses.dataclass
+class BlockCGResult:
+    """Outcome of a block-CG solve of ``A @ X = B`` with ``k`` columns.
+
+    Attributes
+    ----------
+    X:
+        Solution block, shape ``(n, k)``.
+    iterations:
+        Block iterations performed; each costs *one* operator sweep
+        (``matvec_multi``), not ``k`` separate matvecs.
+    residuals:
+        Final per-column relative residuals ``||r_j|| / ||b_j||``.
+    status:
+        Termination reason (worst column governs).
+    residual_history:
+        Maximum per-column relative residual after every iteration
+        (index 0 = initial guess).
+    """
+
+    X: np.ndarray
+    iterations: int
+    residuals: np.ndarray
+    status: SolverStatus
+    residual_history: List[float]
+
+    @property
+    def converged(self) -> bool:
+        return self.status is SolverStatus.CONVERGED
+
+    @property
+    def residual(self) -> float:
+        """Worst (maximum) per-column relative residual."""
+        return float(self.residuals.max()) if self.residuals.size else 0.0
+
+    def column(self, j: int) -> CGResult:
+        """Per-column view as a :class:`CGResult` (for per-machine reporting)."""
+        return CGResult(
+            x=self.X[:, j],
+            iterations=self.iterations,
+            residual=float(self.residuals[j]),
+            status=self.status,
+            residual_history=list(self.residual_history),
+        )
+
+
+def _block_solve(G: np.ndarray, RHS: np.ndarray) -> np.ndarray:
+    """Solve the small ``k x k`` Gram system, falling back to least squares.
+
+    The rQ recursion keeps the search block orthonormal, so its Gram matrix
+    is well-conditioned in ordinary runs; the least-squares fallback covers
+    the residual rank collapse of an exact invariant subspace without
+    aborting the whole block.
+    """
+    try:
+        out = np.linalg.solve(G, RHS)
+        if np.all(np.isfinite(out)):
+            return out
+    except np.linalg.LinAlgError:
+        pass
+    return np.linalg.lstsq(G, RHS, rcond=None)[0]
+
+
+def conjugate_gradient_block(
+    A: Union[np.ndarray, LinearOperatorLike],
+    B: np.ndarray,
+    *,
+    epsilon: float = 1e-3,
+    max_iter: Optional[int] = None,
+    X0: Optional[np.ndarray] = None,
+    recompute_interval: int = 50,
+    preconditioner: Optional[np.ndarray] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+    warn_on_no_convergence: bool = True,
+) -> BlockCGResult:
+    """Solve ``A @ X = B`` for all ``k`` columns of ``B`` simultaneously.
+
+    Block CG (O'Leary, *The block conjugate gradient algorithm and related
+    methods*) carries all right-hand sides through one Krylov recursion:
+    every iteration performs a single operator application ``A @ P`` on the
+    whole direction block — for the tile-pipeline operators that is **one
+    kernel-tile sweep shared by all k systems**, the multi-RHS amortization
+    this solver exists for. As a bonus the block Krylov space is richer
+    than any single-vector space, so the block solve typically needs *no
+    more* (often fewer) iterations than the slowest individual solve.
+
+    The recursion is Dubrulle's rQ variant (*Retooling the method of block
+    conjugate gradients*): the residual block is carried in QR-factored
+    form ``R = Q @ phi`` and the search block stays orthonormal, so the
+    per-iteration Gram systems remain well-conditioned even when ``B`` is
+    exactly rank-deficient. That matters here: the one-vs-all multi-class
+    right-hand sides sum to the zero vector by construction (each row of
+    the class-indicator matrix holds one ``+1`` and ``k-1`` ``-1``\\ s), a
+    configuration on which the textbook recursion breaks down.
+
+    A diagonal ``preconditioner`` is applied as the exact symmetric
+    transform ``(D^-1/2 A D^-1/2)(D^1/2 X) = D^-1/2 B``, which keeps the
+    transformed system SPD; convergence is still measured on the original,
+    untransformed residuals.
+
+    Parameters mirror :func:`conjugate_gradient`; ``B`` and ``X0`` are
+    ``(n, k)`` blocks (a 1-D ``b`` is accepted and treated as ``k=1``).
+    ``max_iter`` defaults to ``max(2 * n, 10)``, the same cap as the
+    single-vector solver. Convergence requires *every* column's relative
+    residual ``||r_j|| / ||b_j||`` to drop below ``epsilon``; zero columns
+    of ``B`` are converged by definition.
+    """
+    op = _as_operator(A)
+    B = np.asarray(B, dtype=op.dtype)
+    squeeze = B.ndim == 1
+    if squeeze:
+        B = B[:, None]
+    n = op.shape[0]
+    if B.ndim != 2 or B.shape[0] != n:
+        raise InvalidParameterError(
+            f"rhs block of shape {B.shape} does not match operator size {n}"
+        )
+    k = B.shape[1]
+    if k == 0:
+        raise InvalidParameterError("rhs block has no columns")
+    if not (0.0 < epsilon < 1.0):
+        raise InvalidParameterError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if recompute_interval < 1:
+        raise InvalidParameterError("recompute_interval must be positive")
+    if max_iter is None:
+        max_iter = max(2 * n, 10)
+
+    inv_diag: Optional[np.ndarray] = None
+    if preconditioner is not None:
+        inv_diag = np.asarray(preconditioner, dtype=op.dtype).ravel()
+        if inv_diag.shape[0] != n:
+            raise InvalidParameterError("preconditioner length does not match system")
+        if np.any(inv_diag <= 0):
+            raise InvalidParameterError(
+                "Jacobi preconditioner requires strictly positive diagonal entries"
+            )
+        inv_diag = 1.0 / inv_diag
+
+    b_norms = np.linalg.norm(B, axis=0)
+    # Zero columns have the zero solution; scale them by 1 so their (zero)
+    # residual never divides by zero and they read as converged.
+    scale = np.where(b_norms > 0.0, b_norms, 1.0)
+    if np.all(b_norms == 0.0):
+        return BlockCGResult(
+            X=np.zeros((n, k), dtype=op.dtype),
+            iterations=0,
+            residuals=np.zeros(k),
+            status=SolverStatus.CONVERGED,
+            residual_history=[0.0],
+        )
+
+    # Jacobi preconditioning as an exact symmetric diagonal transform: the
+    # iteration runs on D^-1/2 A D^-1/2 with unknowns D^1/2 X, which stays
+    # SPD and keeps the rQ recursion's plain inner products valid.
+    sqrt_d: Optional[np.ndarray] = None
+    isqrt_d: Optional[np.ndarray] = None
+    if inv_diag is not None:
+        isqrt_d = np.sqrt(inv_diag)
+        sqrt_d = 1.0 / isqrt_d
+
+    def apply_op(V: np.ndarray) -> np.ndarray:
+        if isqrt_d is None:
+            return _matvec_multi(op, V)
+        return isqrt_d[:, None] * _matvec_multi(op, isqrt_d[:, None] * V)
+
+    Bt = B if isqrt_d is None else isqrt_d[:, None] * B
+    if X0 is None:
+        Xt = np.zeros((n, k), dtype=op.dtype)
+        R = Bt.copy()
+    else:
+        Xt = np.array(X0, dtype=op.dtype).reshape(n, k)
+        if sqrt_d is not None:
+            Xt = sqrt_d[:, None] * Xt
+        R = Bt - apply_op(Xt)
+
+    def untransform(Xt_: np.ndarray) -> np.ndarray:
+        return Xt_ if isqrt_d is None else isqrt_d[:, None] * Xt_
+
+    # rQ representation: R = Qb @ phi with Qb orthonormal. The reduced QR
+    # caps the block width at min(n, k); column norms of the small factor
+    # phi are exactly the residual column norms.
+    Qb, phi = np.linalg.qr(R)
+
+    def column_residuals() -> np.ndarray:
+        if sqrt_d is None:
+            return np.linalg.norm(phi, axis=0) / scale
+        # Convergence is judged on the original-space residual D^1/2 Qb phi.
+        return np.linalg.norm(sqrt_d[:, None] * (Qb @ phi), axis=0) / scale
+
+    rel = column_residuals()
+    history = [float(rel.max())]
+
+    if np.all(rel <= epsilon):
+        return BlockCGResult(untransform(Xt), 0, rel, SolverStatus.CONVERGED, history)
+
+    P = Qb.copy()
+    eye = np.eye(P.shape[1], dtype=op.dtype)
+    status = SolverStatus.MAX_ITERATIONS
+    iteration = 0
+    best_res = float(rel.max())
+    best_X = Xt.copy()
+    best_rel = rel.copy()
+    stall = 0
+    for iteration in range(1, max_iter + 1):
+        T = apply_op(P)  # ONE sweep for all k columns
+        M = P.T @ T
+        diag = np.einsum("ii->i", M)
+        if not np.all(np.isfinite(M)) or np.all(diag <= 0.0):
+            # Curvature lost on every direction: numerically not SPD.
+            status = SolverStatus.STAGNATED
+            iteration -= 1
+            break
+        Minv = _block_solve(M, eye)
+        Xt += P @ (Minv @ phi)
+        if iteration % recompute_interval == 0:
+            # Re-sync the factored residual with the true one and restart
+            # the direction block (plain-CG restarts are safe, just slower).
+            Qb, phi = np.linalg.qr(Bt - apply_op(Xt))
+            P = Qb.copy()
+        else:
+            Qb, zeta = np.linalg.qr(Qb - T @ Minv)
+            phi = zeta @ phi
+            P = Qb + P @ zeta.T
+        rel = column_residuals()
+        worst = float(rel.max())
+        history.append(worst)
+        if callback is not None:
+            callback(iteration, worst)
+        if np.all(rel <= epsilon):
+            status = SolverStatus.CONVERGED
+            break
+        if worst < best_res:
+            best_res = worst
+            best_X[:] = Xt
+            best_rel[:] = rel
+            stall = 0
+        elif not np.isfinite(worst) or worst > 1e3 * best_res or stall >= 50:
+            # Finite-precision breakdown; return the best block iterate.
+            status = SolverStatus.STAGNATED
+            Xt = best_X
+            rel = best_rel
+            break
+        else:
+            stall += 1
+
+    if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
+        warnings.warn(
+            f"block CG stopped after {iteration} iterations with worst relative "
+            f"residual {float(rel.max()):.3e} > epsilon={epsilon:.3e}",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return BlockCGResult(untransform(Xt), iteration, rel, status, history)

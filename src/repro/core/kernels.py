@@ -32,6 +32,7 @@ __all__ = [
     "kernel_diagonal",
     "kernel_matrix_tiles",
     "kernel_flops_per_entry",
+    "squared_row_norms",
     "validate_kernel_params",
 ]
 
@@ -56,9 +57,27 @@ def _gram(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a @ b.T
 
 
-def _sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    aa = np.einsum("ij,ij->i", a, a)[:, None]
-    bb = np.einsum("ij,ij->i", b, b)[None, :]
+def squared_row_norms(points: np.ndarray) -> np.ndarray:
+    """``||p||²`` per row — the reusable half of the RBF distance expansion.
+
+    The radial kernel's squared distances expand as
+    ``||x||² - 2<x,y> + ||y||²``; the norms depend only on the points, so a
+    matvec pipeline that sweeps the same rows every CG iteration computes
+    them once and passes them back in via ``kernel_matrix(..., a_sq=, b_sq=)``
+    instead of recomputing ``O(m d)`` work per tile per sweep.
+    """
+    pts = _as_2d(points)
+    return np.einsum("ij,ij->i", pts, pts)
+
+
+def _sq_dists(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_sq: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    aa = (np.einsum("ij,ij->i", a, a) if a_sq is None else a_sq)[:, None]
+    bb = (np.einsum("ij,ij->i", b, b) if b_sq is None else b_sq)[None, :]
     d = aa + bb - 2.0 * _gram(a, b)
     np.maximum(d, 0.0, out=d)
     return d
@@ -75,8 +94,16 @@ def _polynomial(a: np.ndarray, b: np.ndarray, gamma, degree, coef0) -> np.ndarra
     return out ** degree
 
 
-def _rbf(a: np.ndarray, b: np.ndarray, gamma, degree, coef0) -> np.ndarray:
-    out = _sq_dists(a, b)
+def _rbf(
+    a: np.ndarray,
+    b: np.ndarray,
+    gamma,
+    degree,
+    coef0,
+    a_sq: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    out = _sq_dists(a, b, a_sq, b_sq)
     out *= -gamma
     np.exp(out, out=out)
     return out
@@ -115,8 +142,15 @@ def kernel_matrix(
     gamma: Optional[float] = None,
     degree: int = 3,
     coef0: float = 0.0,
+    a_sq: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Dense kernel matrix ``K[i, j] = k(a_i, b_j)`` of shape ``(len(a), len(b))``."""
+    """Dense kernel matrix ``K[i, j] = k(a_i, b_j)`` of shape ``(len(a), len(b))``.
+
+    ``a_sq`` / ``b_sq`` optionally supply precomputed
+    :func:`squared_row_norms` of ``a`` / ``b``; only the radial kernel uses
+    them (the dot-product kernels have no distance term).
+    """
     kernel = KernelType.from_name(kernel)
     validate_kernel_params(kernel, gamma, degree, coef0)
     a2, b2 = _as_2d(a), _as_2d(b)
@@ -124,6 +158,8 @@ def kernel_matrix(
         raise InvalidParameterError(
             f"feature dimensions differ: {a2.shape[1]} vs {b2.shape[1]}"
         )
+    if kernel is KernelType.RBF:
+        return _rbf(a2, b2, gamma, degree, coef0, a_sq, b_sq)
     return _KERNELS[kernel](a2, b2, gamma, degree, coef0)
 
 
@@ -192,6 +228,8 @@ def kernel_matrix_tiles(
     degree: int = 3,
     coef0: float = 0.0,
     tile_rows: int = 1024,
+    a_sq: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
 ) -> Iterator[Tuple[slice, np.ndarray]]:
     """Yield ``(row_slice, K[row_slice, :])`` tiles of the kernel matrix.
 
@@ -199,7 +237,8 @@ def kernel_matrix_tiles(
     the non-linear kernels: only ``tile_rows * len(b)`` entries are live at
     any time, independent of ``len(a)``, exactly like the paper's
     recompute-per-use strategy (§III-B) avoids storing the ``(m-1)²``
-    matrix.
+    matrix. ``a_sq`` / ``b_sq`` forward precomputed
+    :func:`squared_row_norms` to the radial kernel.
     """
     if tile_rows <= 0:
         raise InvalidParameterError("tile_rows must be positive")
@@ -207,7 +246,14 @@ def kernel_matrix_tiles(
     for start in range(0, a2.shape[0], tile_rows):
         rows = slice(start, min(start + tile_rows, a2.shape[0]))
         yield rows, kernel_matrix(
-            a2[rows], b, kernel, gamma=gamma, degree=degree, coef0=coef0
+            a2[rows],
+            b,
+            kernel,
+            gamma=gamma,
+            degree=degree,
+            coef0=coef0,
+            a_sq=None if a_sq is None else a_sq[rows],
+            b_sq=b_sq,
         )
 
 

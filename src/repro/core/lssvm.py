@@ -82,7 +82,8 @@ class LSSVC:
     epsilon:
         CG relative-residual termination criterion (paper default 1e-3).
     max_iter:
-        CG iteration cap (default: system size).
+        CG iteration cap (default: ``max(2 * n, 10)`` for system size
+        ``n``; see :func:`repro.core.cg.conjugate_gradient`).
     backend:
         ``None`` for the plain NumPy path, otherwise a backend name /
         :class:`BackendType` / ready-made backend instance. ``"automatic"``
@@ -104,6 +105,14 @@ class LSSVC:
         Run the CG matvecs on a CSR representation of the data — the
         paper's "sparse data structures for the CG solver" future-work
         item, delivered for the linear kernel. Requires ``backend=None``.
+    solver_threads:
+        Worker threads for the kernel-tile sweeps of the implicit matvec
+        (and the OpenMP backend's pool when ``backend="openmp"``);
+        ``None`` resolves like an OpenMP runtime.
+    tile_cache_mb:
+        Byte budget (MiB) of the cross-iteration kernel-tile cache used by
+        the matrix-free non-linear path; ``0`` disables it, ``None`` keeps
+        the default (:data:`repro.core.tile_pipeline.DEFAULT_TILE_CACHE_MB`).
     """
 
     def __init__(
@@ -123,6 +132,8 @@ class LSSVC:
         implicit: Optional[bool] = None,
         jacobi: bool = False,
         sparse: bool = False,
+        solver_threads: Optional[int] = None,
+        tile_cache_mb: Optional[float] = None,
     ) -> None:
         self.param = Parameter(
             kernel=kernel,
@@ -142,6 +153,8 @@ class LSSVC:
         self.implicit = implicit
         self.jacobi = jacobi
         self.sparse = bool(sparse)
+        self.solver_threads = solver_threads
+        self.tile_cache_mb = tile_cache_mb
         if self.sparse and backend is not None:
             raise DataError("sparse CG runs on the NumPy path; use backend=None")
         self.model_: Optional[LSSVMModel] = None
@@ -160,8 +173,15 @@ class LSSVC:
         from ..backends import create_backend  # deferred: backends import core
 
         if isinstance(self.backend, (str, BackendType)):
+            kwargs = {}
+            if BackendType.from_name(self.backend) is BackendType.OPENMP:
+                # The host backend shares the solver's threading/cache knobs.
+                if self.solver_threads is not None:
+                    kwargs["num_threads"] = self.solver_threads
+                if self.tile_cache_mb is not None:
+                    kwargs["tile_cache_mb"] = self.tile_cache_mb
             self._backend_instance = create_backend(
-                self.backend, target=self.target, n_devices=self.n_devices
+                self.backend, target=self.target, n_devices=self.n_devices, **kwargs
             )
         else:
             self._backend_instance = self.backend
@@ -175,7 +195,14 @@ class LSSVC:
 
                 qmat: QMatrixBase = SparseImplicitQMatrix(X, y, self.param)
                 return qmat, qmat.rhs()
-            return build_reduced_system(X, y, self.param, implicit=self.implicit)
+            return build_reduced_system(
+                X,
+                y,
+                self.param,
+                implicit=self.implicit,
+                solver_threads=self.solver_threads,
+                tile_cache_mb=self.tile_cache_mb,
+            )
         qmat = backend.create_qmatrix(X, y, self.param)
         return qmat, qmat.rhs()
 

@@ -24,8 +24,12 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import DataError, NotFittedError
+from ..parameter import Parameter
 from ..types import KernelType
+from .cg import conjugate_gradient_block
 from .lssvm import LSSVC
+from .model import LSSVMModel
+from .qmatrix import build_reduced_system
 
 __all__ = ["OneVsAllLSSVC", "OneVsOneLSSVC"]
 
@@ -65,8 +69,24 @@ class _MulticlassBase:
         degree: int = 3,
         coef0: float = 0.0,
         epsilon: float = 1e-3,
+        implicit: Optional[bool] = None,
+        solver_threads: Optional[int] = None,
+        tile_cache_mb: Optional[float] = None,
         estimator_factory: Optional[Callable[[], object]] = None,
     ) -> None:
+        self.kernel = kernel
+        self.C = C
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.epsilon = epsilon
+        self.implicit = implicit
+        self.solver_threads = solver_threads
+        self.tile_cache_mb = tile_cache_mb
+        # The shared block solve builds the reduced system itself; it only
+        # applies when the machines are the default LSSVC (a custom factory
+        # may wrap any estimator, whose fit we must not bypass).
+        self._default_factory = estimator_factory is None
         if estimator_factory is None:
             def estimator_factory() -> LSSVC:  # noqa: F811 - intentional default
                 return LSSVC(
@@ -76,6 +96,9 @@ class _MulticlassBase:
                     degree=degree,
                     coef0=coef0,
                     epsilon=epsilon,
+                    implicit=implicit,
+                    solver_threads=solver_threads,
+                    tile_cache_mb=tile_cache_mb,
                 )
 
         self._factory = estimator_factory
@@ -101,13 +124,27 @@ class OneVsAllLSSVC(_MulticlassBase):
     (+1) from all other classes (-1). Ties resolve to the machine with the
     largest decision value — the LS-SVM's decision values are calibrated
     against the +/-1 targets, making argmax meaningful.
+
+    All ``K`` machines share the same training points, so their reduced
+    systems share the same ``Q_tilde`` — only the right-hand sides differ
+    (``y`` re-signed per class). The default path therefore assembles
+    **one** operator and solves all ``K`` systems with a single block-CG
+    run: one kernel-tile sweep per iteration for the whole ensemble,
+    instead of ``K`` independent sweeps. ``shared_solve=False`` (or a
+    custom ``estimator_factory``) falls back to per-class fits.
     """
+
+    def __init__(self, *args, shared_solve: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.shared_solve = bool(shared_solve)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
         y = np.asarray(y).ravel()
         self.classes_ = _unique_labels(y)
         self.machines_: List[object] = []
         X = np.asarray(X)
+        if self.shared_solve and self._default_factory:
+            return self._fit_shared(X, y)
         for label in self.classes_:
             binary = np.where(y == label, 1.0, -1.0)
             if not np.any(binary == 1.0):
@@ -115,6 +152,60 @@ class OneVsAllLSSVC(_MulticlassBase):
             X_ord, binary_ord = _positive_first(X, binary)
             clf = self._factory()
             clf.fit(X_ord, binary_ord)
+            self.machines_.append(clf)
+        return self
+
+    def _fit_shared(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
+        """Train every one-vs-rest machine from one block solve.
+
+        The per-class systems differ only in their labels: the reduced
+        matrix of Eq. 14 depends on ``X`` (and ``C``) alone, while the
+        right-hand side ``y_bar - y_m * 1`` and the bias recovery of
+        Eq. 15 take the class-specific ``+1/-1`` targets. No reordering is
+        needed (unlike :func:`_positive_first` on the legacy path): the
+        orientation is pinned by constructing the targets as +1 for the
+        class itself.
+        """
+        param = Parameter(
+            kernel=self.kernel,
+            cost=self.C,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            epsilon=self.epsilon,
+        )
+        X = np.ascontiguousarray(X, dtype=param.dtype)
+        # (m, K) matrix of per-class +1/-1 targets.
+        Y = np.stack(
+            [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
+        )
+        qmat, _ = build_reduced_system(
+            X,
+            Y[:, 0],
+            param,
+            implicit=self.implicit,
+            solver_threads=self.solver_threads,
+            tile_cache_mb=self.tile_cache_mb,
+        )
+        B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
+        result = conjugate_gradient_block(
+            qmat, B, epsilon=self.epsilon, max_iter=param.max_iter
+        )
+        for j, _ in enumerate(self.classes_):
+            alpha_bar = result.X[:, j]
+            s = float(alpha_bar.sum())
+            # Eq. 15 with this machine's eliminated target Y[-1, j].
+            bias = float(Y[-1, j]) + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
+            alpha = np.concatenate([alpha_bar, np.asarray([-s], dtype=qmat.dtype)])
+            clf = self._factory()
+            clf.model_ = LSSVMModel(
+                support_vectors=qmat.X,
+                alpha=alpha,
+                bias=bias,
+                param=qmat.param,
+                labels=(1.0, -1.0),
+            )
+            clf.result_ = result.column(j)
             self.machines_.append(clf)
         return self
 

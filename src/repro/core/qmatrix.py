@@ -41,7 +41,7 @@ import numpy as np
 from ..exceptions import DataError
 from ..parameter import Parameter
 from ..types import KernelType
-from .kernels import kernel_matrix, kernel_matrix_tiles, kernel_row, kernel_scalar
+from .kernels import kernel_matrix, kernel_row, kernel_scalar
 
 __all__ = [
     "QMatrixBase",
@@ -166,9 +166,31 @@ class QMatrixBase(abc.ABC):
         out += self.q_mm * s
         return out
 
+    def _rank_one_terms_multi(self, V: np.ndarray) -> np.ndarray:
+        """Column-wise :meth:`_rank_one_terms` for a block ``V`` of vectors."""
+        s = V.sum(axis=0)
+        qv = self.q_bar @ V
+        out = self.ridge_bar[:, None] * V
+        out -= qv[None, :]
+        out -= self.q_bar[:, None] * s[None, :]
+        out += self.q_mm * s[None, :]
+        return out
+
     @abc.abstractmethod
     def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
         """``K_bar @ v`` where ``K_bar[i,j] = k(x_i, x_j)`` over the first m-1 points."""
+
+    def _kernel_matvec_multi(self, V: np.ndarray) -> np.ndarray:
+        """``K_bar @ V`` for a block of vectors; default is a column loop.
+
+        Subclasses that can batch the kernel work (one tile sweep for all
+        columns) override this — that is the whole point of block CG.
+        """
+        return np.column_stack([self._kernel_matvec(V[:, j]) for j in range(V.shape[1])])
+
+    def _apply(self, v: np.ndarray) -> np.ndarray:
+        """``Q_tilde @ v`` without touching the solver matvec counter."""
+        return self._kernel_matvec(v) + self._rank_one_terms(v)
 
     def matvec(self, v: np.ndarray) -> np.ndarray:
         """Compute ``Q_tilde @ v``."""
@@ -178,7 +200,24 @@ class QMatrixBase(abc.ABC):
                 f"vector length {v.shape[0]} does not match system size {self.shape[0]}"
             )
         self.num_matvecs += 1
-        return self._kernel_matvec(v) + self._rank_one_terms(v)
+        return self._apply(v)
+
+    def matvec_multi(self, V: np.ndarray) -> np.ndarray:
+        """Compute ``Q_tilde @ V`` for a block ``V`` of shape ``(n, k)``.
+
+        Counts as ``k`` logical matvecs (the quantity profiling reports),
+        even though subclasses with a tile pipeline perform only *one*
+        kernel sweep for the whole block.
+        """
+        V = np.asarray(V, dtype=self.dtype)
+        if V.ndim == 1:
+            V = V[:, None]
+        if V.ndim != 2 or V.shape[0] != self.shape[0]:
+            raise DataError(
+                f"block of shape {V.shape} does not match system size {self.shape[0]}"
+            )
+        self.num_matvecs += V.shape[1]
+        return self._kernel_matvec_multi(V) + self._rank_one_terms_multi(V)
 
     def __matmul__(self, v: np.ndarray) -> np.ndarray:
         return self.matvec(v)
@@ -188,10 +227,15 @@ class QMatrixBase(abc.ABC):
         return reduced_rhs(self.y)
 
     def to_dense(self) -> np.ndarray:
-        """Materialize Q_tilde (intended for tests and small systems)."""
+        """Materialize Q_tilde (intended for tests and small systems).
+
+        Bypasses the matvec counter: the ``n`` products here are test
+        scaffolding, not solver work, and must not pollute the per-solve
+        matvec counts the profiling layer and benchmarks report.
+        """
         n = self.shape[0]
         eye = np.eye(n, dtype=self.dtype)
-        cols = [self.matvec(eye[i]) for i in range(n)]
+        cols = [self._apply(eye[i]) for i in range(n)]
         return np.column_stack(cols)
 
 
@@ -218,16 +262,22 @@ class ExplicitQMatrix(QMatrixBase):
         self._dense = K
 
     def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:  # pragma: no cover
-        raise AssertionError("ExplicitQMatrix overrides matvec directly")
+        raise AssertionError("ExplicitQMatrix overrides _apply directly")
 
-    def matvec(self, v: np.ndarray) -> np.ndarray:
-        v = np.asarray(v, dtype=self.dtype).ravel()
-        if v.shape[0] != self.shape[0]:
-            raise DataError(
-                f"vector length {v.shape[0]} does not match system size {self.shape[0]}"
-            )
-        self.num_matvecs += 1
+    def _apply(self, v: np.ndarray) -> np.ndarray:
+        # _dense already carries the ridge and rank-one corrections.
         return self._dense @ v
+
+    def matvec_multi(self, V: np.ndarray) -> np.ndarray:
+        V = np.asarray(V, dtype=self.dtype)
+        if V.ndim == 1:
+            V = V[:, None]
+        if V.ndim != 2 or V.shape[0] != self.shape[0]:
+            raise DataError(
+                f"block of shape {V.shape} does not match system size {self.shape[0]}"
+            )
+        self.num_matvecs += V.shape[1]
+        return self._dense @ V
 
     def to_dense(self) -> np.ndarray:
         return np.array(self._dense, copy=True)
@@ -236,11 +286,24 @@ class ExplicitQMatrix(QMatrixBase):
 class ImplicitQMatrix(QMatrixBase):
     """Matrix-free Q_tilde: kernel entries are recomputed per use (§III-B).
 
+    The non-linear kernels route through the shared
+    :class:`repro.core.tile_pipeline.TilePipeline`: threaded tile
+    evaluation with precomputed RBF row norms, and a byte-budgeted
+    cross-iteration tile cache so CG iterations after the first replay
+    cached GEMMs instead of recomputing kernel entries.
+
     Parameters
     ----------
     tile_rows:
         Row-tile height for the non-linear kernels; bounds peak memory at
-        ``tile_rows * (m-1)`` kernel entries per matvec.
+        ``tile_rows * (m-1)`` kernel entries per matvec (per worker).
+    solver_threads:
+        Worker threads for the tile sweep; ``None`` resolves like an
+        OpenMP runtime (``PLSSVM_NUM_THREADS`` / CPU count), ``1`` is
+        serial.
+    tile_cache_mb:
+        Byte budget (MiB) of the tile cache; ``0`` disables it. Above the
+        budget the cache switches itself off (see tile_pipeline docs).
     """
 
     def __init__(
@@ -252,23 +315,55 @@ class ImplicitQMatrix(QMatrixBase):
         tile_rows: int = 1024,
         ridge: Optional[np.ndarray] = None,
         binary_labels: bool = True,
+        solver_threads: Optional[int] = None,
+        tile_cache_mb: Optional[float] = None,
     ) -> None:
         super().__init__(X, y, param, ridge=ridge, binary_labels=binary_labels)
         if tile_rows <= 0:
             raise DataError("tile_rows must be positive")
         self.tile_rows = int(tile_rows)
+        self._solver_threads = solver_threads
+        self._tile_cache_mb = tile_cache_mb
+        self._pipeline = None
+
+    @property
+    def pipeline(self):
+        """The lazily built tile pipeline (non-linear kernels only)."""
+        if self.param.kernel is KernelType.LINEAR:
+            return None
+        if self._pipeline is None:
+            from .tile_pipeline import DEFAULT_TILE_CACHE_MB, TilePipeline
+
+            cache_mb = (
+                DEFAULT_TILE_CACHE_MB
+                if self._tile_cache_mb is None
+                else self._tile_cache_mb
+            )
+            kw = self.param.kernel_kwargs()
+            self._pipeline = TilePipeline(
+                self.X_bar,
+                self.param.kernel,
+                gamma=kw.get("gamma"),
+                degree=kw.get("degree", 3),
+                coef0=kw.get("coef0", 0.0),
+                tile_rows=self.tile_rows,
+                num_threads=self._solver_threads,
+                cache_mb=cache_mb,
+                dtype=self.dtype,
+            )
+        return self._pipeline
 
     def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
         if self.param.kernel is KernelType.LINEAR:
             # K_bar @ v == X_bar @ (X_bar.T @ v): two GEMVs, O(m d).
             return self.X_bar @ (self.X_bar.T @ v)
-        out = np.empty_like(v)
-        kw = self.param.kernel_kwargs()
-        for rows, tile in kernel_matrix_tiles(
-            self.X_bar, self.X_bar, self.param.kernel, tile_rows=self.tile_rows, **kw
-        ):
-            out[rows] = tile @ v
-        return out
+        return self.pipeline.sweep(v)
+
+    def _kernel_matvec_multi(self, V: np.ndarray) -> np.ndarray:
+        if self.param.kernel is KernelType.LINEAR:
+            # Two GEMMs instead of 2k GEMVs.
+            return self.X_bar @ (self.X_bar.T @ V)
+        return self.pipeline.sweep(V)
 
 
 def reduced_rhs(y: np.ndarray) -> np.ndarray:
@@ -284,6 +379,8 @@ def build_reduced_system(
     *,
     implicit: Optional[bool] = None,
     tile_rows: int = 1024,
+    solver_threads: Optional[int] = None,
+    tile_cache_mb: Optional[float] = None,
 ) -> Tuple[QMatrixBase, np.ndarray]:
     """Assemble ``(Q_tilde, rhs)`` for the given training data.
 
@@ -291,11 +388,20 @@ def build_reduced_system(
     :data:`EXPLICIT_LIMIT` points (a dense solve's memory is then harmless
     and matvecs are fastest), matrix-free beyond that — the same trade-off
     that forces the paper's GPU kernels to recompute entries on the fly.
+    ``solver_threads`` / ``tile_cache_mb`` configure the implicit
+    operator's tile pipeline (ignored for the explicit path).
     """
     if implicit is None:
         implicit = np.asarray(X).shape[0] > EXPLICIT_LIMIT
     if implicit:
-        q: QMatrixBase = ImplicitQMatrix(X, y, param, tile_rows=tile_rows)
+        q: QMatrixBase = ImplicitQMatrix(
+            X,
+            y,
+            param,
+            tile_rows=tile_rows,
+            solver_threads=solver_threads,
+            tile_cache_mb=tile_cache_mb,
+        )
     else:
         q = ExplicitQMatrix(X, y, param)
     return q, q.rhs()

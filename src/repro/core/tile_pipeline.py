@@ -1,0 +1,305 @@
+"""Shared kernel-tile pipeline: compute each tile once, reuse it everywhere.
+
+The implicit matvec of §III-B is the solver's hot loop: every CG iteration
+re-evaluates the whole kernel matrix tile by tile. This module amortizes
+that work along three axes (the multi-RHS batching of Tyree et al.,
+*Parallel Support Vector Machines in Practice*, and the cache-centric
+recipe of Glasmachers, *A Recipe for Fast Large-scale SVM Training*):
+
+* **across right-hand sides** — :meth:`TilePipeline.sweep` accepts a whole
+  matrix ``V`` of vectors, turning the per-tile GEMV into a GEMM, so block
+  CG pays one tile sweep per iteration however many systems it carries;
+* **across threads** — row tiles are independent, and the work inside each
+  (a BLAS product plus vectorized transcendentals) releases the GIL, so
+  tiles are fanned out over :class:`repro.parallel.ThreadPool` workers;
+* **across iterations** — a byte-budgeted LRU :class:`TileCache` (modeled
+  on :class:`repro.smo.kernel_cache.KernelCache`) keeps computed tiles, so
+  every sweep after the first replays cached GEMMs instead of recomputing
+  kernels. Caching defaults *off* above the byte budget: a sequential
+  sweep over a working set larger than the cache evicts every tile before
+  its reuse, so a too-small cache is pure overhead.
+
+The radial kernel's ``||x||²`` row norms are precomputed once per pipeline
+and sliced per tile (§III-C2's caching idea applied host-side) instead of
+being recomputed for every tile of every sweep.
+
+All activity is mirrored into the process-wide
+:func:`repro.profiling.solver_counters`, so benchmarks can report sweep
+counts and cache hit rates without plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..parallel.thread_pool import ThreadPool, shared_pool
+from ..profiling.stats import solver_counters
+from ..types import KernelType
+from .kernels import kernel_matrix, squared_row_norms, validate_kernel_params
+
+__all__ = ["TileCache", "TilePipeline", "DEFAULT_TILE_CACHE_MB"]
+
+#: Default byte budget of the cross-iteration tile cache (in MiB). Chosen so
+#: problems up to ~5800 points cache fully in float64; larger problems fall
+#: back to recompute-per-sweep exactly like the paper's GPU kernels.
+DEFAULT_TILE_CACHE_MB = 256.0
+
+
+class TileCache:
+    """Byte-budgeted LRU cache mapping tile index -> kernel tile.
+
+    The SMO cache (:class:`repro.smo.kernel_cache.KernelCache`) budgets
+    fixed-size rows; tiles vary in height (the last tile is usually
+    ragged), so this variant tracks actual bytes. Eviction pops the
+    least-recently-used tile until the new tile fits; at least one tile is
+    always retained so a degenerate budget still makes progress.
+
+    Thread-safe: pipeline workers probe and fill the cache concurrently.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise InvalidParameterError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._tiles: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        """Return the cached tile or ``None``, counting the hit/miss."""
+        with self._lock:
+            tile = self._tiles.get(key)
+            if tile is not None:
+                self.hits += 1
+                self._tiles.move_to_end(key)
+                return tile
+            self.misses += 1
+            return None
+
+    def put(self, key: int, tile: np.ndarray) -> None:
+        """Insert a tile, evicting LRU entries until it fits the budget."""
+        with self._lock:
+            if key in self._tiles:
+                self._tiles.move_to_end(key)
+                return
+            self._tiles[key] = tile
+            self._bytes += tile.nbytes
+            while self._bytes > self.capacity_bytes and len(self._tiles) > 1:
+                _, evicted = self._tiles.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+
+    def __contains__(self, key: int) -> bool:
+        with self._lock:
+            return key in self._tiles
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tiles)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tiles.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+
+class TilePipeline:
+    """Threaded, cached evaluation of ``K @ V`` over fixed kernel rows.
+
+    One pipeline is bound to one row/column point set (the solver's
+    ``X_bar``) and lives as long as its Q-matrix operator, i.e. across all
+    CG iterations of a solve — that persistence is what makes the norm
+    precomputation and the tile cache pay off.
+
+    Parameters
+    ----------
+    points:
+        The point set; the pipeline evaluates ``K[i, j] = k(p_i, p_j)``.
+    kernel, gamma, degree, coef0:
+        Kernel selection and coefficients (gamma must already be resolved).
+    tile_rows:
+        Row-tile height; bounds uncached peak memory at
+        ``tile_rows * len(points)`` entries per worker.
+    pool:
+        A ready-made :class:`ThreadPool` to run tiles on (the OpenMP
+        backend shares its pool); mutually exclusive with ``num_threads``.
+    num_threads:
+        Worker count for a pipeline-owned pool; ``None`` resolves like an
+        OpenMP runtime (``PLSSVM_NUM_THREADS`` / CPU count).
+    cache_mb:
+        Byte budget (MiB) of the cross-iteration tile cache. ``0`` disables
+        caching. When the full tile working set exceeds the budget the
+        cache also stays off (see module docstring) unless
+        ``force_cache=True`` opts into partial LRU caching anyway.
+    dtype:
+        Element type used to size the cache against its budget.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        kernel: KernelType,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        tile_rows: int = 1024,
+        pool: Optional[ThreadPool] = None,
+        num_threads: Optional[int] = None,
+        cache_mb: float = DEFAULT_TILE_CACHE_MB,
+        force_cache: bool = False,
+        dtype=np.float64,
+    ) -> None:
+        if tile_rows <= 0:
+            raise InvalidParameterError("tile_rows must be positive")
+        if cache_mb < 0:
+            raise InvalidParameterError("cache_mb must be non-negative")
+        if pool is not None and num_threads is not None:
+            raise InvalidParameterError("pass either pool or num_threads, not both")
+        self.kernel = KernelType.from_name(kernel)
+        validate_kernel_params(self.kernel, gamma, degree, coef0)
+        self.points = np.ascontiguousarray(points, dtype=dtype)
+        if self.points.ndim != 2:
+            raise InvalidParameterError("points must be a 2-D array")
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tile_rows = int(tile_rows)
+        self.dtype = np.dtype(dtype)
+        n = self.points.shape[0]
+        self.tiles: List[Tuple[int, int]] = [
+            (start, min(start + self.tile_rows, n))
+            for start in range(0, n, self.tile_rows)
+        ]
+        # Reusable RBF row norms: computed once, sliced per tile per sweep.
+        self.row_norms: Optional[np.ndarray] = (
+            squared_row_norms(self.points) if self.kernel is KernelType.RBF else None
+        )
+        # Attach to the module-wide shared pool rather than spawning one per
+        # operator: pipelines are created per fit, worker threads are not.
+        self.pool = pool if pool is not None else shared_pool(num_threads)
+        capacity = int(cache_mb * 1024 * 1024)
+        working_set = n * n * self.dtype.itemsize
+        self.cache: Optional[TileCache] = None
+        if capacity > 0 and (working_set <= capacity or force_cache):
+            self.cache = TileCache(capacity)
+        # Instance counters (the global profiling counters aggregate these).
+        self.sweeps = 0
+        self.tiles_computed = 0
+        self._count_lock = threading.Lock()
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache is not None
+
+    def _compute_tile(self, start: int, stop: int) -> np.ndarray:
+        return kernel_matrix(
+            self.points[start:stop],
+            self.points,
+            self.kernel,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            a_sq=None if self.row_norms is None else self.row_norms[start:stop],
+            b_sq=self.row_norms,
+        )
+
+    def tile(self, index: int) -> np.ndarray:
+        """Fetch tile ``index``, via the cache when enabled."""
+        start, stop = self.tiles[index]
+        if self.cache is not None:
+            cached = self.cache.get(index)
+            if cached is not None:
+                return cached
+        tile = self._compute_tile(start, stop)
+        with self._count_lock:
+            self.tiles_computed += 1
+        if self.cache is not None:
+            self.cache.put(index, tile)
+        return tile
+
+    def sweep(self, V: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Compute ``K @ V`` with one pass over the tiles.
+
+        ``V`` may be a vector ``(n,)`` or a block of right-hand sides
+        ``(n, k)``; the sweep cost is one tile evaluation pass either way —
+        that invariant is what block CG banks on.
+        """
+        V = np.asarray(V, dtype=self.dtype)
+        squeeze = V.ndim == 1
+        V2 = V[:, None] if squeeze else V
+        n = self.points.shape[0]
+        if V2.ndim != 2 or V2.shape[0] != n:
+            raise InvalidParameterError(
+                f"operand of shape {V.shape} does not match {n} pipeline rows"
+            )
+        if out is None:
+            out = np.empty((n, V2.shape[1]), dtype=self.dtype)
+
+        hits0 = misses0 = evict0 = 0
+        if self.cache is not None:
+            hits0, misses0, evict0 = (
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.evictions,
+            )
+        computed0 = self.tiles_computed
+
+        def run(index: int) -> None:
+            start, stop = self.tiles[index]
+            out[start:stop] = self.tile(index) @ V2
+
+        self.pool.map_tasks(run, range(self.num_tiles))
+        self.sweeps += 1
+
+        counters = solver_counters()
+        counters.tile_sweeps += 1
+        counters.tiles_computed += self.tiles_computed - computed0
+        if self.cache is not None:
+            counters.cache_hits += self.cache.hits - hits0
+            counters.cache_misses += self.cache.misses - misses0
+            counters.cache_evictions += self.cache.evictions - evict0
+        return out[:, 0] if squeeze else out
+
+    def stats(self) -> dict:
+        """Per-pipeline counters (the global ones live in profiling.stats)."""
+        out = {
+            "sweeps": self.sweeps,
+            "tiles_computed": self.tiles_computed,
+            "num_tiles": self.num_tiles,
+            "cache_enabled": self.cache_enabled,
+        }
+        if self.cache is not None:
+            out.update(
+                cache_hits=self.cache.hits,
+                cache_misses=self.cache.misses,
+                cache_evictions=self.cache.evictions,
+                cache_hit_rate=self.cache.hit_rate,
+                cache_bytes=self.cache.nbytes,
+            )
+        return out

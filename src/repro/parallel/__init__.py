@@ -20,7 +20,7 @@ from .partition import (
     tile_grid,
 )
 from .reduction import tree_reduce, sum_partials
-from .thread_pool import ThreadPool, parallel_for
+from .thread_pool import ThreadPool, available_threads, parallel_for, shared_pool
 
 __all__ = [
     "BlockRange",
@@ -32,4 +32,6 @@ __all__ = [
     "sum_partials",
     "ThreadPool",
     "parallel_for",
+    "available_threads",
+    "shared_pool",
 ]

@@ -21,7 +21,7 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 from .partition import BlockRange, chunk_ranges
 
-__all__ = ["ThreadPool", "parallel_for", "available_threads"]
+__all__ = ["ThreadPool", "parallel_for", "available_threads", "shared_pool"]
 
 T = TypeVar("T")
 
@@ -113,6 +113,18 @@ def _get_default_pool(num_threads: Optional[int]) -> ThreadPool:
                 _default_pool.shutdown()
             _default_pool = ThreadPool(num_threads)
         return _default_pool
+
+
+def shared_pool(num_threads: Optional[int] = None) -> ThreadPool:
+    """The module-wide default pool (also used by :func:`parallel_for`).
+
+    Long-lived consumers like the kernel-tile pipeline attach here instead
+    of spawning a pool per operator, so repeated fits reuse one set of
+    worker threads. Requesting a different ``num_threads`` swaps the shared
+    pool; earlier holders keep working (a :class:`ThreadPool` transparently
+    respawns its executor after shutdown).
+    """
+    return _get_default_pool(num_threads)
 
 
 def parallel_for(

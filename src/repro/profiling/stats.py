@@ -13,7 +13,15 @@ import dataclasses
 import math
 from typing import Sequence
 
-__all__ = ["TimingStats", "coefficient_of_variation", "summarize", "speedup"]
+__all__ = [
+    "TimingStats",
+    "coefficient_of_variation",
+    "summarize",
+    "speedup",
+    "SolverCounters",
+    "solver_counters",
+    "reset_solver_counters",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,3 +72,66 @@ def speedup(baseline: float, contender: float) -> float:
     if baseline < 0:
         raise ValueError("baseline runtime must be non-negative")
     return baseline / contender
+
+
+@dataclasses.dataclass
+class SolverCounters:
+    """Process-wide counters of the shared kernel-tile pipeline.
+
+    Every :class:`repro.core.tile_pipeline.TilePipeline` folds its per-sweep
+    activity in here, so benchmarks and the CLI can report how much kernel
+    work the solver actually performed — and how much the cross-iteration
+    tile cache saved — without threading a stats object through every layer.
+
+    Attributes
+    ----------
+    tile_sweeps:
+        Full passes over the tiled kernel matrix (one per block-CG
+        iteration, regardless of how many right-hand sides ride along).
+    tiles_computed:
+        Kernel tiles evaluated from scratch (cache misses + uncached runs).
+    cache_hits / cache_misses / cache_evictions:
+        Cross-iteration tile cache traffic.
+    """
+
+    tile_sweeps: int = 0
+    tiles_computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of tile lookups served from the cache (0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "tile_sweeps": self.tile_sweeps,
+            "tiles_computed": self.tiles_computed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.tile_sweeps = 0
+        self.tiles_computed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+
+_SOLVER_COUNTERS = SolverCounters()
+
+
+def solver_counters() -> SolverCounters:
+    """The process-wide :class:`SolverCounters` instance."""
+    return _SOLVER_COUNTERS
+
+
+def reset_solver_counters() -> None:
+    """Zero the process-wide solver counters (benchmark harness hook)."""
+    _SOLVER_COUNTERS.reset()
