@@ -13,10 +13,19 @@ numbers to ``BENCH_solver.json`` at the repository root:
   (``shared_solve=False``, one operator assembly + one CG solve per
   class, exactly the pre-block-solver behaviour) against the shared path
   (one assembly, one block solve for the whole ensemble).
+* ``preconditioning`` — plain vs Jacobi vs Nyström CG on an
+  ill-conditioned RBF system (large C, small gamma): per-config iteration
+  counts, preconditioner setup seconds, and total solve wallclock.
+* ``mixed_precision`` — the same implicit solve with float64 vs float32
+  kernel tiles: solution agreement against the float64 run, tile-cache
+  bytes, and sweep wallclock per precision mode.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_solver.py [--points 4000 ...]
+
+``--quick`` shrinks every scenario to CI-smoke size (a few seconds
+total); the numbers are then only a plumbing check, not a measurement.
 
 Not a pytest-benchmark module on purpose: the scenarios time *pairs* of
 code paths against each other rather than regenerating a paper figure.
@@ -34,6 +43,7 @@ import numpy as np
 
 from repro.core.cg import conjugate_gradient, conjugate_gradient_block
 from repro.core.multiclass import OneVsAllLSSVC
+from repro.core.precond import make_preconditioner
 from repro.core.qmatrix import build_reduced_system
 from repro.data.synthetic import make_multiclass
 from repro.parameter import Parameter
@@ -164,6 +174,100 @@ def bench_multiclass(
     }
 
 
+def bench_preconditioning(
+    m: int, num_features: int, epsilon: float, seed: int
+) -> dict:
+    """Plain vs Jacobi vs Nyström CG on an ill-conditioned RBF system.
+
+    Large C and a small gamma flatten the kernel's spectrum tail, which is
+    exactly where plain CG grinds: the iteration count — and with it the
+    number of kernel-tile sweeps, the dominant cost at this size — is what
+    the preconditioners are meant to collapse. C is kept at the largest
+    value where *plain* CG still converges legitimately at this size
+    (harder systems trip its stall heuristic, which would make the
+    baseline iteration count meaningless).
+    """
+    X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
+    targets = np.where(y == y[0], 1.0, -1.0)
+    param = Parameter(kernel="rbf", cost=300.0, gamma=0.5 / num_features)
+    qmat, rhs = build_reduced_system(X, targets, param, implicit=True)
+
+    configs = {}
+    for kind in (None, "jacobi", "nystrom"):
+        reset_solver_counters()
+        seconds, result = _timed(
+            lambda kind=kind: conjugate_gradient(
+                qmat,
+                rhs,
+                epsilon=epsilon,
+                preconditioner=make_preconditioner(qmat, kind, rng=seed),
+            )
+        )
+        counters = solver_counters()
+        configs[kind or "none"] = {
+            "iterations": result.iterations,
+            "seconds": seconds,
+            "setup_seconds": counters.precond_setup_seconds,
+            "rank": counters.precond_rank,
+            "residual": result.residual,
+            "status": result.status.name,
+            "tile_sweeps": counters.tile_sweeps,
+            "precision": "float64",
+        }
+
+    none_it = configs["none"]["iterations"]
+    nys = configs["nystrom"]
+    return {
+        "points": m,
+        "cost": param.cost,
+        "gamma": param.gamma,
+        "configs": configs,
+        "nystrom_iteration_ratio": nys["iterations"] / max(none_it, 1),
+        "nystrom_speedup": configs["none"]["seconds"] / nys["seconds"],
+    }
+
+
+def bench_mixed_precision(
+    m: int, num_features: int, epsilon: float, seed: int
+) -> dict:
+    """float64 vs float32 kernel tiles on the same implicit block solve."""
+    X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
+    targets = np.where(y == y[0], 1.0, -1.0)
+    param = Parameter(kernel="rbf", cost=100.0)
+
+    def solve(compute_dtype):
+        qmat, rhs = build_reduced_system(
+            X, targets, param, implicit=True, compute_dtype=compute_dtype
+        )
+        result = conjugate_gradient(qmat, rhs, epsilon=epsilon)
+        return result, qmat.pipeline.stats()
+
+    configs = {}
+    for compute_dtype in (None, "float32"):
+        reset_solver_counters()
+        seconds, (result, stats) = _timed(lambda cd=compute_dtype: solve(cd))
+        configs[stats["compute_dtype"]] = {
+            "iterations": result.iterations,
+            "seconds": seconds,
+            "residual": result.residual,
+            "status": result.status.name,
+            "cache_bytes": stats.get("cache_bytes", 0),
+            "precision": stats["compute_dtype"],
+            "x": result.x,
+        }
+
+    f64, f32 = configs["float64"], configs["float32"]
+    x64, x32 = f64.pop("x"), f32.pop("x")
+    rel_diff = float(np.linalg.norm(x32 - x64) / np.linalg.norm(x64))
+    return {
+        "points": m,
+        "configs": configs,
+        "solution_rel_diff": rel_diff,
+        "cache_bytes_ratio": f64["cache_bytes"] / max(f32["cache_bytes"], 1),
+        "speedup": f64["seconds"] / f32["seconds"],
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     report = {
         "harness": "benchmarks/bench_solver.py",
@@ -172,25 +276,36 @@ def run(args: argparse.Namespace) -> dict:
         "config": {
             "points": args.points,
             "solver_points": args.solver_points,
+            "precond_points": args.precond_points,
             "features": args.features,
             "classes": args.classes,
             "epsilon": args.epsilon,
             "seed": args.seed,
+            "quick": args.quick,
         },
         "scenarios": {},
     }
-    print(f"[1/3] single-RHS CG x{args.classes} vs block CG "
+    print(f"[1/5] single-RHS CG x{args.classes} vs block CG "
           f"(implicit RBF, m={args.solver_points}) ...")
     report["scenarios"]["single_vs_block"] = bench_single_vs_block(
         args.solver_points, args.features, args.classes, args.epsilon, args.seed
     )
-    print(f"[2/3] tile cache off vs on (implicit RBF, m={args.solver_points}) ...")
+    print(f"[2/5] tile cache off vs on (implicit RBF, m={args.solver_points}) ...")
     report["scenarios"]["tile_cache"] = bench_tile_cache(
         args.solver_points, args.features, args.classes, args.epsilon, args.seed
     )
-    print(f"[3/3] one-vs-all legacy vs shared block solve (m={args.points}) ...")
+    print(f"[3/5] one-vs-all legacy vs shared block solve (m={args.points}) ...")
     report["scenarios"]["multiclass"] = bench_multiclass(
         args.points, args.features, args.classes, args.epsilon, args.seed
+    )
+    print(f"[4/5] none vs jacobi vs nystrom CG "
+          f"(ill-conditioned RBF, m={args.precond_points}) ...")
+    report["scenarios"]["preconditioning"] = bench_preconditioning(
+        args.precond_points, args.features, args.epsilon, args.seed
+    )
+    print(f"[5/5] float64 vs float32 kernel tiles (m={args.solver_points}) ...")
+    report["scenarios"]["mixed_precision"] = bench_mixed_precision(
+        args.solver_points, args.features, args.epsilon, args.seed
     )
     return report
 
@@ -201,12 +316,25 @@ def main(argv=None) -> dict:
                         help="training points for the multiclass scenario")
     parser.add_argument("--solver-points", type=int, default=2000,
                         help="training points for the solver-level scenarios")
+    parser.add_argument("--precond-points", type=int, default=4000,
+                        help="training points for the preconditioning scenario")
     parser.add_argument("--features", type=int, default=16)
     parser.add_argument("--classes", type=int, default=4)
     parser.add_argument("--epsilon", type=float, default=1e-3)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny problem sizes, write to "
+                        "BENCH_solver.quick.json unless --output is given")
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
+    if args.quick:
+        args.points = min(args.points, 600)
+        args.solver_points = min(args.solver_points, 500)
+        args.precond_points = min(args.precond_points, 800)
+    if args.output is None:
+        args.output = (
+            DEFAULT_OUTPUT.with_suffix(".quick.json") if args.quick else DEFAULT_OUTPUT
+        )
 
     report = run(args)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -214,6 +342,8 @@ def main(argv=None) -> dict:
     sv = report["scenarios"]["single_vs_block"]
     tc = report["scenarios"]["tile_cache"]
     mc = report["scenarios"]["multiclass"]
+    pc = report["scenarios"]["preconditioning"]
+    mp = report["scenarios"]["mixed_precision"]
     print(f"\nsingle vs block : {sv['single_seconds']:.2f}s -> "
           f"{sv['block_seconds']:.2f}s ({sv['speedup']:.2f}x, "
           f"{sv['single_tile_sweeps']} -> {sv['block_tile_sweeps']} tile sweeps)")
@@ -223,6 +353,14 @@ def main(argv=None) -> dict:
     print(f"multiclass      : {mc['legacy_seconds']:.2f}s -> "
           f"{mc['shared_seconds']:.2f}s ({mc['speedup']:.2f}x, "
           f"accuracy {mc['legacy_accuracy']:.3f} -> {mc['shared_accuracy']:.3f})")
+    none, nys = pc["configs"]["none"], pc["configs"]["nystrom"]
+    print(f"preconditioning : {none['iterations']} -> {nys['iterations']} CG "
+          f"iterations ({pc['nystrom_iteration_ratio']:.2f}x, "
+          f"{none['seconds']:.2f}s -> {nys['seconds']:.2f}s incl. "
+          f"{nys['setup_seconds']:.2f}s rank-{nys['rank']} setup)")
+    print(f"mixed precision : {mp['speedup']:.2f}x sweep speedup, "
+          f"{mp['cache_bytes_ratio']:.2f}x cache bytes saved, "
+          f"solution rel diff {mp['solution_rel_diff']:.2e}")
     print(f"[saved to {args.output}]")
     return report
 

@@ -31,13 +31,18 @@ from .core import (
     LSSVR,
     BlockCGResult,
     CGResult,
+    JacobiPrecond,
     LSSVMModel,
+    NystromPrecond,
     OneVsAllLSSVC,
     OneVsOneLSSVC,
+    Preconditioner,
     SparseLSSVC,
     WeightedLSSVC,
     conjugate_gradient,
     conjugate_gradient_block,
+    make_preconditioner,
+    rpcholesky,
 )
 from .parameter import Parameter
 from .types import BackendType, KernelType, SolverStatus, TargetPlatform
@@ -56,6 +61,11 @@ __all__ = [
     "BlockCGResult",
     "conjugate_gradient",
     "conjugate_gradient_block",
+    "Preconditioner",
+    "JacobiPrecond",
+    "NystromPrecond",
+    "make_preconditioner",
+    "rpcholesky",
     "Parameter",
     "KernelType",
     "BackendType",

@@ -44,10 +44,12 @@ class ThreadedQMatrix(QMatrixBase):
         *,
         tile_rows: int = 512,
         tile_cache_mb: Optional[float] = None,
+        compute_dtype=None,
     ) -> None:
         super().__init__(X, y, param)
         self.pool = pool
         self.tile_rows = int(tile_rows)
+        self.compute_dtype = compute_dtype
         # self.param has gamma resolved for the feature count (base __init__).
         if self.param.kernel is KernelType.LINEAR:
             self.pipeline: Optional[TilePipeline] = None
@@ -65,6 +67,7 @@ class ThreadedQMatrix(QMatrixBase):
                     DEFAULT_TILE_CACHE_MB if tile_cache_mb is None else tile_cache_mb
                 ),
                 dtype=self.dtype,
+                compute_dtype=compute_dtype,
             )
 
     def _linear_multi(self, V: np.ndarray) -> np.ndarray:
@@ -104,6 +107,10 @@ class OpenMPCSVM(CSVM):
     tile_cache_mb:
         Byte budget (MiB) of the cross-iteration kernel-tile cache;
         ``0`` disables it, ``None`` keeps the pipeline default.
+    compute_dtype:
+        Mixed precision: evaluate and cache kernel tiles in this dtype
+        (e.g. ``float32``) while the CG recursion stays in the working
+        precision; ``None`` keeps tiles in the working precision.
     """
 
     backend_type = BackendType.OPENMP
@@ -114,10 +121,12 @@ class OpenMPCSVM(CSVM):
         num_threads: Optional[int] = None,
         tile_rows: int = 512,
         tile_cache_mb: Optional[float] = None,
+        compute_dtype=None,
     ) -> None:
         self.pool = ThreadPool(num_threads)
         self.tile_rows = int(tile_rows)
         self.tile_cache_mb = tile_cache_mb
+        self.compute_dtype = compute_dtype
 
     @property
     def num_threads(self) -> int:
@@ -133,6 +142,7 @@ class OpenMPCSVM(CSVM):
             self.pool,
             tile_rows=self.tile_rows,
             tile_cache_mb=self.tile_cache_mb,
+            compute_dtype=self.compute_dtype,
         )
 
     def finalize(self, qmat: QMatrixBase, timings: ComponentTimer) -> None:

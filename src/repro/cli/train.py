@@ -87,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--float32", action="store_true", help="train in single precision"
     )
     parser.add_argument(
+        "--precondition",
+        choices=["none", "jacobi", "nystrom"],
+        default="none",
+        help="CG preconditioner: none (plain CG), jacobi (diagonal "
+        "scaling), nystrom (randomized low-rank; cuts iterations on "
+        "ill-conditioned RBF systems)",
+    )
+    parser.add_argument(
+        "--precond-rank",
+        type=int,
+        default=None,
+        help="rank of the nystrom approximation (default ~2*sqrt(m))",
+    )
+    parser.add_argument(
+        "--compute-dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="mixed precision: evaluate/cache kernel tiles in this dtype "
+        "while the CG recursion stays in the working precision",
+    )
+    parser.add_argument(
         "-x",
         "--cross_validation",
         type=int,
@@ -105,6 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     import numpy as np
 
+    precondition = None if args.precondition == "none" else args.precondition
     clf = LSSVC(
         kernel=_parse_kernel(args.kernel_type),
         C=args.cost,
@@ -117,8 +139,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         target=args.target_platform,
         n_devices=args.num_devices,
         dtype=np.float32 if args.float32 else np.float64,
+        precondition=precondition,
+        precond_rank=args.precond_rank,
         solver_threads=args.solver_threads,
         tile_cache_mb=args.tile_cache_mb,
+        compute_dtype=args.compute_dtype,
     )
     with clf.timings_.section("read"):
         X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
@@ -141,6 +166,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 backend=args.backend,
                 target=args.target_platform,
                 n_devices=args.num_devices,
+                precondition=precondition,
+                precond_rank=args.precond_rank,
+                compute_dtype=args.compute_dtype,
             ),
             X,
             y,
@@ -165,6 +193,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..profiling import solver_counters
 
         counters = solver_counters()
+        if counters.precond_setups:
+            print(
+                f"preconditioner: {args.precondition} (rank "
+                f"{counters.precond_rank}, setup "
+                f"{counters.precond_setup_seconds:.3f}s)"
+            )
         if counters.tile_sweeps:
             print(
                 f"tile sweeps: {counters.tile_sweeps}, tiles computed: "

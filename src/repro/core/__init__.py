@@ -8,6 +8,9 @@ everything else in this package is the machinery behind its ``fit``:
 * :mod:`repro.core.qmatrix` — the reduced LS-SVM system of Chu et al.
   (Eq. 13/14/16), in explicit and matrix-free form.
 * :mod:`repro.core.cg` — the Conjugate Gradient solver (Shewchuk variant).
+* :mod:`repro.core.precond` — CG preconditioners: Jacobi diagonal scaling
+  and the randomized Nyström (randomly pivoted partial Cholesky) low-rank
+  preconditioner.
 * :mod:`repro.core.model` — the trained-model container plus LIBSVM-format
   model file serialization.
 * :mod:`repro.core.lssvm` — the high-level classifier.
@@ -20,6 +23,14 @@ from .kernels import (
     kernel_row,
     kernel_scalar,
     squared_row_norms,
+)
+from .precond import (
+    JacobiPrecond,
+    NystromPrecond,
+    Preconditioner,
+    default_nystrom_rank,
+    make_preconditioner,
+    rpcholesky,
 )
 from .tile_pipeline import TileCache, TilePipeline
 from .lssvm import LSSVC
@@ -35,6 +46,12 @@ __all__ = [
     "BlockCGResult",
     "conjugate_gradient",
     "conjugate_gradient_block",
+    "Preconditioner",
+    "JacobiPrecond",
+    "NystromPrecond",
+    "make_preconditioner",
+    "default_nystrom_rank",
+    "rpcholesky",
     "TilePipeline",
     "TileCache",
     "squared_row_norms",

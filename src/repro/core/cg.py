@@ -9,8 +9,13 @@ Conjugate Gradient Method Without the Agonizing Pain":
 * the recurrence residual drifts from the true residual in finite
   precision, so every ``recompute_interval`` iterations the residual is
   recomputed from scratch as ``b - A @ x`` (Shewchuk §B.2);
-* an optional diagonal (Jacobi) preconditioner — an extension beyond the
-  paper, exercised by the ablation benchmarks.
+* optional preconditioning — an extension beyond the paper. The
+  ``preconditioner`` argument accepts either the legacy diagonal vector
+  (wrapped into :class:`repro.core.precond.JacobiPrecond`, with identical
+  validation on the single-RHS and block paths) or any
+  :class:`repro.core.precond.Preconditioner` — notably the randomized
+  Nyström preconditioner that collapses iteration counts on
+  ill-conditioned RBF systems.
 
 The solver is deliberately operator-agnostic: anything exposing
 ``matvec(v)``/``shape``/``dtype`` works, which lets the same loop drive the
@@ -27,6 +32,7 @@ from typing import Callable, List, Optional, Protocol, Union
 import numpy as np
 
 from ..exceptions import ConvergenceWarning, InvalidParameterError
+from ..profiling.stats import solver_counters
 from ..types import SolverStatus
 
 __all__ = [
@@ -36,6 +42,36 @@ __all__ = [
     "conjugate_gradient",
     "conjugate_gradient_block",
 ]
+
+#: Accepted ``preconditioner`` argument types: ``None``, a diagonal vector
+#: (legacy Jacobi path), or a :class:`repro.core.precond.Preconditioner`.
+PrecondLike = Union[None, np.ndarray, "object"]
+
+
+def _resolve_preconditioner(preconditioner: PrecondLike, n: int):
+    """Normalize the ``preconditioner`` argument to a Preconditioner or None.
+
+    A raw vector keeps its legacy meaning — the diagonal of ``A`` — and is
+    wrapped into :class:`~repro.core.precond.JacobiPrecond`, which applies
+    one shared positivity/finiteness validation for the single-RHS and
+    block solvers (previously each path validated on its own).
+    """
+    if preconditioner is None:
+        return None
+    if hasattr(preconditioner, "apply") and not isinstance(
+        preconditioner, (np.ndarray, list, tuple)
+    ):
+        if preconditioner.shape[0] != n:
+            raise InvalidParameterError(
+                f"preconditioner size {preconditioner.shape[0]} does not match system {n}"
+            )
+        return preconditioner
+    from .precond import JacobiPrecond  # deferred: precond imports profiling
+
+    diag = np.asarray(preconditioner, dtype=np.float64).ravel()
+    if diag.shape[0] != n:
+        raise InvalidParameterError("preconditioner length does not match system")
+    return JacobiPrecond(diag)
 
 
 class LinearOperatorLike(Protocol):
@@ -114,7 +150,7 @@ def conjugate_gradient(
     max_iter: Optional[int] = None,
     x0: Optional[np.ndarray] = None,
     recompute_interval: int = 50,
-    preconditioner: Optional[np.ndarray] = None,
+    preconditioner: PrecondLike = None,
     callback: Optional[Callable[[int, float], None]] = None,
     warn_on_no_convergence: bool = True,
 ) -> CGResult:
@@ -139,8 +175,12 @@ def conjugate_gradient(
         Recompute the residual from its definition every this many
         iterations to shed accumulated rounding drift.
     preconditioner:
-        Optional vector of diagonal entries of ``A``; enables Jacobi
-        preconditioning (``M = diag(A)``).
+        Optional. A vector of diagonal entries of ``A`` enables Jacobi
+        preconditioning (``M = diag(A)``, the legacy path); any
+        :class:`repro.core.precond.Preconditioner` instance (e.g.
+        :class:`~repro.core.precond.NystromPrecond`) is applied as
+        ``z = M^{-1} r``. Termination is still measured on the *true*
+        relative residual, so epsilon keeps its paper meaning.
     callback:
         Invoked as ``callback(iteration, relative_residual)`` once per
         iteration — the profiling layer hooks in here.
@@ -161,16 +201,7 @@ def conjugate_gradient(
     if max_iter is None:
         max_iter = max(2 * n, 10)
 
-    inv_diag: Optional[np.ndarray] = None
-    if preconditioner is not None:
-        inv_diag = np.asarray(preconditioner, dtype=op.dtype).ravel()
-        if inv_diag.shape[0] != n:
-            raise InvalidParameterError("preconditioner length does not match system")
-        if np.any(inv_diag <= 0):
-            raise InvalidParameterError(
-                "Jacobi preconditioner requires strictly positive diagonal entries"
-            )
-        inv_diag = 1.0 / inv_diag
+    precond = _resolve_preconditioner(preconditioner, n)
 
     x = np.zeros(n, dtype=op.dtype) if x0 is None else np.asarray(x0, dtype=op.dtype).copy()
     b_norm = float(np.linalg.norm(b))
@@ -184,7 +215,7 @@ def conjugate_gradient(
         )
 
     r = b - op.matvec(x) if x0 is not None else b.copy()
-    z = inv_diag * r if inv_diag is not None else r
+    z = precond.apply(r) if precond is not None else r
     d = z.copy()
     delta_new = float(r @ z)
     rel_res = float(np.linalg.norm(r)) / b_norm
@@ -212,7 +243,7 @@ def conjugate_gradient(
             r = b - op.matvec(x)
         else:
             r -= alpha * q
-        z = inv_diag * r if inv_diag is not None else r
+        z = precond.apply(r) if precond is not None else r
         delta_old = delta_new
         delta_new = float(r @ z)
         rel_res = float(np.linalg.norm(r)) / b_norm
@@ -246,6 +277,9 @@ def conjugate_gradient(
             ConvergenceWarning,
             stacklevel=2,
         )
+    counters = solver_counters()
+    counters.cg_solves += 1
+    counters.cg_iterations += iteration
     return CGResult(x, iteration, rel_res, status, history)
 
 
@@ -320,7 +354,7 @@ def conjugate_gradient_block(
     max_iter: Optional[int] = None,
     X0: Optional[np.ndarray] = None,
     recompute_interval: int = 50,
-    preconditioner: Optional[np.ndarray] = None,
+    preconditioner: PrecondLike = None,
     callback: Optional[Callable[[int, float], None]] = None,
     warn_on_no_convergence: bool = True,
 ) -> BlockCGResult:
@@ -344,10 +378,15 @@ def conjugate_gradient_block(
     the class-indicator matrix holds one ``+1`` and ``k-1`` ``-1``\\ s), a
     configuration on which the textbook recursion breaks down.
 
-    A diagonal ``preconditioner`` is applied as the exact symmetric
-    transform ``(D^-1/2 A D^-1/2)(D^1/2 X) = D^-1/2 B``, which keeps the
-    transformed system SPD; convergence is still measured on the original,
-    untransformed residuals.
+    A ``preconditioner`` (a diagonal vector or any
+    :class:`repro.core.precond.Preconditioner`) is applied as the exact
+    split transform ``(E^T A E) Y = E^T B`` with ``X = E Y`` and
+    ``E E^T = M^{-1}``, which keeps the transformed system SPD so the rQ
+    recursion runs unchanged. For the diagonal (Jacobi) case ``E`` is
+    ``D^{-1/2}`` — the transform this solver always used — and the legacy
+    vector argument is validated exactly like the single-RHS solver's
+    (wrapped into :class:`~repro.core.precond.JacobiPrecond`). Convergence
+    is still measured on the original, untransformed residuals.
 
     Parameters mirror :func:`conjugate_gradient`; ``B`` and ``X0`` are
     ``(n, k)`` blocks (a 1-D ``b`` is accepted and treated as ``k=1``).
@@ -376,16 +415,7 @@ def conjugate_gradient_block(
     if max_iter is None:
         max_iter = max(2 * n, 10)
 
-    inv_diag: Optional[np.ndarray] = None
-    if preconditioner is not None:
-        inv_diag = np.asarray(preconditioner, dtype=op.dtype).ravel()
-        if inv_diag.shape[0] != n:
-            raise InvalidParameterError("preconditioner length does not match system")
-        if np.any(inv_diag <= 0):
-            raise InvalidParameterError(
-                "Jacobi preconditioner requires strictly positive diagonal entries"
-            )
-        inv_diag = 1.0 / inv_diag
+    precond = _resolve_preconditioner(preconditioner, n)
 
     b_norms = np.linalg.norm(B, axis=0)
     # Zero columns have the zero solution; scale them by 1 so their (zero)
@@ -400,32 +430,30 @@ def conjugate_gradient_block(
             residual_history=[0.0],
         )
 
-    # Jacobi preconditioning as an exact symmetric diagonal transform: the
-    # iteration runs on D^-1/2 A D^-1/2 with unknowns D^1/2 X, which stays
-    # SPD and keeps the rQ recursion's plain inner products valid.
-    sqrt_d: Optional[np.ndarray] = None
-    isqrt_d: Optional[np.ndarray] = None
-    if inv_diag is not None:
-        isqrt_d = np.sqrt(inv_diag)
-        sqrt_d = 1.0 / isqrt_d
-
+    # Preconditioning as an exact split transform: the iteration runs on
+    # E^T A E (SPD for any invertible E with E E^T = M^{-1}) with unknowns
+    # E^{-1} X, which keeps the rQ recursion's plain inner products valid.
     def apply_op(V: np.ndarray) -> np.ndarray:
-        if isqrt_d is None:
+        if precond is None:
             return _matvec_multi(op, V)
-        return isqrt_d[:, None] * _matvec_multi(op, isqrt_d[:, None] * V)
+        return precond.sqrt_apply_t(_matvec_multi(op, precond.sqrt_apply(V)))
 
-    Bt = B if isqrt_d is None else isqrt_d[:, None] * B
+    Bt = B if precond is None else precond.sqrt_apply_t(B)
     if X0 is None:
         Xt = np.zeros((n, k), dtype=op.dtype)
         R = Bt.copy()
     else:
         Xt = np.array(X0, dtype=op.dtype).reshape(n, k)
-        if sqrt_d is not None:
-            Xt = sqrt_d[:, None] * Xt
+        if precond is not None:
+            Xt = precond.sqrt_unapply(Xt)
         R = Bt - apply_op(Xt)
 
     def untransform(Xt_: np.ndarray) -> np.ndarray:
-        return Xt_ if isqrt_d is None else isqrt_d[:, None] * Xt_
+        if precond is None:
+            return Xt_
+        # The preconditioner computes in float64; hand back the operator's
+        # working dtype so callers see the same types as the plain path.
+        return precond.sqrt_apply(Xt_).astype(op.dtype, copy=False)
 
     # rQ representation: R = Qb @ phi with Qb orthonormal. The reduced QR
     # caps the block width at min(n, k); column norms of the small factor
@@ -433,10 +461,10 @@ def conjugate_gradient_block(
     Qb, phi = np.linalg.qr(R)
 
     def column_residuals() -> np.ndarray:
-        if sqrt_d is None:
+        if precond is None:
             return np.linalg.norm(phi, axis=0) / scale
-        # Convergence is judged on the original-space residual D^1/2 Qb phi.
-        return np.linalg.norm(sqrt_d[:, None] * (Qb @ phi), axis=0) / scale
+        # Convergence is judged on the original-space residual E^{-T} Qb phi.
+        return np.linalg.norm(precond.sqrt_unapply_t(Qb @ phi), axis=0) / scale
 
     rel = column_residuals()
     history = [float(rel.max())]
@@ -501,4 +529,7 @@ def conjugate_gradient_block(
             ConvergenceWarning,
             stacklevel=2,
         )
+    counters = solver_counters()
+    counters.cg_solves += 1
+    counters.cg_iterations += iteration
     return BlockCGResult(untransform(Xt), iteration, rel, status, history)

@@ -30,6 +30,7 @@ from ..profiling import ComponentTimer
 from ..types import BackendType, KernelType, TargetPlatform
 from .cg import CGResult, conjugate_gradient
 from .model import LSSVMModel
+from .precond import make_preconditioner
 from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
 
 __all__ = ["LSSVC", "encode_labels", "decode_labels"]
@@ -99,8 +100,21 @@ class LSSVC:
     implicit:
         Force the matrix-free (``True``) or explicit (``False``) reduced
         system on the NumPy path; ``None`` selects by problem size.
+    precondition:
+        CG preconditioner: ``None`` (plain CG), ``"jacobi"`` (diagonal
+        scaling), ``"nystrom"`` (randomized low-rank kernel approximation
+        via randomly pivoted partial Cholesky — collapses iteration counts
+        on ill-conditioned RBF systems), or a ready-made
+        :class:`repro.core.precond.Preconditioner` instance.
+    precond_rank:
+        Rank of the Nyström approximation; ``None`` picks
+        :func:`repro.core.precond.default_nystrom_rank` (~``2 sqrt(m)``).
+    precond_rng:
+        Seed / generator for the randomized pivot sampling (default 0 for
+        reproducible fits).
     jacobi:
-        Enable the diagonal-preconditioned CG variant (extension).
+        Deprecated alias for ``precondition="jacobi"`` (kept for
+        back-compat with the ablation benchmarks).
     sparse:
         Run the CG matvecs on a CSR representation of the data — the
         paper's "sparse data structures for the CG solver" future-work
@@ -113,6 +127,12 @@ class LSSVC:
         Byte budget (MiB) of the cross-iteration kernel-tile cache used by
         the matrix-free non-linear path; ``0`` disables it, ``None`` keeps
         the default (:data:`repro.core.tile_pipeline.DEFAULT_TILE_CACHE_MB`).
+    compute_dtype:
+        Mixed precision: evaluate and cache kernel tiles in this dtype
+        (``float32`` halves tile-cache bytes and bandwidth) while the CG
+        recursion, reductions, and termination criterion stay in ``dtype``.
+        ``None`` keeps tiles in ``dtype``. Only the matrix-free non-linear
+        path has tiles; other paths ignore it.
     """
 
     def __init__(
@@ -130,10 +150,14 @@ class LSSVC:
         n_devices: int = 1,
         dtype=np.float64,
         implicit: Optional[bool] = None,
+        precondition: Union[None, str, object] = None,
+        precond_rank: Optional[int] = None,
+        precond_rng: Union[None, int, np.random.Generator] = 0,
         jacobi: bool = False,
         sparse: bool = False,
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
+        compute_dtype=None,
     ) -> None:
         self.param = Parameter(
             kernel=kernel,
@@ -152,9 +176,18 @@ class LSSVC:
         self.n_devices = int(n_devices)
         self.implicit = implicit
         self.jacobi = jacobi
+        if jacobi and precondition is not None and precondition != "jacobi":
+            raise DataError(
+                f"jacobi=True conflicts with precondition={precondition!r}; "
+                "drop the legacy flag"
+            )
+        self.precondition = "jacobi" if jacobi and precondition is None else precondition
+        self.precond_rank = precond_rank
+        self.precond_rng = precond_rng
         self.sparse = bool(sparse)
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
+        self.compute_dtype = compute_dtype
         if self.sparse and backend is not None:
             raise DataError("sparse CG runs on the NumPy path; use backend=None")
         self.model_: Optional[LSSVMModel] = None
@@ -175,11 +208,13 @@ class LSSVC:
         if isinstance(self.backend, (str, BackendType)):
             kwargs = {}
             if BackendType.from_name(self.backend) is BackendType.OPENMP:
-                # The host backend shares the solver's threading/cache knobs.
+                # The host backend shares the solver's threading/cache/precision knobs.
                 if self.solver_threads is not None:
                     kwargs["num_threads"] = self.solver_threads
                 if self.tile_cache_mb is not None:
                     kwargs["tile_cache_mb"] = self.tile_cache_mb
+                if self.compute_dtype is not None:
+                    kwargs["compute_dtype"] = self.compute_dtype
             self._backend_instance = create_backend(
                 self.backend, target=self.target, n_devices=self.n_devices, **kwargs
             )
@@ -202,6 +237,7 @@ class LSSVC:
                 implicit=self.implicit,
                 solver_threads=self.solver_threads,
                 tile_cache_mb=self.tile_cache_mb,
+                compute_dtype=self.compute_dtype,
             )
         qmat = backend.create_qmatrix(X, y, self.param)
         return qmat, qmat.rhs()
@@ -220,15 +256,15 @@ class LSSVC:
             setup_section = "transform" if self.backend is not None else "assembly"
             with self.timings_.section(setup_section):
                 qmat, rhs = self._build_operator(X, y_enc)
-            precond = None
-            if self.jacobi:
-                # diag(Q_tilde) = k(x_i,x_i) + 1/C - 2 q_bar_i + q_mm
-                from .kernels import kernel_diagonal
-
-                param = qmat.param
-                diag = kernel_diagonal(qmat.X_bar, param.kernel, **param.kernel_kwargs())
-                precond = diag + qmat.ridge_bar - 2.0 * qmat.q_bar + qmat.q_mm
+            # Preconditioner setup is solver work (it trades setup time for
+            # iterations), so it is accounted inside the paper's cg section.
             with self.timings_.section("cg"):
+                precond = make_preconditioner(
+                    qmat,
+                    self.precondition,
+                    rank=self.precond_rank,
+                    rng=self.precond_rng,
+                )
                 result = conjugate_gradient(
                     qmat,
                     rhs,

@@ -29,6 +29,7 @@ from ..types import KernelType
 from .cg import conjugate_gradient_block
 from .lssvm import LSSVC
 from .model import LSSVMModel
+from .precond import make_preconditioner
 from .qmatrix import build_reduced_system
 
 __all__ = ["OneVsAllLSSVC", "OneVsOneLSSVC"]
@@ -70,6 +71,9 @@ class _MulticlassBase:
         coef0: float = 0.0,
         epsilon: float = 1e-3,
         implicit: Optional[bool] = None,
+        precondition: Union[None, str, object] = None,
+        precond_rank: Optional[int] = None,
+        compute_dtype=None,
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
         estimator_factory: Optional[Callable[[], object]] = None,
@@ -81,6 +85,9 @@ class _MulticlassBase:
         self.coef0 = coef0
         self.epsilon = epsilon
         self.implicit = implicit
+        self.precondition = precondition
+        self.precond_rank = precond_rank
+        self.compute_dtype = compute_dtype
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
         # The shared block solve builds the reduced system itself; it only
@@ -97,6 +104,9 @@ class _MulticlassBase:
                     coef0=coef0,
                     epsilon=epsilon,
                     implicit=implicit,
+                    precondition=precondition,
+                    precond_rank=precond_rank,
+                    compute_dtype=compute_dtype,
                     solver_threads=solver_threads,
                     tile_cache_mb=tile_cache_mb,
                 )
@@ -186,10 +196,18 @@ class OneVsAllLSSVC(_MulticlassBase):
             implicit=self.implicit,
             solver_threads=self.solver_threads,
             tile_cache_mb=self.tile_cache_mb,
+            compute_dtype=self.compute_dtype,
+        )
+        precond = make_preconditioner(
+            qmat, self.precondition, rank=self.precond_rank, rng=0
         )
         B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
         result = conjugate_gradient_block(
-            qmat, B, epsilon=self.epsilon, max_iter=param.max_iter
+            qmat,
+            B,
+            epsilon=self.epsilon,
+            max_iter=param.max_iter,
+            preconditioner=precond,
         )
         for j, _ in enumerate(self.classes_):
             alpha_bar = result.X[:, j]

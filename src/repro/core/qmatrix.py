@@ -41,7 +41,7 @@ import numpy as np
 from ..exceptions import DataError
 from ..parameter import Parameter
 from ..types import KernelType
-from .kernels import kernel_matrix, kernel_row, kernel_scalar
+from .kernels import kernel_diagonal, kernel_matrix, kernel_row, kernel_scalar
 
 __all__ = [
     "QMatrixBase",
@@ -222,6 +222,18 @@ class QMatrixBase(abc.ABC):
     def __matmul__(self, v: np.ndarray) -> np.ndarray:
         return self.matvec(v)
 
+    def diagonal(self) -> np.ndarray:
+        """``diag(Q_tilde)`` without forming the matrix (Eq. 16 at i = j).
+
+        ``Q_tilde[i, i] = k(x_i, x_i) + ridge_i - 2 q_bar_i + q_mm`` — the
+        single source of truth shared by Jacobi/Nyström preconditioner
+        setup, the classifier's legacy ``jacobi=True`` path, and the
+        multi-class block solve.
+        """
+        kw = self.param.kernel_kwargs()
+        diag = kernel_diagonal(self.X_bar, self.param.kernel, **kw)
+        return diag.astype(self.dtype, copy=False) + self.ridge_bar - 2.0 * self.q_bar + self.q_mm
+
     def rhs(self) -> np.ndarray:
         """Right-hand side of Eq. 14: ``y_bar - y_m * 1``."""
         return reduced_rhs(self.y)
@@ -282,6 +294,10 @@ class ExplicitQMatrix(QMatrixBase):
     def to_dense(self) -> np.ndarray:
         return np.array(self._dense, copy=True)
 
+    def diagonal(self) -> np.ndarray:
+        # _dense already carries the ridge and rank-one corrections.
+        return np.ascontiguousarray(np.diagonal(self._dense))
+
 
 class ImplicitQMatrix(QMatrixBase):
     """Matrix-free Q_tilde: kernel entries are recomputed per use (§III-B).
@@ -304,6 +320,12 @@ class ImplicitQMatrix(QMatrixBase):
     tile_cache_mb:
         Byte budget (MiB) of the tile cache; ``0`` disables it. Above the
         budget the cache switches itself off (see tile_pipeline docs).
+    compute_dtype:
+        Element type for kernel-tile evaluation and caching (mixed
+        precision: ``float32`` tiles halve cache bytes and memory
+        bandwidth while CG's vectors, reductions, and termination
+        criterion stay in ``dtype``). ``None`` keeps tiles in ``dtype``.
+        The linear kernel has no tiles and ignores it.
     """
 
     def __init__(
@@ -317,6 +339,7 @@ class ImplicitQMatrix(QMatrixBase):
         binary_labels: bool = True,
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
+        compute_dtype=None,
     ) -> None:
         super().__init__(X, y, param, ridge=ridge, binary_labels=binary_labels)
         if tile_rows <= 0:
@@ -324,6 +347,7 @@ class ImplicitQMatrix(QMatrixBase):
         self.tile_rows = int(tile_rows)
         self._solver_threads = solver_threads
         self._tile_cache_mb = tile_cache_mb
+        self.compute_dtype = compute_dtype
         self._pipeline = None
 
     @property
@@ -350,6 +374,7 @@ class ImplicitQMatrix(QMatrixBase):
                 num_threads=self._solver_threads,
                 cache_mb=cache_mb,
                 dtype=self.dtype,
+                compute_dtype=self.compute_dtype,
             )
         return self._pipeline
 
@@ -381,6 +406,7 @@ def build_reduced_system(
     tile_rows: int = 1024,
     solver_threads: Optional[int] = None,
     tile_cache_mb: Optional[float] = None,
+    compute_dtype=None,
 ) -> Tuple[QMatrixBase, np.ndarray]:
     """Assemble ``(Q_tilde, rhs)`` for the given training data.
 
@@ -388,8 +414,8 @@ def build_reduced_system(
     :data:`EXPLICIT_LIMIT` points (a dense solve's memory is then harmless
     and matvecs are fastest), matrix-free beyond that — the same trade-off
     that forces the paper's GPU kernels to recompute entries on the fly.
-    ``solver_threads`` / ``tile_cache_mb`` configure the implicit
-    operator's tile pipeline (ignored for the explicit path).
+    ``solver_threads`` / ``tile_cache_mb`` / ``compute_dtype`` configure
+    the implicit operator's tile pipeline (ignored for the explicit path).
     """
     if implicit is None:
         implicit = np.asarray(X).shape[0] > EXPLICIT_LIMIT
@@ -401,6 +427,7 @@ def build_reduced_system(
             tile_rows=tile_rows,
             solver_threads=solver_threads,
             tile_cache_mb=tile_cache_mb,
+            compute_dtype=compute_dtype,
         )
     else:
         q = ExplicitQMatrix(X, y, param)

@@ -23,6 +23,12 @@ The radial kernel's ``||x||²`` row norms are precomputed once per pipeline
 and sliced per tile (§III-C2's caching idea applied host-side) instead of
 being recomputed for every tile of every sweep.
 
+A ``compute_dtype`` knob adds mixed precision (Glasmachers' observation
+that reduced-precision kernel storage is the cheapest way to double
+effective cache capacity and bandwidth): tiles are evaluated and cached in
+``float32`` while sweep results are accumulated back into the ``float64``
+the solver's recursion and termination criterion run in.
+
 All activity is mirrored into the process-wide
 :func:`repro.profiling.solver_counters`, so benchmarks can report sweep
 counts and cache hit rates without plumbing.
@@ -153,7 +159,14 @@ class TilePipeline:
         cache also stays off (see module docstring) unless
         ``force_cache=True`` opts into partial LRU caching anyway.
     dtype:
-        Element type used to size the cache against its budget.
+        Element type of the sweep *results* (the CG working precision).
+    compute_dtype:
+        Element type tiles are evaluated and cached in. ``float32`` tiles
+        halve the cache's bytes per tile — roughly doubling the problem
+        size that still caches fully within the budget — and halve the
+        GEMM bandwidth, while sweep results are still accumulated into
+        ``dtype`` so the solver's recursion, reductions, and termination
+        test keep their precision. ``None`` keeps tiles in ``dtype``.
     """
 
     def __init__(
@@ -170,6 +183,7 @@ class TilePipeline:
         cache_mb: float = DEFAULT_TILE_CACHE_MB,
         force_cache: bool = False,
         dtype=np.float64,
+        compute_dtype=None,
     ) -> None:
         if tile_rows <= 0:
             raise InvalidParameterError("tile_rows must be positive")
@@ -187,6 +201,21 @@ class TilePipeline:
         self.coef0 = coef0
         self.tile_rows = int(tile_rows)
         self.dtype = np.dtype(dtype)
+        self.compute_dtype = (
+            self.dtype if compute_dtype is None else np.dtype(compute_dtype)
+        )
+        if self.compute_dtype.kind != "f":
+            raise InvalidParameterError(
+                f"compute_dtype must be a floating dtype, got {self.compute_dtype}"
+            )
+        # Tile evaluation runs entirely in compute_dtype: casting the points
+        # once here keeps every per-tile GEMM and transcendental in the
+        # reduced precision instead of paying a downcast per tile per sweep.
+        self._points_c = (
+            self.points
+            if self.compute_dtype == self.dtype
+            else np.ascontiguousarray(self.points, dtype=self.compute_dtype)
+        )
         n = self.points.shape[0]
         self.tiles: List[Tuple[int, int]] = [
             (start, min(start + self.tile_rows, n))
@@ -194,13 +223,13 @@ class TilePipeline:
         ]
         # Reusable RBF row norms: computed once, sliced per tile per sweep.
         self.row_norms: Optional[np.ndarray] = (
-            squared_row_norms(self.points) if self.kernel is KernelType.RBF else None
+            squared_row_norms(self._points_c) if self.kernel is KernelType.RBF else None
         )
         # Attach to the module-wide shared pool rather than spawning one per
         # operator: pipelines are created per fit, worker threads are not.
         self.pool = pool if pool is not None else shared_pool(num_threads)
         capacity = int(cache_mb * 1024 * 1024)
-        working_set = n * n * self.dtype.itemsize
+        working_set = n * n * self.compute_dtype.itemsize
         self.cache: Optional[TileCache] = None
         if capacity > 0 and (working_set <= capacity or force_cache):
             self.cache = TileCache(capacity)
@@ -218,9 +247,9 @@ class TilePipeline:
         return self.cache is not None
 
     def _compute_tile(self, start: int, stop: int) -> np.ndarray:
-        return kernel_matrix(
-            self.points[start:stop],
-            self.points,
+        tile = kernel_matrix(
+            self._points_c[start:stop],
+            self._points_c,
             self.kernel,
             gamma=self.gamma,
             degree=self.degree,
@@ -228,6 +257,7 @@ class TilePipeline:
             a_sq=None if self.row_norms is None else self.row_norms[start:stop],
             b_sq=self.row_norms,
         )
+        return tile.astype(self.compute_dtype, copy=False)
 
     def tile(self, index: int) -> np.ndarray:
         """Fetch tile ``index``, via the cache when enabled."""
@@ -258,6 +288,10 @@ class TilePipeline:
             raise InvalidParameterError(
                 f"operand of shape {V.shape} does not match {n} pipeline rows"
             )
+        # Mixed precision: the per-tile GEMM runs in compute_dtype, the
+        # result is upcast on assignment into the dtype-precision output,
+        # so everything downstream of the sweep stays full precision.
+        V2 = np.ascontiguousarray(V2, dtype=self.compute_dtype)
         if out is None:
             out = np.empty((n, V2.shape[1]), dtype=self.dtype)
 
@@ -293,6 +327,7 @@ class TilePipeline:
             "tiles_computed": self.tiles_computed,
             "num_tiles": self.num_tiles,
             "cache_enabled": self.cache_enabled,
+            "compute_dtype": self.compute_dtype.name,
         }
         if self.cache is not None:
             out.update(

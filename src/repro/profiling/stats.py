@@ -92,6 +92,15 @@ class SolverCounters:
         Kernel tiles evaluated from scratch (cache misses + uncached runs).
     cache_hits / cache_misses / cache_evictions:
         Cross-iteration tile cache traffic.
+    cg_solves / cg_iterations:
+        Completed CG solves (single-RHS and block alike) and their summed
+        iteration counts — the numerator/denominator of the
+        iteration-reduction story preconditioning tells.
+    precond_setups / precond_setup_seconds / precond_rank:
+        Preconditioner constructions via
+        :func:`repro.core.precond.make_preconditioner`: how many, their
+        summed setup wall time, and the realized rank of the most recent
+        one (0 for Jacobi).
     """
 
     tile_sweeps: int = 0
@@ -99,6 +108,11 @@ class SolverCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cg_solves: int = 0
+    cg_iterations: int = 0
+    precond_setups: int = 0
+    precond_setup_seconds: float = 0.0
+    precond_rank: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -114,6 +128,11 @@ class SolverCounters:
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
+            "cg_solves": self.cg_solves,
+            "cg_iterations": self.cg_iterations,
+            "precond_setups": self.precond_setups,
+            "precond_setup_seconds": self.precond_setup_seconds,
+            "precond_rank": self.precond_rank,
         }
 
     def reset(self) -> None:
@@ -122,6 +141,11 @@ class SolverCounters:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.cg_solves = 0
+        self.cg_iterations = 0
+        self.precond_setups = 0
+        self.precond_setup_seconds = 0.0
+        self.precond_rank = 0
 
 
 _SOLVER_COUNTERS = SolverCounters()
