@@ -30,6 +30,7 @@ from .core import (
     LSSVC,
     LSSVR,
     BlockCGResult,
+    CGCheckpoint,
     CGResult,
     JacobiPrecond,
     LSSVMModel,
@@ -42,6 +43,7 @@ from .core import (
     conjugate_gradient,
     conjugate_gradient_block,
     make_preconditioner,
+    resilient_solve,
     rpcholesky,
 )
 from .parameter import Parameter
@@ -59,8 +61,10 @@ __all__ = [
     "SparseLSSVC",
     "CGResult",
     "BlockCGResult",
+    "CGCheckpoint",
     "conjugate_gradient",
     "conjugate_gradient_block",
+    "resilient_solve",
     "Preconditioner",
     "JacobiPrecond",
     "NystromPrecond",

@@ -122,5 +122,10 @@ def create_backend(
                 "the OpenMP backend drives a single (host) device; "
                 "use num_threads to scale it"
             )
+        if kwargs.get("fault_plan") is not None:
+            raise BackendUnavailableError(
+                "the OpenMP backend has no simulated devices to inject faults into"
+            )
+        kwargs.pop("fault_plan", None)
         return cls(**kwargs)
     return cls(target=target, n_devices=n_devices, config=config, **kwargs)

@@ -78,6 +78,9 @@ class SimulatedDeviceCSVM(CSVM):
         this is how the Table I experiments pin specific GPUs.
     config:
         Blocked-kernel tuning knobs shared by all devices.
+    fault_plan:
+        Optional :class:`repro.simgpu.FaultPlan` attached to every device
+        (fault-injection experiments; see :mod:`repro.simgpu.faults`).
     """
 
     #: Platforms this backend can target; subclasses override.
@@ -92,6 +95,7 @@ class SimulatedDeviceCSVM(CSVM):
         n_devices: int = 1,
         device: Union[None, str, DeviceSpec] = None,
         config: Optional[KernelConfig] = None,
+        fault_plan=None,
     ) -> None:
         if n_devices < 1:
             raise DeviceError("n_devices must be positive")
@@ -101,6 +105,9 @@ class SimulatedDeviceCSVM(CSVM):
             SimulatedDevice(self.spec, self.efficiency_key, device_id=i)
             for i in range(n_devices)
         ]
+        self.fault_plan = fault_plan
+        for dev in self.devices:
+            dev.attach_fault_plan(fault_plan)
         self._last_qmatrix: Optional[DeviceQMatrix] = None
 
     # -- device discovery -------------------------------------------------------

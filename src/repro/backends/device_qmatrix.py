@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.qmatrix import QMatrixBase
-from ..exceptions import DeviceError
+from ..exceptions import DeviceError, DeviceLostError
 from ..parallel.partition import feature_split
 from ..parallel.reduction import sum_partials
 from ..parameter import Parameter
@@ -123,6 +123,58 @@ class DeviceQMatrix(QMatrixBase):
                     value_bytes=self._value_bytes,
                 )
                 device.launch(
+                    "device_kernel_q",
+                    flops=costs.flops,
+                    global_bytes=costs.global_bytes,
+                    shared_bytes=costs.shared_bytes,
+                    grid_blocks=costs.grid_blocks,
+                    block_threads=costs.block_threads,
+                    precision=self._precision,
+                )
+
+    # -- fault recovery ---------------------------------------------------------
+
+    def handle_device_loss(self, device: SimulatedDevice) -> None:
+        """Redistribute a lost device's feature slice onto the survivors.
+
+        Graceful degradation (§III-D): the feature-wise split only needs
+        the kernel's linearity, not a fixed device count, so losing a card
+        mid-solve is recoverable by re-running the split over the surviving
+        devices and re-uploading their (larger) slabs. The cached ``q``
+        partials depend on each device's feature slice, so they are
+        recomputed too. Every survivor is charged its modeled
+        ``fault_recovery_s`` (context re-creation after a sibling died).
+
+        Raises :class:`~repro.exceptions.DeviceLostError` with
+        ``device=None`` when no devices survive — that is unrecoverable.
+        Called by :func:`repro.core.resilience.resilient_solve`; cascading
+        faults during the re-upload propagate and are recovered in turn.
+        """
+        survivors = [
+            dev for dev in self.active_devices if dev is not device and not dev.lost
+        ]
+        if not survivors:
+            raise DeviceLostError(
+                f"device {device.spec.name!r} (id {device.device_id}) was the "
+                "last one standing; cannot redistribute",
+                device=None,
+            )
+        n = self.shape[0]
+        splits = feature_split(self.soa.num_features, len(survivors))
+        self.active_devices = survivors[: len(splits)]
+        self._slices = [s.slice for s in splits]
+        self._device_data = [self.soa.feature_slice(sl) for sl in self._slices]
+        for dev, slab in zip(self.active_devices, self._device_data):
+            dev.clock += dev.spec.fault_recovery_s
+            dev.free("data")
+            dev.malloc("data", slab.nbytes)
+            dev.copy_to_device(slab.nbytes)
+            if self.config.cache_q:
+                costs = q_vector_costs(
+                    n, slab.num_features, self.param.kernel, self.config,
+                    value_bytes=self._value_bytes,
+                )
+                dev.launch(
                     "device_kernel_q",
                     flops=costs.flops,
                     global_bytes=costs.global_bytes,

@@ -59,6 +59,8 @@ class HeterogeneousCSVM(CSVM):
         throughput; ``False`` splits equally (for comparison).
     config:
         Blocked-kernel tuning configuration shared by all devices.
+    fault_plan:
+        Optional :class:`repro.simgpu.FaultPlan` attached to every device.
     """
 
     backend_type = BackendType.AUTOMATIC
@@ -69,6 +71,7 @@ class HeterogeneousCSVM(CSVM):
         *,
         balanced: bool = True,
         config: Optional[KernelConfig] = None,
+        fault_plan=None,
     ) -> None:
         if not devices:
             raise DeviceError("at least one device is required")
@@ -81,6 +84,9 @@ class HeterogeneousCSVM(CSVM):
             SimulatedDevice(spec, _best_key(spec), device_id=i)
             for i, spec in enumerate(specs)
         ]
+        self.fault_plan = fault_plan
+        for dev in self.devices:
+            dev.attach_fault_plan(fault_plan)
         self._last_qmatrix: Optional[DeviceQMatrix] = None
 
     @property

@@ -33,7 +33,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..core.qmatrix import QMatrixBase
-from ..exceptions import DeviceError
+from ..exceptions import DataError, DeviceError, DeviceLostError
 from ..parallel.mpi_sim import NetworkSpec, SimCommunicator
 from ..parallel.partition import BlockRange, chunk_ranges, feature_split
 from ..parameter import Parameter
@@ -81,6 +81,7 @@ class MultiNodeQMatrix(QMatrixBase):
         gpus_per_node: int,
         device: Union[str, DeviceSpec] = "nvidia_a100",
         network: NetworkSpec = NetworkSpec(),
+        fault_plan=None,
     ) -> None:
         super().__init__(X, y, param)
         if self.param.kernel is not KernelType.LINEAR:
@@ -102,6 +103,8 @@ class MultiNodeQMatrix(QMatrixBase):
         self.comm = SimCommunicator(len(self.row_blocks), network)
         self.nodes: List[List[SimulatedDevice]] = []
         self._node_data = []  # per node: list of (soa slab, feature slice)
+        # Kept for failover: redistribution re-slices the node's SoA block.
+        self._node_soa = []
 
         feature_ranges = feature_split(d, gpus_per_node)
         for node_id, rows in enumerate(self.row_blocks):
@@ -110,6 +113,7 @@ class MultiNodeQMatrix(QMatrixBase):
             slabs = []
             for gpu_id, frange in enumerate(feature_ranges):
                 dev = SimulatedDevice(spec, "cuda", device_id=node_id * 100 + gpu_id)
+                dev.attach_fault_plan(fault_plan)
                 dev.initialize()
                 slab = soa.feature_slice(frange.slice)
                 dev.malloc("data", slab.nbytes)
@@ -119,6 +123,47 @@ class MultiNodeQMatrix(QMatrixBase):
                 slabs.append((slab, frange))
             self.nodes.append(devices)
             self._node_data.append(slabs)
+            self._node_soa.append(soa)
+
+    # -- fault recovery -----------------------------------------------------------
+
+    def handle_device_loss(self, device: SimulatedDevice) -> None:
+        """Redistribute a lost GPU's feature slice within its node.
+
+        The row split across nodes is fixed (each node owns its rows'
+        data), but *within* the owning node the feature-wise split works
+        for any surviving GPU count — the same graceful degradation as the
+        single-node operator. A node whose last GPU dies loses its row
+        block entirely, which is unrecoverable (``device=None``).
+        """
+        for node_id, devices in enumerate(self.nodes):
+            if device in devices:
+                break
+        else:
+            raise DeviceError(
+                f"device {device.spec.name!r} (id {device.device_id}) does "
+                "not belong to this operator"
+            )
+        survivors = [dev for dev in devices if dev is not device and not dev.lost]
+        if not survivors:
+            raise DeviceLostError(
+                f"node {node_id} lost its last GPU; its row block cannot be "
+                "recovered by redistribution",
+                device=None,
+            )
+        soa = self._node_soa[node_id]
+        feature_ranges = feature_split(self.X_bar.shape[1], len(survivors))
+        survivors = survivors[: len(feature_ranges)]
+        slabs = []
+        for dev, frange in zip(survivors, feature_ranges):
+            dev.clock += dev.spec.fault_recovery_s
+            dev.free("data")
+            slab = soa.feature_slice(frange.slice)
+            dev.malloc("data", slab.nbytes)
+            dev.copy_to_device(slab.nbytes)
+            slabs.append((slab, frange))
+        self.nodes[node_id] = survivors
+        self._node_data[node_id] = slabs
 
     # -- distributed matvec -----------------------------------------------------------
 
@@ -183,6 +228,10 @@ class MultiNodeQMatrix(QMatrixBase):
 
     def device_time(self) -> float:
         """Modeled elapsed time: slowest node's GPU clock + communication."""
+        if not self.nodes or any(not devices for devices in self.nodes):
+            raise DataError(
+                "cannot report a device time: at least one node holds no devices"
+            )
         per_node = [max(dev.clock for dev in devices) for devices in self.nodes]
         return max(per_node) + self.comm.elapsed
 
@@ -190,8 +239,15 @@ class MultiNodeQMatrix(QMatrixBase):
         return self.comm.elapsed
 
     def memory_per_gpu_gib(self) -> float:
-        """Peak footprint of node 0's first GPU (all GPUs are symmetric)."""
-        return self.nodes[0][0].peak_allocated_bytes / 1024**3
+        """Worst per-GPU peak footprint (GPUs are asymmetric after failover)."""
+        if not self.nodes or any(not devices for devices in self.nodes):
+            raise DataError(
+                "cannot report per-GPU memory: at least one node holds no devices"
+            )
+        return (
+            max(dev.peak_allocated_bytes for devices in self.nodes for dev in devices)
+            / 1024**3
+        )
 
 
 class MultiNodeCSVM(CSVM):
@@ -207,6 +263,9 @@ class MultiNodeCSVM(CSVM):
         Catalog key / spec of the per-node GPU model.
     network:
         Inter-node fabric parameters.
+    fault_plan:
+        Optional :class:`repro.simgpu.FaultPlan` attached to every GPU in
+        the cluster (fault-injection experiments).
     """
 
     backend_type = BackendType.AUTOMATIC
@@ -218,6 +277,7 @@ class MultiNodeCSVM(CSVM):
         gpus_per_node: int = 4,
         device: Union[str, DeviceSpec] = "nvidia_a100",
         network: NetworkSpec = NetworkSpec(),
+        fault_plan=None,
     ) -> None:
         if num_nodes < 1:
             raise DeviceError("need at least one node")
@@ -225,6 +285,7 @@ class MultiNodeCSVM(CSVM):
         self.gpus_per_node = int(gpus_per_node)
         self.device = device
         self.network = network
+        self.fault_plan = fault_plan
         self._last_qmatrix: Optional[MultiNodeQMatrix] = None
 
     def create_qmatrix(
@@ -238,6 +299,7 @@ class MultiNodeCSVM(CSVM):
             gpus_per_node=self.gpus_per_node,
             device=self.device,
             network=self.network,
+            fault_plan=self.fault_plan,
         )
         self._last_qmatrix = qmat
         return qmat

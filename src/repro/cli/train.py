@@ -108,6 +108,33 @@ def build_parser() -> argparse.ArgumentParser:
         "while the CG recursion stays in the working precision",
     )
     parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject simulated device faults (device backends only). SPEC is "
+        "comma-separated: seed=N plus rates lost=P / transient=P / latency=P "
+        "(per-operation probabilities, latency_s=X sets the spike length), "
+        "and/or scripted events KIND@DEV:OP:N[:SECONDS], e.g. "
+        "'seed=7,transient=0.001' or 'lost@2:launch:25'",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot the CG solver state every N iterations so a solve "
+        "interrupted by a device fault resumes instead of restarting "
+        "(default 10 when --fault-plan is given)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="transient-fault retries without progress before the device "
+        "is treated as lost (default 3)",
+    )
+    parser.add_argument(
         "-x",
         "--cross_validation",
         type=int,
@@ -127,6 +154,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     import numpy as np
 
     precondition = None if args.precondition == "none" else args.precondition
+    fault_plan = None
+    if args.fault_plan is not None:
+        from ..simgpu.faults import parse_fault_plan
+
+        fault_plan = parse_fault_plan(args.fault_plan)
     clf = LSSVC(
         kernel=_parse_kernel(args.kernel_type),
         C=args.cost,
@@ -144,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         solver_threads=args.solver_threads,
         tile_cache_mb=args.tile_cache_mb,
         compute_dtype=args.compute_dtype,
+        fault_plan=fault_plan,
+        checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries,
     )
     with clf.timings_.section("read"):
         X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
@@ -185,14 +220,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     clf.timings_["read"].add(read_timer.elapsed)  # fit() resets timers
     clf.save(model_path)
 
+    from ..profiling import solver_counters
+
+    counters = solver_counters()
+    if fault_plan is not None or counters.devices_lost or counters.transient_retries:
+        # Always surface recovery activity when faults are in play — the
+        # solve finishing silently would hide that devices died under it.
+        print(
+            f"resilience: {counters.devices_lost} device(s) lost, "
+            f"{counters.redistributions} redistribution(s), "
+            f"{counters.checkpoint_restores} checkpoint restore(s), "
+            f"{counters.transient_retries} transient retry(ies), "
+            f"backoff {counters.backoff_seconds:.3f}s"
+        )
+        if args.verbose and fault_plan is not None:
+            for rec in fault_plan.records:
+                print(
+                    f"  fault: {rec.kind} on device {rec.device_id} "
+                    f"({rec.device_name}) during {rec.op} #{rec.op_index}"
+                )
+
     if args.verbose:
         print(f"backend: {clf._resolve_backend().describe() if clf.backend else 'numpy reference'}")
         print(f"parameters: {clf.param.describe()}")
         print(f"CG iterations: {clf.iterations_}")
         print(f"final relative residual: {clf.result_.residual:.3e}")
-        from ..profiling import solver_counters
-
-        counters = solver_counters()
         if counters.precond_setups:
             print(
                 f"preconditioner: {args.precondition} (rank "

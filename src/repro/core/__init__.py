@@ -16,7 +16,13 @@ everything else in this package is the machinery behind its ``fit``:
 * :mod:`repro.core.lssvm` — the high-level classifier.
 """
 
-from .cg import BlockCGResult, CGResult, conjugate_gradient, conjugate_gradient_block
+from .cg import (
+    BlockCGResult,
+    CGCheckpoint,
+    CGResult,
+    conjugate_gradient,
+    conjugate_gradient_block,
+)
 from .kernels import (
     kernel_diagonal,
     kernel_matrix,
@@ -38,14 +44,17 @@ from .model import LSSVMModel
 from .multiclass import OneVsAllLSSVC, OneVsOneLSSVC
 from .qmatrix import ExplicitQMatrix, ImplicitQMatrix, build_reduced_system
 from .regression import LSSVR
+from .resilience import resilient_solve
 from .sparse_approx import SparseLSSVC
 from .weighted import WeightedLSSVC, hampel_weights
 
 __all__ = [
     "CGResult",
     "BlockCGResult",
+    "CGCheckpoint",
     "conjugate_gradient",
     "conjugate_gradient_block",
+    "resilient_solve",
     "Preconditioner",
     "JacobiPrecond",
     "NystromPrecond",

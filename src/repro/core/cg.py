@@ -27,11 +27,16 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Callable, List, Optional, Protocol, Union
+from typing import Callable, Dict, List, Optional, Protocol, Union
 
 import numpy as np
 
-from ..exceptions import ConvergenceWarning, InvalidParameterError
+from ..exceptions import (
+    ConvergenceWarning,
+    DeviceLostError,
+    InvalidParameterError,
+    TransientDeviceError,
+)
 from ..profiling.stats import solver_counters
 from ..types import SolverStatus
 
@@ -39,6 +44,7 @@ __all__ = [
     "LinearOperatorLike",
     "CGResult",
     "BlockCGResult",
+    "CGCheckpoint",
     "conjugate_gradient",
     "conjugate_gradient_block",
 ]
@@ -113,6 +119,38 @@ class CGResult:
         return self.status is SolverStatus.CONVERGED
 
 
+@dataclasses.dataclass
+class CGCheckpoint:
+    """Opaque snapshot of an in-flight CG solve.
+
+    Taken every ``checkpoint_interval`` iterations by
+    :func:`conjugate_gradient` / :func:`conjugate_gradient_block` and
+    attached (as ``exc.checkpoint``) to any
+    :class:`~repro.exceptions.DeviceLostError` or
+    :class:`~repro.exceptions.TransientDeviceError` escaping the solve.
+    Passing it back via the ``checkpoint`` argument resumes from the
+    snapshot instead of iteration 0.
+
+    The snapshot captures the *complete* loop-bottom recurrence state
+    (iterate, residual, search direction(s), best-iterate tracking, stall
+    counter, residual history), so a resumed solve replays exactly the
+    arithmetic an undisturbed solve would have performed: against the same
+    operator and preconditioner the results are bit-for-bit identical.
+
+    Treat the contents as opaque — the ``state`` dict is solver-specific
+    (``kind`` is ``"single"`` or ``"block"``) and a checkpoint from one
+    solver cannot resume the other.
+    """
+
+    kind: str
+    x: np.ndarray
+    r: Optional[np.ndarray]
+    p: Optional[np.ndarray]
+    iteration: int
+    residual_history: List[float]
+    state: Dict[str, object]
+
+
 def _as_operator(A: Union[np.ndarray, LinearOperatorLike]) -> LinearOperatorLike:
     if isinstance(A, np.ndarray):
         if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -153,6 +191,8 @@ def conjugate_gradient(
     preconditioner: PrecondLike = None,
     callback: Optional[Callable[[int, float], None]] = None,
     warn_on_no_convergence: bool = True,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint: Optional[CGCheckpoint] = None,
 ) -> CGResult:
     """Solve ``A @ x = b`` for SPD ``A`` with (optionally preconditioned) CG.
 
@@ -186,6 +226,17 @@ def conjugate_gradient(
         iteration — the profiling layer hooks in here.
     warn_on_no_convergence:
         Emit a :class:`ConvergenceWarning` when the iteration cap is hit.
+    checkpoint_interval:
+        Snapshot the full recurrence state into a :class:`CGCheckpoint`
+        every this many iterations. The latest snapshot is attached to any
+        :class:`~repro.exceptions.DeviceLostError` /
+        :class:`~repro.exceptions.TransientDeviceError` the operator raises
+        (as ``exc.checkpoint``), so the interrupted solve can resume.
+    checkpoint:
+        Resume from a previously captured snapshot instead of iteration 0
+        (mutually exclusive with ``x0``). Iteration numbering, the residual
+        history, and all recurrences continue exactly where the snapshot
+        left off.
     """
     op = _as_operator(A)
     b = np.asarray(b, dtype=op.dtype).ravel()
@@ -198,12 +249,26 @@ def conjugate_gradient(
         raise InvalidParameterError(f"epsilon must lie in (0, 1), got {epsilon}")
     if recompute_interval < 1:
         raise InvalidParameterError("recompute_interval must be positive")
+    if checkpoint_interval is not None and checkpoint_interval < 1:
+        raise InvalidParameterError("checkpoint_interval must be positive")
+    if checkpoint is not None:
+        if checkpoint.kind != "single":
+            raise InvalidParameterError(
+                f"checkpoint of kind {checkpoint.kind!r} cannot resume the "
+                "single-RHS solver"
+            )
+        if x0 is not None:
+            raise InvalidParameterError("pass either checkpoint or x0, not both")
+        if checkpoint.x.shape[0] != n:
+            raise InvalidParameterError(
+                f"checkpoint system size {checkpoint.x.shape[0]} does not "
+                f"match operator size {n}"
+            )
     if max_iter is None:
         max_iter = max(2 * n, 10)
 
     precond = _resolve_preconditioner(preconditioner, n)
 
-    x = np.zeros(n, dtype=op.dtype) if x0 is None else np.asarray(x0, dtype=op.dtype).copy()
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return CGResult(
@@ -214,23 +279,71 @@ def conjugate_gradient(
             residual_history=[0.0],
         )
 
-    r = b - op.matvec(x) if x0 is not None else b.copy()
-    z = precond.apply(r) if precond is not None else r
-    d = z.copy()
-    delta_new = float(r @ z)
-    rel_res = float(np.linalg.norm(r)) / b_norm
-    history = [rel_res]
+    # The latest snapshot; attached to device faults escaping matvec so the
+    # caller (resilient_solve) can resume instead of restarting.
+    last_ckpt = checkpoint
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        try:
+            return op.matvec(v)
+        except (DeviceLostError, TransientDeviceError) as exc:
+            exc.checkpoint = last_ckpt
+            raise
+
+    if checkpoint is not None:
+        x = np.asarray(checkpoint.x, dtype=op.dtype).copy()
+        r = np.asarray(checkpoint.r, dtype=op.dtype).copy()
+        d = np.asarray(checkpoint.p, dtype=op.dtype).copy()
+        delta_new = float(checkpoint.state["delta_new"])
+        best_res = float(checkpoint.state["best_res"])
+        best_x = np.asarray(checkpoint.state["best_x"], dtype=op.dtype).copy()
+        stall = int(checkpoint.state["stall"])
+        history = list(checkpoint.residual_history)
+        rel_res = float(history[-1])
+        start_iteration = checkpoint.iteration
+    else:
+        x = (
+            np.zeros(n, dtype=op.dtype)
+            if x0 is None
+            else np.asarray(x0, dtype=op.dtype).copy()
+        )
+        r = b - matvec(x) if x0 is not None else b.copy()
+        z = precond.apply(r) if precond is not None else r
+        d = z.copy()
+        delta_new = float(r @ z)
+        rel_res = float(np.linalg.norm(r)) / b_norm
+        history = [rel_res]
+        best_res = rel_res
+        best_x = x.copy()
+        stall = 0
+        start_iteration = 0
 
     if rel_res <= epsilon:
-        return CGResult(x, 0, rel_res, SolverStatus.CONVERGED, history)
+        return CGResult(x, start_iteration, rel_res, SolverStatus.CONVERGED, history)
+
+    def take_checkpoint(at_iteration: int) -> CGCheckpoint:
+        return CGCheckpoint(
+            kind="single",
+            x=x.copy(),
+            r=r.copy(),
+            p=d.copy(),
+            iteration=at_iteration,
+            residual_history=list(history),
+            state={
+                "delta_new": delta_new,
+                "best_res": best_res,
+                "best_x": best_x.copy(),
+                "stall": stall,
+            },
+        )
+
+    if checkpoint_interval is not None:
+        last_ckpt = take_checkpoint(start_iteration)
 
     status = SolverStatus.MAX_ITERATIONS
-    iteration = 0
-    best_res = rel_res
-    best_x = x.copy()
-    stall = 0
-    for iteration in range(1, max_iter + 1):
-        q = op.matvec(d)
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
+        q = matvec(d)
         dq = float(d @ q)
         if dq <= 0.0 or not np.isfinite(dq):
             # Curvature lost: the operator is numerically not SPD along d.
@@ -240,7 +353,7 @@ def conjugate_gradient(
         alpha = delta_new / dq
         x += alpha * d
         if iteration % recompute_interval == 0:
-            r = b - op.matvec(x)
+            r = b - matvec(x)
         else:
             r -= alpha * q
         z = precond.apply(r) if precond is not None else r
@@ -269,6 +382,8 @@ def conjugate_gradient(
             stall += 1
         beta = delta_new / delta_old
         d = z + beta * d
+        if checkpoint_interval is not None and iteration % checkpoint_interval == 0:
+            last_ckpt = take_checkpoint(iteration)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(
@@ -279,7 +394,7 @@ def conjugate_gradient(
         )
     counters = solver_counters()
     counters.cg_solves += 1
-    counters.cg_iterations += iteration
+    counters.cg_iterations += iteration - start_iteration
     return CGResult(x, iteration, rel_res, status, history)
 
 
@@ -357,6 +472,8 @@ def conjugate_gradient_block(
     preconditioner: PrecondLike = None,
     callback: Optional[Callable[[int, float], None]] = None,
     warn_on_no_convergence: bool = True,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint: Optional[CGCheckpoint] = None,
 ) -> BlockCGResult:
     """Solve ``A @ X = B`` for all ``k`` columns of ``B`` simultaneously.
 
@@ -394,6 +511,13 @@ def conjugate_gradient_block(
     single-vector solver. Convergence requires *every* column's relative
     residual ``||r_j|| / ||b_j||`` to drop below ``epsilon``; zero columns
     of ``B`` are converged by definition.
+
+    ``checkpoint_interval`` / ``checkpoint`` mirror
+    :func:`conjugate_gradient`: the rQ recurrence state (iterate block,
+    factored residual ``Qb @ phi``, search block, best-iterate tracking) is
+    snapshotted into a :class:`CGCheckpoint` of kind ``"block"`` and
+    attached to escaping device faults, so an interrupted block solve
+    resumes mid-recursion.
     """
     op = _as_operator(A)
     B = np.asarray(B, dtype=op.dtype)
@@ -412,6 +536,21 @@ def conjugate_gradient_block(
         raise InvalidParameterError(f"epsilon must lie in (0, 1), got {epsilon}")
     if recompute_interval < 1:
         raise InvalidParameterError("recompute_interval must be positive")
+    if checkpoint_interval is not None and checkpoint_interval < 1:
+        raise InvalidParameterError("checkpoint_interval must be positive")
+    if checkpoint is not None:
+        if checkpoint.kind != "block":
+            raise InvalidParameterError(
+                f"checkpoint of kind {checkpoint.kind!r} cannot resume the "
+                "block solver"
+            )
+        if X0 is not None:
+            raise InvalidParameterError("pass either checkpoint or X0, not both")
+        if checkpoint.x.shape != (n, k):
+            raise InvalidParameterError(
+                f"checkpoint block of shape {checkpoint.x.shape} does not "
+                f"match system shape {(n, k)}"
+            )
     if max_iter is None:
         max_iter = max(2 * n, 10)
 
@@ -430,23 +569,43 @@ def conjugate_gradient_block(
             residual_history=[0.0],
         )
 
+    # The latest snapshot; attached to device faults escaping the operator
+    # sweep so the caller (resilient_solve) can resume instead of restarting.
+    last_ckpt = checkpoint
+
     # Preconditioning as an exact split transform: the iteration runs on
     # E^T A E (SPD for any invertible E with E E^T = M^{-1}) with unknowns
     # E^{-1} X, which keeps the rQ recursion's plain inner products valid.
     def apply_op(V: np.ndarray) -> np.ndarray:
-        if precond is None:
-            return _matvec_multi(op, V)
-        return precond.sqrt_apply_t(_matvec_multi(op, precond.sqrt_apply(V)))
+        try:
+            AV = _matvec_multi(op, V if precond is None else precond.sqrt_apply(V))
+        except (DeviceLostError, TransientDeviceError) as exc:
+            exc.checkpoint = last_ckpt
+            raise
+        return AV if precond is None else precond.sqrt_apply_t(AV)
 
     Bt = B if precond is None else precond.sqrt_apply_t(B)
-    if X0 is None:
+    if checkpoint is not None:
+        Xt = np.asarray(checkpoint.x, dtype=op.dtype).copy()
+        Qb = np.asarray(checkpoint.state["Qb"]).copy()
+        phi = np.asarray(checkpoint.state["phi"]).copy()
+        P = np.asarray(checkpoint.p).copy()
+        best_res = float(checkpoint.state["best_res"])
+        best_X = np.asarray(checkpoint.state["best_X"]).copy()
+        best_rel = np.asarray(checkpoint.state["best_rel"]).copy()
+        stall = int(checkpoint.state["stall"])
+        history = list(checkpoint.residual_history)
+        start_iteration = checkpoint.iteration
+    elif X0 is None:
         Xt = np.zeros((n, k), dtype=op.dtype)
         R = Bt.copy()
+        start_iteration = 0
     else:
         Xt = np.array(X0, dtype=op.dtype).reshape(n, k)
         if precond is not None:
             Xt = precond.sqrt_unapply(Xt)
         R = Bt - apply_op(Xt)
+        start_iteration = 0
 
     def untransform(Xt_: np.ndarray) -> np.ndarray:
         if precond is None:
@@ -455,10 +614,11 @@ def conjugate_gradient_block(
         # working dtype so callers see the same types as the plain path.
         return precond.sqrt_apply(Xt_).astype(op.dtype, copy=False)
 
-    # rQ representation: R = Qb @ phi with Qb orthonormal. The reduced QR
-    # caps the block width at min(n, k); column norms of the small factor
-    # phi are exactly the residual column norms.
-    Qb, phi = np.linalg.qr(R)
+    if checkpoint is None:
+        # rQ representation: R = Qb @ phi with Qb orthonormal. The reduced QR
+        # caps the block width at min(n, k); column norms of the small factor
+        # phi are exactly the residual column norms.
+        Qb, phi = np.linalg.qr(R)
 
     def column_residuals() -> np.ndarray:
         if precond is None:
@@ -467,20 +627,46 @@ def conjugate_gradient_block(
         return np.linalg.norm(precond.sqrt_unapply_t(Qb @ phi), axis=0) / scale
 
     rel = column_residuals()
-    history = [float(rel.max())]
+    if checkpoint is None:
+        history = [float(rel.max())]
 
     if np.all(rel <= epsilon):
-        return BlockCGResult(untransform(Xt), 0, rel, SolverStatus.CONVERGED, history)
+        return BlockCGResult(
+            untransform(Xt), start_iteration, rel, SolverStatus.CONVERGED, history
+        )
 
-    P = Qb.copy()
+    if checkpoint is None:
+        P = Qb.copy()
+        best_res = float(rel.max())
+        best_X = Xt.copy()
+        best_rel = rel.copy()
+        stall = 0
     eye = np.eye(P.shape[1], dtype=op.dtype)
+
+    def take_checkpoint(at_iteration: int) -> CGCheckpoint:
+        return CGCheckpoint(
+            kind="block",
+            x=Xt.copy(),
+            r=None,
+            p=P.copy(),
+            iteration=at_iteration,
+            residual_history=list(history),
+            state={
+                "Qb": Qb.copy(),
+                "phi": phi.copy(),
+                "best_res": best_res,
+                "best_X": best_X.copy(),
+                "best_rel": best_rel.copy(),
+                "stall": stall,
+            },
+        )
+
+    if checkpoint_interval is not None:
+        last_ckpt = take_checkpoint(start_iteration)
+
     status = SolverStatus.MAX_ITERATIONS
-    iteration = 0
-    best_res = float(rel.max())
-    best_X = Xt.copy()
-    best_rel = rel.copy()
-    stall = 0
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         T = apply_op(P)  # ONE sweep for all k columns
         M = P.T @ T
         diag = np.einsum("ii->i", M)
@@ -521,6 +707,8 @@ def conjugate_gradient_block(
             break
         else:
             stall += 1
+        if checkpoint_interval is not None and iteration % checkpoint_interval == 0:
+            last_ckpt = take_checkpoint(iteration)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(
@@ -531,5 +719,5 @@ def conjugate_gradient_block(
         )
     counters = solver_counters()
     counters.cg_solves += 1
-    counters.cg_iterations += iteration
+    counters.cg_iterations += iteration - start_iteration
     return BlockCGResult(untransform(Xt), iteration, rel, status, history)

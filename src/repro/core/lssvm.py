@@ -24,7 +24,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import DataError, NotFittedError
+from ..exceptions import DataError, InvalidParameterError, NotFittedError
 from ..parameter import Parameter
 from ..profiling import ComponentTimer
 from ..types import BackendType, KernelType, TargetPlatform
@@ -32,6 +32,7 @@ from .cg import CGResult, conjugate_gradient
 from .model import LSSVMModel
 from .precond import make_preconditioner
 from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
+from .resilience import resilient_solve
 
 __all__ = ["LSSVC", "encode_labels", "decode_labels"]
 
@@ -133,6 +134,22 @@ class LSSVC:
         recursion, reductions, and termination criterion stay in ``dtype``.
         ``None`` keeps tiles in ``dtype``. Only the matrix-free non-linear
         path has tiles; other paths ignore it.
+    fault_plan:
+        Optional :class:`repro.simgpu.FaultPlan` injected into the
+        simulated devices (requires a device backend). Training then runs
+        through :func:`repro.core.resilience.resilient_solve`: transient
+        faults are retried with backoff, lost devices trigger feature-split
+        redistribution over the survivors, and the CG solve resumes from
+        its last checkpoint.
+    checkpoint_interval:
+        CG checkpoint cadence for the resilient path; ``None`` uses
+        :data:`repro.core.resilience.DEFAULT_CHECKPOINT_INTERVAL` when a
+        fault plan is active. Setting it without a fault plan also routes
+        the solve through the resilient driver (checkpoints are taken, but
+        nothing faults).
+    max_retries:
+        Transient-fault retry budget of the resilient driver (see
+        :func:`repro.core.resilience.resilient_solve`).
     """
 
     def __init__(
@@ -158,6 +175,9 @@ class LSSVC:
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
         compute_dtype=None,
+        fault_plan=None,
+        checkpoint_interval: Optional[int] = None,
+        max_retries: int = 3,
     ) -> None:
         self.param = Parameter(
             kernel=kernel,
@@ -188,6 +208,23 @@ class LSSVC:
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
         self.compute_dtype = compute_dtype
+        self.fault_plan = fault_plan
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise InvalidParameterError("checkpoint_interval must be positive")
+        self.checkpoint_interval = checkpoint_interval
+        if max_retries < 0:
+            raise InvalidParameterError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        if fault_plan is not None:
+            is_host = backend is None or (
+                isinstance(backend, (str, BackendType))
+                and BackendType.from_name(backend) is BackendType.OPENMP
+            )
+            if is_host:
+                raise InvalidParameterError(
+                    "fault_plan requires a device backend (cuda/opencl/sycl); "
+                    "the host paths have no devices to fault"
+                )
         if self.sparse and backend is not None:
             raise DataError("sparse CG runs on the NumPy path; use backend=None")
         self.model_: Optional[LSSVMModel] = None
@@ -215,6 +252,8 @@ class LSSVC:
                     kwargs["tile_cache_mb"] = self.tile_cache_mb
                 if self.compute_dtype is not None:
                     kwargs["compute_dtype"] = self.compute_dtype
+            elif self.fault_plan is not None:
+                kwargs["fault_plan"] = self.fault_plan
             self._backend_instance = create_backend(
                 self.backend, target=self.target, n_devices=self.n_devices, **kwargs
             )
@@ -265,13 +304,29 @@ class LSSVC:
                     rank=self.precond_rank,
                     rng=self.precond_rng,
                 )
-                result = conjugate_gradient(
-                    qmat,
-                    rhs,
-                    epsilon=self.param.epsilon,
-                    max_iter=self.param.max_iter,
-                    preconditioner=precond,
-                )
+                if self.fault_plan is not None or self.checkpoint_interval is not None:
+                    # Fault-tolerant driving: checkpointed CG plus transient
+                    # retry and device-loss redistribution.
+                    solve_kwargs = {}
+                    if self.checkpoint_interval is not None:
+                        solve_kwargs["checkpoint_interval"] = self.checkpoint_interval
+                    result = resilient_solve(
+                        qmat,
+                        rhs,
+                        epsilon=self.param.epsilon,
+                        max_iter=self.param.max_iter,
+                        preconditioner=precond,
+                        max_retries=self.max_retries,
+                        **solve_kwargs,
+                    )
+                else:
+                    result = conjugate_gradient(
+                        qmat,
+                        rhs,
+                        epsilon=self.param.epsilon,
+                        max_iter=self.param.max_iter,
+                        preconditioner=precond,
+                    )
             alpha, bias = recover_bias_and_alpha(qmat, result.x)
             self.result_ = result
             self.model_ = LSSVMModel(

@@ -62,8 +62,10 @@ class TileCache:
     The SMO cache (:class:`repro.smo.kernel_cache.KernelCache`) budgets
     fixed-size rows; tiles vary in height (the last tile is usually
     ragged), so this variant tracks actual bytes. Eviction pops the
-    least-recently-used tile until the new tile fits; at least one tile is
-    always retained so a degenerate budget still makes progress.
+    least-recently-used tile until the new tile fits. A tile that is
+    *alone* larger than the whole budget bypasses the cache entirely
+    (counted in ``oversized``) — previously it was retained anyway and sat
+    permanently over budget. ``nbytes <= capacity_bytes`` is an invariant.
 
     Thread-safe: pipeline workers probe and fill the cache concurrently.
     """
@@ -78,6 +80,7 @@ class TileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.oversized = 0
 
     def get(self, key: int) -> Optional[np.ndarray]:
         """Return the cached tile or ``None``, counting the hit/miss."""
@@ -90,18 +93,31 @@ class TileCache:
             self.misses += 1
             return None
 
-    def put(self, key: int, tile: np.ndarray) -> None:
-        """Insert a tile, evicting LRU entries until it fits the budget."""
+    def put(self, key: int, tile: np.ndarray) -> Tuple[int, bool]:
+        """Insert a tile, evicting LRU entries until it fits the budget.
+
+        Returns ``(evicted_count, oversized)`` for the caller's per-call
+        accounting: how many tiles this insertion evicted, and whether the
+        tile bypassed the cache because it alone exceeds the budget.
+        """
         with self._lock:
+            if tile.nbytes > self.capacity_bytes:
+                # Caching it would pin the cache over budget forever (it can
+                # never be evicted down past itself); skip it instead.
+                self.oversized += 1
+                return 0, True
             if key in self._tiles:
                 self._tiles.move_to_end(key)
-                return
+                return 0, False
             self._tiles[key] = tile
             self._bytes += tile.nbytes
-            while self._bytes > self.capacity_bytes and len(self._tiles) > 1:
+            evicted_count = 0
+            while self._bytes > self.capacity_bytes:
                 _, evicted = self._tiles.popitem(last=False)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
+                evicted_count += 1
+            return evicted_count, False
 
     def __contains__(self, key: int) -> bool:
         with self._lock:
@@ -128,6 +144,28 @@ class TileCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.oversized = 0
+
+
+class _SweepStats:
+    """Per-sweep cache/compute tallies, accumulated locally by the workers.
+
+    Concurrent sweeps used to reconstruct their deltas from before/after
+    snapshots of the shared cache counters — two interleaved sweeps then
+    double- or under-counted the deltas flushed to ``solver_counters()``.
+    Counting each sweep's own events in an object private to the sweep
+    makes the flush exact regardless of interleaving.
+    """
+
+    __slots__ = ("lock", "hits", "misses", "evictions", "oversized", "computed")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversized = 0
+        self.computed = 0
 
 
 class TilePipeline:
@@ -259,18 +297,31 @@ class TilePipeline:
         )
         return tile.astype(self.compute_dtype, copy=False)
 
-    def tile(self, index: int) -> np.ndarray:
+    def tile(self, index: int, _stats: Optional[_SweepStats] = None) -> np.ndarray:
         """Fetch tile ``index``, via the cache when enabled."""
         start, stop = self.tiles[index]
         if self.cache is not None:
             cached = self.cache.get(index)
             if cached is not None:
+                if _stats is not None:
+                    with _stats.lock:
+                        _stats.hits += 1
                 return cached
+            if _stats is not None:
+                with _stats.lock:
+                    _stats.misses += 1
         tile = self._compute_tile(start, stop)
         with self._count_lock:
             self.tiles_computed += 1
+        if _stats is not None:
+            with _stats.lock:
+                _stats.computed += 1
         if self.cache is not None:
-            self.cache.put(index, tile)
+            evicted, oversized = self.cache.put(index, tile)
+            if _stats is not None:
+                with _stats.lock:
+                    _stats.evictions += evicted
+                    _stats.oversized += int(oversized)
         return tile
 
     def sweep(self, V: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -279,6 +330,10 @@ class TilePipeline:
         ``V`` may be a vector ``(n,)`` or a block of right-hand sides
         ``(n, k)``; the sweep cost is one tile evaluation pass either way —
         that invariant is what block CG banks on.
+
+        ``out``, when given, must be a NumPy array with the result's exact
+        shape (``(n,)`` for a vector ``V``, ``(n, k)`` for a block) and the
+        pipeline's ``dtype``; the sweep writes into it and returns it.
         """
         V = np.asarray(V, dtype=self.dtype)
         squeeze = V.ndim == 1
@@ -292,33 +347,48 @@ class TilePipeline:
         # result is upcast on assignment into the dtype-precision output,
         # so everything downstream of the sweep stays full precision.
         V2 = np.ascontiguousarray(V2, dtype=self.compute_dtype)
+        k = V2.shape[1]
         if out is None:
-            out = np.empty((n, V2.shape[1]), dtype=self.dtype)
+            out2 = np.empty((n, k), dtype=self.dtype)
+            result = out2[:, 0] if squeeze else out2
+        else:
+            # Validate up front: the workers assign 2-D tile products into
+            # slices of this buffer, and a shape/dtype mismatch would
+            # otherwise surface as an opaque broadcast error inside the pool.
+            expected = (n,) if squeeze else (n, k)
+            if not isinstance(out, np.ndarray) or out.shape != expected:
+                got = out.shape if isinstance(out, np.ndarray) else type(out).__name__
+                raise InvalidParameterError(
+                    f"out must be a numpy array of shape {expected} to receive "
+                    f"K @ V, got {got}"
+                )
+            if out.dtype != self.dtype:
+                raise InvalidParameterError(
+                    f"out must have dtype {self.dtype}, got {out.dtype}"
+                )
+            # A (n,) out gets a 2-D write-through view so the tile products
+            # assign without broadcasting surprises.
+            out2 = out[:, None] if squeeze else out
+            result = out
 
-        hits0 = misses0 = evict0 = 0
-        if self.cache is not None:
-            hits0, misses0, evict0 = (
-                self.cache.hits,
-                self.cache.misses,
-                self.cache.evictions,
-            )
-        computed0 = self.tiles_computed
+        stats = _SweepStats()
 
         def run(index: int) -> None:
             start, stop = self.tiles[index]
-            out[start:stop] = self.tile(index) @ V2
+            out2[start:stop] = self.tile(index, _stats=stats) @ V2
 
         self.pool.map_tasks(run, range(self.num_tiles))
         self.sweeps += 1
 
         counters = solver_counters()
         counters.tile_sweeps += 1
-        counters.tiles_computed += self.tiles_computed - computed0
+        counters.tiles_computed += stats.computed
         if self.cache is not None:
-            counters.cache_hits += self.cache.hits - hits0
-            counters.cache_misses += self.cache.misses - misses0
-            counters.cache_evictions += self.cache.evictions - evict0
-        return out[:, 0] if squeeze else out
+            counters.cache_hits += stats.hits
+            counters.cache_misses += stats.misses
+            counters.cache_evictions += stats.evictions
+            counters.cache_oversized += stats.oversized
+        return result
 
     def stats(self) -> dict:
         """Per-pipeline counters (the global ones live in profiling.stats)."""
@@ -334,6 +404,7 @@ class TilePipeline:
                 cache_hits=self.cache.hits,
                 cache_misses=self.cache.misses,
                 cache_evictions=self.cache.evictions,
+                cache_oversized=self.cache.oversized,
                 cache_hit_rate=self.cache.hit_rate,
                 cache_bytes=self.cache.nbytes,
             )

@@ -16,6 +16,8 @@ __all__ = [
     "BackendUnavailableError",
     "DeviceError",
     "DeviceMemoryError",
+    "DeviceLostError",
+    "TransientDeviceError",
     "KernelLaunchError",
     "ConvergenceWarning",
     "NotFittedError",
@@ -66,6 +68,43 @@ class DeviceMemoryError(DeviceError):
 
 class KernelLaunchError(DeviceError):
     """A device kernel was launched with an invalid configuration."""
+
+
+class DeviceLostError(DeviceError):
+    """A (simulated) device dropped off the bus and will not come back.
+
+    Attributes
+    ----------
+    device:
+        The :class:`repro.simgpu.SimulatedDevice` that was lost, when
+        known — the failover path uses it to redistribute work over the
+        survivors. ``None`` marks the loss as unrecoverable (e.g. the last
+        device of a context died).
+    checkpoint:
+        Set by the CG solvers when the loss interrupted a solve: the last
+        :class:`repro.core.resilience.CGCheckpoint`, so the caller can
+        resume instead of restarting from iteration 0.
+    """
+
+    def __init__(self, message: str, *, device=None) -> None:
+        super().__init__(message)
+        self.device = device
+        self.checkpoint = None
+
+
+class TransientDeviceError(DeviceError):
+    """A recoverable device hiccup (ECC retry, driver timeout, throttle).
+
+    Retrying the interrupted operation — after a backoff — is expected to
+    succeed; :func:`repro.core.resilience.resilient_solve` does exactly
+    that, with a bounded retry budget. Carries the same ``device`` /
+    ``checkpoint`` attributes as :class:`DeviceLostError`.
+    """
+
+    def __init__(self, message: str, *, device=None) -> None:
+        super().__init__(message)
+        self.device = device
+        self.checkpoint = None
 
 
 class ConvergenceWarning(UserWarning):

@@ -101,6 +101,16 @@ class SolverCounters:
         :func:`repro.core.precond.make_preconditioner`: how many, their
         summed setup wall time, and the realized rank of the most recent
         one (0 for Jacobi).
+    cache_oversized:
+        Tiles that bypassed the cache because a single tile alone would
+        exceed the configured byte budget.
+    devices_lost / redistributions / checkpoint_restores:
+        Fault-recovery activity of :func:`repro.core.resilience.resilient_solve`:
+        devices declared dead, feature-split redistributions onto the
+        survivors, and CG restarts from a mid-solve checkpoint.
+    transient_retries / backoff_seconds:
+        Retries of transient device faults and the total (modeled)
+        exponential-backoff delay they accrued.
     """
 
     tile_sweeps: int = 0
@@ -108,11 +118,17 @@ class SolverCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_oversized: int = 0
     cg_solves: int = 0
     cg_iterations: int = 0
     precond_setups: int = 0
     precond_setup_seconds: float = 0.0
     precond_rank: int = 0
+    devices_lost: int = 0
+    redistributions: int = 0
+    checkpoint_restores: int = 0
+    transient_retries: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -127,12 +143,18 @@ class SolverCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_oversized": self.cache_oversized,
             "cache_hit_rate": self.cache_hit_rate,
             "cg_solves": self.cg_solves,
             "cg_iterations": self.cg_iterations,
             "precond_setups": self.precond_setups,
             "precond_setup_seconds": self.precond_setup_seconds,
             "precond_rank": self.precond_rank,
+            "devices_lost": self.devices_lost,
+            "redistributions": self.redistributions,
+            "checkpoint_restores": self.checkpoint_restores,
+            "transient_retries": self.transient_retries,
+            "backoff_seconds": self.backoff_seconds,
         }
 
     def reset(self) -> None:
@@ -141,11 +163,17 @@ class SolverCounters:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.cache_oversized = 0
         self.cg_solves = 0
         self.cg_iterations = 0
         self.precond_setups = 0
         self.precond_setup_seconds = 0.0
         self.precond_rank = 0
+        self.devices_lost = 0
+        self.redistributions = 0
+        self.checkpoint_restores = 0
+        self.transient_retries = 0
+        self.backoff_seconds = 0.0
 
 
 _SOLVER_COUNTERS = SolverCounters()

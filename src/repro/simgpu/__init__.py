@@ -30,6 +30,7 @@ from .catalog import (
 )
 from .costmodel import CostModel, kernel_time, transfer_time
 from .device import DeviceCounters, SimulatedDevice
+from .faults import FaultEvent, FaultPlan, FaultRecord, parse_fault_plan
 from .kernel import KernelLaunch
 from .spec import DeviceSpec
 
@@ -37,6 +38,10 @@ __all__ = [
     "DeviceSpec",
     "SimulatedDevice",
     "DeviceCounters",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultRecord",
+    "parse_fault_plan",
     "KernelLaunch",
     "CostModel",
     "kernel_time",

@@ -54,6 +54,9 @@ def _nvidia(
         pcie_gbs=16.0,
         compute_capability=cc,
         fp32_tflops=fp32_tflops,
+        # Failover cost: survivors re-create their context bindings when a
+        # sibling card dies; priced like the CUDA context init overhead.
+        fault_recovery_s=0.30,
         backend_efficiency={
             "cuda": cuda,
             "opencl": opencl,
@@ -96,6 +99,7 @@ DEVICE_CATALOG: Dict[str, DeviceSpec] = {
         launch_overhead_us=10.0,
         init_overhead_s=0.35,
         pcie_gbs=16.0,
+        fault_recovery_s=0.35,
         backend_efficiency={
             "opencl": 0.166,
             "sycl_hipsycl": 0.133,
@@ -113,6 +117,7 @@ DEVICE_CATALOG: Dict[str, DeviceSpec] = {
         launch_overhead_us=15.0,
         init_overhead_s=0.25,
         pcie_gbs=12.0,
+        fault_recovery_s=0.25,
         backend_efficiency={
             "opencl": 0.204,
             "sycl_dpcpp": 0.105,
@@ -135,6 +140,7 @@ _CPU_CATALOG: Dict[str, DeviceSpec] = {
         launch_overhead_us=0.5,
         init_overhead_s=0.0,
         pcie_gbs=100.0,
+        fault_recovery_s=0.0,
         backend_efficiency={"openmp": 0.029, "opencl": 0.029, "sycl_dpcpp": 0.025},
     ),
     "amd_epyc_7763_2s": DeviceSpec(
@@ -147,6 +153,7 @@ _CPU_CATALOG: Dict[str, DeviceSpec] = {
         launch_overhead_us=0.5,
         init_overhead_s=0.0,
         pcie_gbs=100.0,
+        fault_recovery_s=0.0,
         backend_efficiency={"openmp": 0.029, "opencl": 0.029, "sycl_dpcpp": 0.025},
     ),
 }

@@ -10,10 +10,17 @@ hardware-dependent figures measure.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..exceptions import DeviceError, DeviceMemoryError, KernelLaunchError
+from ..exceptions import (
+    DeviceError,
+    DeviceLostError,
+    DeviceMemoryError,
+    KernelLaunchError,
+    TransientDeviceError,
+)
 from .costmodel import CostModel, transfer_time
+from .faults import FaultPlan
 from .kernel import KernelLaunch
 from .spec import DeviceSpec
 
@@ -31,6 +38,11 @@ class DeviceCounters:
         self.bytes_to_device = 0.0
         self.bytes_from_device = 0.0
         self.transfers = 0
+        # Fault-injection activity (see repro.simgpu.faults).
+        self.device_lost = 0
+        self.transient_faults = 0
+        self.latency_spikes = 0
+        self.fault_delay_s = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -41,6 +53,10 @@ class DeviceCounters:
             "bytes_to_device": self.bytes_to_device,
             "bytes_from_device": self.bytes_from_device,
             "transfers": self.transfers,
+            "device_lost": self.device_lost,
+            "transient_faults": self.transient_faults,
+            "latency_spikes": self.latency_spikes,
+            "fault_delay_s": self.fault_delay_s,
         }
 
 
@@ -70,6 +86,8 @@ class SimulatedDevice:
         self.cost_model = CostModel(spec, efficiency_key)
         self.clock = 0.0
         self.initialized = False
+        self.lost = False
+        self.fault_plan: Optional[FaultPlan] = None
         self.counters = DeviceCounters()
         self.launch_log: List[KernelLaunch] = []
         self._allocations: Dict[str, int] = {}
@@ -88,13 +106,58 @@ class SimulatedDevice:
             self.initialized = True
 
     def reset(self) -> None:
-        """Clear clock, counters, log and allocations (keep initialization state)."""
+        """Clear clock, counters, log and allocations (keep initialization state).
+
+        A reset also revives a lost device — it models swapping the failed
+        card out between training runs. The attached fault plan (if any)
+        stays attached; call :meth:`FaultPlan.reset` for a clean replay.
+        """
         self.clock = 0.0
         self.initialized = False
+        self.lost = False
         self.counters = DeviceCounters()
         self.launch_log.clear()
         self._allocations.clear()
         self._peak_bytes = 0
+
+    # -- fault injection -------------------------------------------------------
+
+    def attach_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Subject this device to a fault plan (``None`` detaches)."""
+        self.fault_plan = plan
+
+    def _consult_fault_plan(self, op: str) -> None:
+        """Apply the fault plan's verdict for one operation (may raise)."""
+        if self.lost:
+            raise DeviceLostError(
+                f"device {self.spec.name!r} (id {self.device_id}) was lost "
+                f"and cannot execute {op}",
+                device=self,
+            )
+        if self.fault_plan is None:
+            return
+        outcome = self.fault_plan.draw(self.device_id, self.spec.name, op)
+        if outcome is None:
+            return
+        kind, latency = outcome
+        if kind == "latency":
+            self.clock += latency
+            self.counters.latency_spikes += 1
+            self.counters.fault_delay_s += latency
+            return
+        if kind == "transient":
+            self.counters.transient_faults += 1
+            raise TransientDeviceError(
+                f"transient fault on {self.spec.name!r} (id {self.device_id}) "
+                f"during {op}; retry after backoff",
+                device=self,
+            )
+        self.lost = True
+        self.counters.device_lost += 1
+        raise DeviceLostError(
+            f"device {self.spec.name!r} (id {self.device_id}) lost during {op}",
+            device=self,
+        )
 
     # -- memory --------------------------------------------------------------
 
@@ -138,6 +201,7 @@ class SimulatedDevice:
     def copy_to_device(self, nbytes: int) -> float:
         """Charge a host->device transfer; returns the modeled duration."""
         self._require_initialized()
+        self._consult_fault_plan("copy_to_device")
         duration = transfer_time(self.spec, nbytes)
         self.clock += duration
         self.counters.bytes_to_device += nbytes
@@ -147,6 +211,7 @@ class SimulatedDevice:
     def copy_from_device(self, nbytes: int) -> float:
         """Charge a device->host transfer; returns the modeled duration."""
         self._require_initialized()
+        self._consult_fault_plan("copy_from_device")
         duration = transfer_time(self.spec, nbytes)
         self.clock += duration
         self.counters.bytes_from_device += nbytes
@@ -168,6 +233,7 @@ class SimulatedDevice:
     ) -> KernelLaunch:
         """Charge one kernel launch; returns the recorded launch."""
         self._require_initialized()
+        self._consult_fault_plan("launch")
         if grid_blocks < 1 or block_threads < 1:
             raise KernelLaunchError(
                 f"invalid launch configuration {grid_blocks}x{block_threads} for {name!r}"

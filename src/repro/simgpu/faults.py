@@ -1,0 +1,318 @@
+"""Deterministic fault injection for the simulated devices.
+
+At the cluster scale the ROADMAP targets, device loss and transient
+slowdowns are the common case, not the exception; Tyree et al. (*Parallel
+Support Vector Machines in Practice*) and Glasmachers (*A Recipe for Fast
+Large-scale SVM Training*) both observe that long-running distributed SVM
+solves are only practical when iteration state is restartable. This module
+provides the *failure model* half of that story: a :class:`FaultPlan` that
+:class:`repro.simgpu.SimulatedDevice` consults on every ``launch`` /
+``copy_to_device`` / ``copy_from_device``, deciding deterministically
+whether the operation
+
+* kills the device (:class:`repro.exceptions.DeviceLostError` — terminal:
+  every later operation on that device fails immediately),
+* hiccups (:class:`repro.exceptions.TransientDeviceError` — a retry of the
+  same operation is expected to succeed), or
+* merely stalls (a modeled latency spike added to the device clock).
+
+Determinism is load-bearing: recovery tests must replay the exact same
+fault sequence, so random faults are drawn from *per-device* RNG streams
+(seeded by ``(seed, device_id)``) and keyed by per-device operation
+ordinals — the interleaving of other devices' operations cannot perturb
+the draw. Scripted :class:`FaultEvent` entries target a specific
+``(device, op, ordinal)`` for surgical tests ("kill GPU 2 on its 9th
+launch").
+
+The recovery half — checkpointed CG restart and multi-GPU failover — lives
+in :mod:`repro.core.resilience`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_OPS",
+    "FaultEvent",
+    "FaultRecord",
+    "FaultPlan",
+    "parse_fault_plan",
+]
+
+#: Fault kinds a plan can inject.
+FAULT_KINDS = ("device_lost", "transient", "latency")
+
+#: Device operations a plan is consulted on.
+FAULT_OPS = ("launch", "copy_to_device", "copy_from_device")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault: *kind* strikes *device_id* on its *at_op*-th *op*.
+
+    ``op`` counts per device and per operation type, 0-based: ``at_op=2``
+    with ``op="launch"`` is the third kernel launch that device performs.
+    ``device_id=None`` / ``op=None`` match any device / any operation.
+    """
+
+    kind: str
+    device_id: Optional[int] = None
+    op: Optional[str] = None
+    at_op: int = 0
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.op is not None and self.op not in FAULT_OPS:
+            raise InvalidParameterError(
+                f"unknown fault op {self.op!r}; expected one of {FAULT_OPS}"
+            )
+        if self.at_op < 0:
+            raise InvalidParameterError("at_op must be non-negative")
+        if self.latency_s < 0:
+            raise InvalidParameterError("latency_s must be non-negative")
+        if self.kind == "latency" and self.latency_s == 0.0:
+            raise InvalidParameterError("a latency fault needs latency_s > 0")
+
+    def matches(self, device_id: int, op: str, ordinal: int) -> bool:
+        return (
+            (self.device_id is None or self.device_id == device_id)
+            and (self.op is None or self.op == op)
+            and self.at_op == ordinal
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, as it actually happened (the plan's audit log)."""
+
+    device_id: int
+    device_name: str
+    op: str
+    op_index: int
+    kind: str
+    latency_s: float = 0.0
+
+
+class FaultPlan:
+    """Seeded, deterministic fault schedule shared by a set of devices.
+
+    Parameters
+    ----------
+    events:
+        Scripted :class:`FaultEvent` entries (exact strikes for tests).
+    seed:
+        Seed of the random fault streams. Each device draws from its own
+        ``default_rng((seed, device_id))`` stream, so the fault sequence a
+        device sees depends only on its own operation history — replays
+        are bit-identical regardless of thread interleaving.
+    device_lost_rate, transient_rate, latency_rate:
+        Per-operation probabilities of the three fault kinds (disjoint:
+        one uniform draw per operation is partitioned between them).
+    latency_s:
+        Duration of one injected latency spike (simulated seconds).
+
+    Thread-safe; :meth:`reset` rewinds the plan for a deterministic replay.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[FaultEvent] = (),
+        *,
+        seed: Optional[int] = None,
+        device_lost_rate: float = 0.0,
+        transient_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.005,
+    ) -> None:
+        for name, rate in (
+            ("device_lost_rate", device_lost_rate),
+            ("transient_rate", transient_rate),
+            ("latency_rate", latency_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise InvalidParameterError(f"{name} must lie in [0, 1), got {rate}")
+        if device_lost_rate + transient_rate + latency_rate >= 1.0:
+            raise InvalidParameterError("fault rates must sum to less than 1")
+        if latency_s <= 0:
+            raise InvalidParameterError("latency_s must be positive")
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        self.seed = seed
+        self.device_lost_rate = float(device_lost_rate)
+        self.transient_rate = float(transient_rate)
+        self.latency_rate = float(latency_rate)
+        self.latency_s = float(latency_s)
+        self._lock = threading.Lock()
+        self._op_counts: Dict[Tuple[int, str], int] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+        self.records: List[FaultRecord] = []
+
+    @property
+    def randomized(self) -> bool:
+        """Whether the plan has any rate-based (seeded random) component."""
+        return (self.device_lost_rate + self.transient_rate + self.latency_rate) > 0.0
+
+    def reset(self) -> None:
+        """Rewind operation counters, RNG streams, and the audit log."""
+        with self._lock:
+            self._op_counts.clear()
+            self._rngs.clear()
+            self.records.clear()
+
+    def _device_rng(self, device_id: int) -> np.random.Generator:
+        rng = self._rngs.get(device_id)
+        if rng is None:
+            seed = 0 if self.seed is None else int(self.seed)
+            rng = np.random.default_rng((seed, int(device_id)))
+            self._rngs[device_id] = rng
+        return rng
+
+    def draw(self, device_id: int, device_name: str, op: str) -> Optional[Tuple[str, float]]:
+        """Advance *device_id*'s ordinal for *op* and decide its fate.
+
+        Returns ``None`` (no fault) or ``(kind, latency_s)``; the device is
+        responsible for raising / stalling and for its own counters.
+        """
+        if op not in FAULT_OPS:
+            raise InvalidParameterError(f"unknown fault op {op!r}")
+        with self._lock:
+            key = (device_id, op)
+            ordinal = self._op_counts.get(key, 0)
+            self._op_counts[key] = ordinal + 1
+
+            outcome: Optional[Tuple[str, float]] = None
+            for event in self.events:
+                if event.matches(device_id, op, ordinal):
+                    outcome = (event.kind, event.latency_s)
+                    break
+            if outcome is None and self.randomized:
+                u = float(self._device_rng(device_id).uniform())
+                if u < self.device_lost_rate:
+                    outcome = ("device_lost", 0.0)
+                elif u < self.device_lost_rate + self.transient_rate:
+                    outcome = ("transient", 0.0)
+                elif u < self.device_lost_rate + self.transient_rate + self.latency_rate:
+                    outcome = ("latency", self.latency_s)
+            if outcome is not None:
+                self.records.append(
+                    FaultRecord(
+                        device_id=device_id,
+                        device_name=device_name,
+                        op=op,
+                        op_index=ordinal,
+                        kind=outcome[0],
+                        latency_s=outcome[1],
+                    )
+                )
+            return outcome
+
+    def summary(self) -> Dict[str, int]:
+        """Injected fault counts by kind (from the audit log)."""
+        with self._lock:
+            out = {kind: 0 for kind in FAULT_KINDS}
+            for record in self.records:
+                out[record.kind] += 1
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan(events={len(self.events)}, seed={self.seed}, "
+            f"rates=({self.device_lost_rate}, {self.transient_rate}, "
+            f"{self.latency_rate}), injected={len(self.records)})"
+        )
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a CLI spec string.
+
+    The spec is a comma-separated list of tokens:
+
+    * ``seed=N`` — seed of the random fault streams;
+    * ``lost=P`` / ``transient=P`` / ``latency=P`` — per-operation fault
+      rates in ``[0, 1)``;
+    * ``latency_s=X`` — duration of one latency spike (seconds);
+    * ``KIND@DEV:OP:N`` — a scripted fault: ``KIND`` in ``lost`` /
+      ``transient`` / ``latency``, struck on device ``DEV``'s ``N``-th
+      ``OP`` (``launch`` / ``copy_to_device`` / ``copy_from_device`` /
+      ``any``). A latency event takes an optional duration suffix
+      ``:SECONDS``.
+
+    Examples: ``"seed=7,transient=0.01,latency=0.02"`` or
+    ``"lost@2:launch:9"``.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise InvalidParameterError("empty fault-plan spec")
+    kind_alias = {"lost": "device_lost", "transient": "transient", "latency": "latency"}
+    events: List[FaultEvent] = []
+    kwargs: Dict[str, float] = {}
+    seed: Optional[int] = None
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "@" in token:
+            kind_s, _, rest = token.partition("@")
+            kind = kind_alias.get(kind_s.strip())
+            if kind is None:
+                raise InvalidParameterError(
+                    f"unknown scripted fault kind {kind_s!r} in {token!r}"
+                )
+            parts = rest.split(":")
+            if len(parts) < 3:
+                raise InvalidParameterError(
+                    f"scripted fault {token!r} must look like KIND@DEV:OP:N"
+                )
+            try:
+                device_id = None if parts[0] == "any" else int(parts[0])
+                op = None if parts[1] == "any" else parts[1]
+                at_op = int(parts[2])
+                latency_s = float(parts[3]) if len(parts) > 3 else (
+                    0.005 if kind == "latency" else 0.0
+                )
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    f"malformed scripted fault {token!r}: {exc}"
+                ) from None
+            events.append(
+                FaultEvent(
+                    kind=kind, device_id=device_id, op=op, at_op=at_op,
+                    latency_s=latency_s,
+                )
+            )
+        elif "=" in token:
+            key, _, value = token.partition("=")
+            key = key.strip()
+            try:
+                if key == "seed":
+                    seed = int(value)
+                elif key == "lost":
+                    kwargs["device_lost_rate"] = float(value)
+                elif key == "transient":
+                    kwargs["transient_rate"] = float(value)
+                elif key == "latency":
+                    kwargs["latency_rate"] = float(value)
+                elif key == "latency_s":
+                    kwargs["latency_s"] = float(value)
+                else:
+                    raise InvalidParameterError(
+                        f"unknown fault-plan key {key!r} in {token!r}"
+                    )
+            except ValueError:
+                raise InvalidParameterError(
+                    f"malformed fault-plan value in {token!r}"
+                ) from None
+        else:
+            raise InvalidParameterError(f"unparseable fault-plan token {token!r}")
+    return FaultPlan(events, seed=seed, **kwargs)

@@ -64,6 +64,11 @@ class DeviceSpec:
     #: template parameter" precision switch matters so much on them.
     #: ``None`` defaults to ``2 * fp64_tflops``.
     fp32_tflops: Optional[float] = None
+    #: Modeled host-side cost of recovering this device's sibling context
+    #: after a fault (driver teardown + re-create, charged by the failover
+    #: path when surviving devices absorb a lost device's work). Roughly
+    #: the context init overhead on discrete GPUs, ~0 on CPU sockets.
+    fault_recovery_s: float = 0.1
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -77,6 +82,8 @@ class DeviceSpec:
                 raise ValueError(f"{field_name} must be positive for {self.name}")
         if self.launch_overhead_us < 0 or self.init_overhead_s < 0:
             raise ValueError(f"overheads must be non-negative for {self.name}")
+        if self.fault_recovery_s < 0:
+            raise ValueError(f"fault_recovery_s must be non-negative for {self.name}")
         if self.fp32_tflops is not None and self.fp32_tflops <= 0:
             raise ValueError(f"fp32_tflops must be positive for {self.name}")
         if not self.backend_efficiency:

@@ -192,10 +192,16 @@ class TestTileCache:
         assert 1 not in cache and 0 in cache and 2 in cache
         assert cache.nbytes <= cache.capacity_bytes
 
-    def test_degenerate_budget_keeps_one_tile(self):
+    def test_oversized_tile_bypasses_cache(self):
+        # A tile larger than the whole budget must not be retained: it
+        # could never be evicted and would pin the cache over budget.
         cache = TileCache(capacity_bytes=1)
-        cache.put(0, np.ones((16, 16)))
-        assert len(cache) == 1
+        evicted, oversized = cache.put(0, np.ones((16, 16)))
+        assert oversized and evicted == 0
+        assert len(cache) == 0
+        assert cache.oversized == 1
+        assert cache.nbytes <= cache.capacity_bytes
+        assert cache.get(0) is None
 
     def test_invalid_capacity(self):
         with pytest.raises(InvalidParameterError):

@@ -5,6 +5,7 @@ wrong results at scale; every failure path here must raise the right typed
 exception with an actionable message, and recoverable paths must recover.
 """
 
+import threading
 import warnings
 
 import numpy as np
@@ -13,13 +14,16 @@ import pytest
 from repro import LSSVC
 from repro.backends.device_qmatrix import DeviceQMatrix
 from repro.core.cg import conjugate_gradient
+from repro.core.tile_pipeline import TilePipeline
 from repro.data.synthetic import make_planes
 from repro.exceptions import (
     ConvergenceWarning,
     DataError,
     DeviceMemoryError,
     FileFormatError,
+    InvalidParameterError,
 )
+from repro.profiling import reset_solver_counters, solver_counters
 from repro.parameter import Parameter
 from repro.simgpu.device import SimulatedDevice
 from repro.simgpu.spec import DeviceSpec
@@ -134,6 +138,125 @@ class TestCorruptInputs:
         y = np.ones(6)
         with pytest.raises(DataError):
             LSSVC(kernel="linear").fit(X, y)
+
+
+class TestTilePipelineSweepOut:
+    """Regressions for the caller-provided ``out`` buffer of ``sweep``."""
+
+    def _pipeline(self, n=64, d=4, **kwargs):
+        points = np.random.default_rng(5).standard_normal((n, d))
+        return TilePipeline(points, "linear", tile_rows=16, num_threads=2, **kwargs)
+
+    def test_vector_out_buffer_is_written_through(self):
+        """A 1-D ``out`` with a 1-D ``V`` used to crash on broadcast inside
+        the pool workers; it must be accepted and written in place."""
+        pipe = self._pipeline()
+        v = np.random.default_rng(6).standard_normal(64)
+        out = np.empty(64)
+        result = pipe.sweep(v, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, pipe.points @ (pipe.points.T @ v))
+
+    def test_block_out_buffer_is_written_through(self):
+        pipe = self._pipeline()
+        V = np.random.default_rng(7).standard_normal((64, 3))
+        out = np.empty((64, 3))
+        assert pipe.sweep(V, out=out) is out
+        np.testing.assert_allclose(out, pipe.points @ (pipe.points.T @ V))
+
+    def test_mismatched_out_shape_names_the_expected_shape(self):
+        pipe = self._pipeline()
+        v = np.ones(64)
+        with pytest.raises(InvalidParameterError, match=r"\(64,\)"):
+            pipe.sweep(v, out=np.empty((64, 1)))
+        with pytest.raises(InvalidParameterError, match=r"\(64, 2\)"):
+            pipe.sweep(np.ones((64, 2)), out=np.empty(64))
+
+    def test_wrong_out_dtype_rejected(self):
+        pipe = self._pipeline()
+        with pytest.raises(InvalidParameterError, match="dtype"):
+            pipe.sweep(np.ones(64), out=np.empty(64, dtype=np.float32))
+
+    def test_non_array_out_rejected(self):
+        pipe = self._pipeline()
+        with pytest.raises(InvalidParameterError, match="list"):
+            pipe.sweep(np.ones(64), out=[0.0] * 64)
+
+
+class TestTileCacheBudget:
+    def test_oversized_tile_never_pins_the_cache_over_budget(self):
+        """A single tile larger than the whole budget used to be retained,
+        leaving the cache permanently over ``capacity_bytes``."""
+        reset_solver_counters()
+        # 64x4 fp64 points -> one 16x64 tile is 8 KiB; budget far below that.
+        points = np.random.default_rng(8).standard_normal((64, 4))
+        pipe = TilePipeline(
+            points, "linear", tile_rows=16, num_threads=1,
+            cache_mb=4096 / (1024 * 1024), force_cache=True,
+        )
+        assert pipe.cache is not None
+        pipe.sweep(np.ones(64))
+        assert len(pipe.cache) == 0
+        assert pipe.cache.nbytes <= pipe.cache.capacity_bytes
+        assert pipe.cache.oversized == pipe.num_tiles
+        assert solver_counters().cache_oversized == pipe.num_tiles
+        # Nothing cached: the next sweep recomputes every tile.
+        pipe.sweep(np.ones(64))
+        assert pipe.tiles_computed == 2 * pipe.num_tiles
+
+
+class TestConcurrentSweeps:
+    def test_interleaved_sweeps_count_exactly(self):
+        """Concurrent sweeps used to reconstruct their counter deltas from
+        before/after snapshots of the shared cache counters, so interleaved
+        sweeps double- or under-counted. The flushed totals must be exact."""
+        reset_solver_counters()
+        points = np.random.default_rng(9).standard_normal((128, 4))
+        pipe = TilePipeline(points, "linear", tile_rows=16, num_threads=2, cache_mb=0)
+        assert pipe.cache is None  # every tile of every sweep is computed
+        sweeps_per_thread = 8
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    pipe.sweep(np.ones(128)) for _ in range(sweeps_per_thread)
+                ]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total_sweeps = 4 * sweeps_per_thread
+        counters = solver_counters()
+        assert counters.tile_sweeps == total_sweeps
+        assert counters.tiles_computed == total_sweeps * pipe.num_tiles
+        assert pipe.tiles_computed == total_sweeps * pipe.num_tiles
+
+    def test_interleaved_cached_sweeps_split_hits_and_misses_exactly(self):
+        reset_solver_counters()
+        points = np.random.default_rng(10).standard_normal((96, 4))
+        pipe = TilePipeline(points, "linear", tile_rows=16, num_threads=2)
+        assert pipe.cache is not None
+        barrier = threading.Barrier(3)
+
+        def work():
+            barrier.wait()
+            for _ in range(6):
+                pipe.sweep(np.ones(96))
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = solver_counters()
+        # Every tile probe is either a hit or a miss, and every miss is a
+        # compute: the flushed totals must tile the probe count exactly.
+        total_probes = 3 * 6 * pipe.num_tiles
+        assert counters.cache_hits + counters.cache_misses == total_probes
+        assert counters.tiles_computed == counters.cache_misses
+        assert counters.tiles_computed >= pipe.num_tiles
 
 
 class TestRecovery:
