@@ -40,6 +40,7 @@ from .core import (
     Preconditioner,
     SparseLSSVC,
     WeightedLSSVC,
+    clone,
     conjugate_gradient,
     conjugate_gradient_block,
     make_preconditioner,
@@ -47,6 +48,7 @@ from .core import (
     rpcholesky,
 )
 from .parameter import Parameter
+from .telemetry import TelemetryContext, TrainingReport, fit_scope, validate_report
 from .types import BackendType, KernelType, SolverStatus, TargetPlatform
 
 __version__ = "1.0.0"
@@ -70,6 +72,11 @@ __all__ = [
     "NystromPrecond",
     "make_preconditioner",
     "rpcholesky",
+    "clone",
+    "TelemetryContext",
+    "TrainingReport",
+    "fit_scope",
+    "validate_report",
     "Parameter",
     "KernelType",
     "BackendType",

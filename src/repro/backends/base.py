@@ -31,11 +31,31 @@ from ..profiling import ComponentTimer
 from ..simgpu.catalog import default_gpu, devices_for_platform, get_device_spec
 from ..simgpu.device import SimulatedDevice
 from ..simgpu.spec import DeviceSpec
+from ..telemetry.context import current_context
 from ..types import BackendType, TargetPlatform
 from .device_qmatrix import DeviceQMatrix
 from .kernels import KernelConfig
 
-__all__ = ["CSVM", "SimulatedDeviceCSVM"]
+__all__ = ["CSVM", "SimulatedDeviceCSVM", "report_device_summaries"]
+
+
+def report_device_summaries(devices: Sequence[SimulatedDevice]) -> None:
+    """Push each device's end-of-solve summary into the active context.
+
+    Called from the backends' ``finalize`` so a fit's ``report_`` carries
+    the per-device modeled times Fig. 2-style comparisons need. Lost
+    devices are included (flagged), since their partial work and loss are
+    part of the fit's story.
+    """
+    ctx = current_context()
+    for device in devices:
+        summary = {
+            "device_id": device.device_id,
+            "name": device.spec.name,
+            "lost": device.lost,
+        }
+        summary.update(device.summary())
+        ctx.add_device_summary(summary)
 
 
 class CSVM(abc.ABC):
@@ -176,6 +196,7 @@ class SimulatedDeviceCSVM(CSVM):
         if isinstance(qmat, DeviceQMatrix):
             qmat.writeback()
             timings.section("cg_device").add(qmat.device_time())
+            report_device_summaries(qmat.devices)
 
     def device_time(self) -> float:
         """Simulated device seconds of the most recent training run."""

@@ -28,7 +28,7 @@ from ..simgpu.catalog import get_device_spec
 from ..simgpu.device import SimulatedDevice
 from ..simgpu.spec import DeviceSpec
 from ..types import BackendType
-from .base import CSVM
+from .base import CSVM, report_device_summaries
 from .device_qmatrix import DeviceQMatrix
 from .kernels import KernelConfig
 
@@ -124,6 +124,7 @@ class HeterogeneousCSVM(CSVM):
         if isinstance(qmat, DeviceQMatrix):
             qmat.writeback()
             timings.section("cg_device").add(qmat.device_time())
+            report_device_summaries(qmat.devices)
 
     def device_time(self) -> float:
         if self._last_qmatrix is None:

@@ -42,7 +42,7 @@ from ..simgpu.catalog import get_device_spec
 from ..simgpu.device import SimulatedDevice
 from ..simgpu.spec import DeviceSpec
 from ..types import BackendType, KernelType
-from .base import CSVM
+from .base import CSVM, report_device_summaries
 from .kernels import vector_ops_costs
 from .soa import transform_to_soa
 
@@ -308,6 +308,8 @@ class MultiNodeCSVM(CSVM):
         if isinstance(qmat, MultiNodeQMatrix):
             timings.section("cg_device").add(qmat.device_time())
             timings.section("communication").add(qmat.communication_time())
+            for devices in qmat.nodes:
+                report_device_summaries(devices)
 
     def device_time(self) -> float:
         if self._last_qmatrix is None:

@@ -4,7 +4,9 @@ Accepts the LIBSVM ``svm-train`` options PLSSVM supports (``-t``, ``-c``,
 ``-g``, ``-d``, ``-r``, ``-e``) plus the PLSSVM-specific backend switches
 (``--backend``, ``--target_platform``, ``--num_devices``). Prints the
 component timing breakdown with ``-v/--verbose``, mirroring the C++
-binary's output.
+binary's output. ``--telemetry-json`` / ``--telemetry-trace`` export the
+fit's :class:`repro.telemetry.TrainingReport` as JSON and as a
+chrome-trace file.
 """
 
 from __future__ import annotations
@@ -135,6 +137,21 @@ def build_parser() -> argparse.ArgumentParser:
         "is treated as lost (default 3)",
     )
     parser.add_argument(
+        "--telemetry-json",
+        default=None,
+        metavar="PATH",
+        help="write the fit's TrainingReport (spans, per-phase seconds, "
+        "solver counters, device summaries) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-trace",
+        default=None,
+        metavar="PATH",
+        help="write the fit's merged chrome-trace (host CG spans on pid 0, "
+        "simulated device events on pid 1) to PATH; load via "
+        "chrome://tracing or Perfetto",
+    )
+    parser.add_argument(
         "-x",
         "--cross_validation",
         type=int,
@@ -188,23 +205,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.cross_validation < 2:
             print("error: cross-validation needs K >= 2", file=sys.stderr)
             return 2
+        from ..core.estimator import clone
         from ..model_selection import cross_val_score
 
+        # Clone the fully-configured estimator per fold; fault injection
+        # and checkpointing stay off during CV (fold scores should measure
+        # the model, not the recovery machinery).
+        prototype = clone(clf).set_params(fault_plan=None, checkpoint_interval=None)
         scores = cross_val_score(
-            lambda: LSSVC(
-                kernel=clf.param.kernel,
-                C=clf.param.cost,
-                gamma=clf.param.gamma,
-                degree=clf.param.degree,
-                coef0=clf.param.coef0,
-                epsilon=clf.param.epsilon,
-                backend=args.backend,
-                target=args.target_platform,
-                n_devices=args.num_devices,
-                precondition=precondition,
-                precond_rank=args.precond_rank,
-                compute_dtype=args.compute_dtype,
-            ),
+            prototype,
             X,
             y,
             k=args.cross_validation,
@@ -220,18 +229,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     clf.timings_["read"].add(read_timer.elapsed)  # fit() resets timers
     clf.save(model_path)
 
-    from ..profiling import solver_counters
+    report = clf.report_
+    counters = report.counters
+    if args.telemetry_json is not None:
+        report.write_json(args.telemetry_json)
+        if args.verbose:
+            print(f"telemetry report -> {args.telemetry_json}")
+    if args.telemetry_trace is not None:
+        events = report.write_chrome_trace(args.telemetry_trace)
+        if args.verbose:
+            print(f"chrome trace ({events} events) -> {args.telemetry_trace}")
 
-    counters = solver_counters()
-    if fault_plan is not None or counters.devices_lost or counters.transient_retries:
+    if fault_plan is not None or counters["devices_lost"] or counters["transient_retries"]:
         # Always surface recovery activity when faults are in play — the
         # solve finishing silently would hide that devices died under it.
         print(
-            f"resilience: {counters.devices_lost} device(s) lost, "
-            f"{counters.redistributions} redistribution(s), "
-            f"{counters.checkpoint_restores} checkpoint restore(s), "
-            f"{counters.transient_retries} transient retry(ies), "
-            f"backoff {counters.backoff_seconds:.3f}s"
+            f"resilience: {counters['devices_lost']} device(s) lost, "
+            f"{counters['redistributions']} redistribution(s), "
+            f"{counters['checkpoint_restores']} checkpoint restore(s), "
+            f"{counters['transient_retries']} transient retry(ies), "
+            f"backoff {counters['backoff_seconds']:.3f}s"
         )
         if args.verbose and fault_plan is not None:
             for rec in fault_plan.records:
@@ -245,19 +262,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"parameters: {clf.param.describe()}")
         print(f"CG iterations: {clf.iterations_}")
         print(f"final relative residual: {clf.result_.residual:.3e}")
-        if counters.precond_setups:
+        if counters["precond_setups"]:
             print(
                 f"preconditioner: {args.precondition} (rank "
-                f"{counters.precond_rank}, setup "
-                f"{counters.precond_setup_seconds:.3f}s)"
+                f"{counters['precond_rank']}, setup "
+                f"{counters['precond_setup_seconds']:.3f}s)"
             )
-        if counters.tile_sweeps:
+        if counters["tile_sweeps"]:
             print(
-                f"tile sweeps: {counters.tile_sweeps}, tiles computed: "
-                f"{counters.tiles_computed}, cache hit rate: "
-                f"{counters.cache_hit_rate:.1%} "
-                f"({counters.cache_hits} hits / {counters.cache_misses} misses / "
-                f"{counters.cache_evictions} evictions)"
+                f"tile sweeps: {counters['tile_sweeps']}, tiles computed: "
+                f"{counters['tiles_computed']}, cache hit rate: "
+                f"{counters['cache_hit_rate']:.1%} "
+                f"({counters['cache_hits']} hits / {counters['cache_misses']} misses / "
+                f"{counters['cache_evictions']} evictions)"
             )
         print(clf.timings_.report())
     print(

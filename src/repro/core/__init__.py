@@ -38,6 +38,7 @@ from .precond import (
     make_preconditioner,
     rpcholesky,
 )
+from .estimator import ParamsMixin, clone
 from .tile_pipeline import TileCache, TilePipeline
 from .lssvm import LSSVC
 from .model import LSSVMModel
@@ -71,6 +72,8 @@ __all__ = [
     "LSSVC",
     "LSSVR",
     "LSSVMModel",
+    "ParamsMixin",
+    "clone",
     "OneVsAllLSSVC",
     "OneVsOneLSSVC",
     "WeightedLSSVC",

@@ -37,7 +37,7 @@ from ..exceptions import (
     InvalidParameterError,
     TransientDeviceError,
 )
-from ..profiling.stats import solver_counters
+from ..telemetry.context import current_context
 from ..types import SolverStatus
 
 __all__ = [
@@ -342,48 +342,60 @@ def conjugate_gradient(
 
     status = SolverStatus.MAX_ITERATIONS
     iteration = start_iteration
-    for iteration in range(start_iteration + 1, max_iter + 1):
-        q = matvec(d)
-        dq = float(d @ q)
-        if dq <= 0.0 or not np.isfinite(dq):
-            # Curvature lost: the operator is numerically not SPD along d.
-            status = SolverStatus.STAGNATED
-            iteration -= 1
-            break
-        alpha = delta_new / dq
-        x += alpha * d
-        if iteration % recompute_interval == 0:
-            r = b - matvec(x)
-        else:
-            r -= alpha * q
-        z = precond.apply(r) if precond is not None else r
-        delta_old = delta_new
-        delta_new = float(r @ z)
-        rel_res = float(np.linalg.norm(r)) / b_norm
-        history.append(rel_res)
-        if callback is not None:
-            callback(iteration, rel_res)
-        if rel_res <= epsilon:
-            status = SolverStatus.CONVERGED
-            break
-        if rel_res < best_res:
-            best_res = rel_res
-            best_x[:] = x
-            stall = 0
-        elif not np.isfinite(rel_res) or rel_res > 1e3 * best_res or stall >= 50:
-            # Finite-precision breakdown: epsilon sits below the attainable
-            # residual and the recurrences have started to diverge. Return
-            # the best iterate instead of amplifying rounding noise.
-            status = SolverStatus.STAGNATED
-            x = best_x
-            rel_res = best_res
-            break
-        else:
-            stall += 1
-        beta = delta_new / delta_old
-        d = z + beta * d
-        if checkpoint_interval is not None and iteration % checkpoint_interval == 0:
-            last_ckpt = take_checkpoint(iteration)
+    ctx = current_context()
+    with ctx.span("cg_solve", kind="single", size=n, resumed=start_iteration):
+        for iteration in range(start_iteration + 1, max_iter + 1):
+            with ctx.span("iteration", i=iteration):
+                q = matvec(d)
+                dq = float(d @ q)
+                if dq <= 0.0 or not np.isfinite(dq):
+                    # Curvature lost: the operator is numerically not SPD
+                    # along d.
+                    status = SolverStatus.STAGNATED
+                    iteration -= 1
+                    break
+                alpha = delta_new / dq
+                x += alpha * d
+                if iteration % recompute_interval == 0:
+                    r = b - matvec(x)
+                else:
+                    r -= alpha * q
+                z = precond.apply(r) if precond is not None else r
+                delta_old = delta_new
+                delta_new = float(r @ z)
+                rel_res = float(np.linalg.norm(r)) / b_norm
+                history.append(rel_res)
+                if callback is not None:
+                    callback(iteration, rel_res)
+                if rel_res <= epsilon:
+                    status = SolverStatus.CONVERGED
+                    break
+                if rel_res < best_res:
+                    best_res = rel_res
+                    best_x[:] = x
+                    stall = 0
+                elif (
+                    not np.isfinite(rel_res)
+                    or rel_res > 1e3 * best_res
+                    or stall >= 50
+                ):
+                    # Finite-precision breakdown: epsilon sits below the
+                    # attainable residual and the recurrences have started to
+                    # diverge. Return the best iterate instead of amplifying
+                    # rounding noise.
+                    status = SolverStatus.STAGNATED
+                    x = best_x
+                    rel_res = best_res
+                    break
+                else:
+                    stall += 1
+                beta = delta_new / delta_old
+                d = z + beta * d
+                if (
+                    checkpoint_interval is not None
+                    and iteration % checkpoint_interval == 0
+                ):
+                    last_ckpt = take_checkpoint(iteration)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(
@@ -392,9 +404,8 @@ def conjugate_gradient(
             ConvergenceWarning,
             stacklevel=2,
         )
-    counters = solver_counters()
-    counters.cg_solves += 1
-    counters.cg_iterations += iteration - start_iteration
+    ctx.inc("cg_solves")
+    ctx.inc("cg_iterations", iteration - start_iteration)
     return CGResult(x, iteration, rel_res, status, history)
 
 
@@ -666,49 +677,58 @@ def conjugate_gradient_block(
 
     status = SolverStatus.MAX_ITERATIONS
     iteration = start_iteration
-    for iteration in range(start_iteration + 1, max_iter + 1):
-        T = apply_op(P)  # ONE sweep for all k columns
-        M = P.T @ T
-        diag = np.einsum("ii->i", M)
-        if not np.all(np.isfinite(M)) or np.all(diag <= 0.0):
-            # Curvature lost on every direction: numerically not SPD.
-            status = SolverStatus.STAGNATED
-            iteration -= 1
-            break
-        Minv = _block_solve(M, eye)
-        Xt += P @ (Minv @ phi)
-        if iteration % recompute_interval == 0:
-            # Re-sync the factored residual with the true one and restart
-            # the direction block (plain-CG restarts are safe, just slower).
-            Qb, phi = np.linalg.qr(Bt - apply_op(Xt))
-            P = Qb.copy()
-        else:
-            Qb, zeta = np.linalg.qr(Qb - T @ Minv)
-            phi = zeta @ phi
-            P = Qb + P @ zeta.T
-        rel = column_residuals()
-        worst = float(rel.max())
-        history.append(worst)
-        if callback is not None:
-            callback(iteration, worst)
-        if np.all(rel <= epsilon):
-            status = SolverStatus.CONVERGED
-            break
-        if worst < best_res:
-            best_res = worst
-            best_X[:] = Xt
-            best_rel[:] = rel
-            stall = 0
-        elif not np.isfinite(worst) or worst > 1e3 * best_res or stall >= 50:
-            # Finite-precision breakdown; return the best block iterate.
-            status = SolverStatus.STAGNATED
-            Xt = best_X
-            rel = best_rel
-            break
-        else:
-            stall += 1
-        if checkpoint_interval is not None and iteration % checkpoint_interval == 0:
-            last_ckpt = take_checkpoint(iteration)
+    ctx = current_context()
+    with ctx.span(
+        "cg_solve", kind="block", size=n, columns=k, resumed=start_iteration
+    ):
+        for iteration in range(start_iteration + 1, max_iter + 1):
+            with ctx.span("iteration", i=iteration):
+                T = apply_op(P)  # ONE sweep for all k columns
+                M = P.T @ T
+                diag = np.einsum("ii->i", M)
+                if not np.all(np.isfinite(M)) or np.all(diag <= 0.0):
+                    # Curvature lost on every direction: numerically not SPD.
+                    status = SolverStatus.STAGNATED
+                    iteration -= 1
+                    break
+                Minv = _block_solve(M, eye)
+                Xt += P @ (Minv @ phi)
+                if iteration % recompute_interval == 0:
+                    # Re-sync the factored residual with the true one and
+                    # restart the direction block (plain-CG restarts are safe,
+                    # just slower).
+                    Qb, phi = np.linalg.qr(Bt - apply_op(Xt))
+                    P = Qb.copy()
+                else:
+                    Qb, zeta = np.linalg.qr(Qb - T @ Minv)
+                    phi = zeta @ phi
+                    P = Qb + P @ zeta.T
+                rel = column_residuals()
+                worst = float(rel.max())
+                history.append(worst)
+                if callback is not None:
+                    callback(iteration, worst)
+                if np.all(rel <= epsilon):
+                    status = SolverStatus.CONVERGED
+                    break
+                if worst < best_res:
+                    best_res = worst
+                    best_X[:] = Xt
+                    best_rel[:] = rel
+                    stall = 0
+                elif not np.isfinite(worst) or worst > 1e3 * best_res or stall >= 50:
+                    # Finite-precision breakdown; return the best block iterate.
+                    status = SolverStatus.STAGNATED
+                    Xt = best_X
+                    rel = best_rel
+                    break
+                else:
+                    stall += 1
+                if (
+                    checkpoint_interval is not None
+                    and iteration % checkpoint_interval == 0
+                ):
+                    last_ckpt = take_checkpoint(iteration)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(
@@ -717,7 +737,6 @@ def conjugate_gradient_block(
             ConvergenceWarning,
             stacklevel=2,
         )
-    counters = solver_counters()
-    counters.cg_solves += 1
-    counters.cg_iterations += iteration - start_iteration
+    ctx.inc("cg_solves")
+    ctx.inc("cg_iterations", iteration - start_iteration)
     return BlockCGResult(untransform(Xt), iteration, rel, status, history)

@@ -1,0 +1,97 @@
+"""sklearn-conformant estimator plumbing: ``get_params``/``set_params``/``clone``.
+
+Every estimator in this package (``LSSVC``, ``LSSVR``, the multiclass
+wrappers) stores each constructor argument under an attribute of the same
+name and derives its internal state (``Parameter`` objects, normalized
+enums, resolved backends) in a ``_sync_params()`` hook. That invariant is
+what lets :class:`ParamsMixin` implement the scikit-learn parameter
+protocol generically by introspecting ``__init__`` — and what lets
+:func:`clone` and :func:`repro.model_selection` treat every estimator
+uniformly instead of special-casing constructor signatures.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["ParamsMixin", "clone"]
+
+
+class ParamsMixin:
+    """Implements ``get_params``/``set_params`` via ``__init__`` introspection.
+
+    Requirements on the concrete estimator:
+
+    * ``__init__`` has an explicit signature (no bare ``*args``/``**kwargs``)
+      and stores every argument under ``self.<name>`` — normalized forms
+      are fine as long as the constructor accepts them back (enums parsed
+      by ``from_name``, ints coerced from floats, ...);
+    * derived state is (re)built by :meth:`_sync_params`, which
+      :meth:`set_params` calls after updating attributes so validation and
+      invalidation (e.g. of a cached backend instance) run exactly as they
+      would at construction.
+    """
+
+    @classmethod
+    def _get_param_names(cls) -> List[str]:
+        signature = inspect.signature(cls.__init__)
+        names = []
+        for name, parameter in signature.parameters.items():
+            if name == "self":
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise TypeError(
+                    f"{cls.__name__}.__init__ must have an explicit signature "
+                    "(no *args/**kwargs) for the estimator parameter protocol"
+                )
+            names.append(name)
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> Dict[str, object]:
+        """Constructor parameters of this estimator, keyed by name.
+
+        ``deep`` is accepted for scikit-learn compatibility; these
+        estimators have no nested sub-estimator parameters to expand.
+        """
+        return {name: getattr(self, name) for name in self._get_param_names()}
+
+    def set_params(self, **params) -> "ParamsMixin":
+        """Update parameters in place; unknown names raise.
+
+        Runs :meth:`_sync_params` once after all updates, so derived state
+        is rebuilt and cross-parameter validation sees the final values.
+        """
+        if not params:
+            return self
+        valid = self._get_param_names()
+        for name in params:
+            if name not in valid:
+                raise InvalidParameterError(
+                    f"invalid parameter {name!r} for estimator "
+                    f"{type(self).__name__}; valid parameters: {valid}"
+                )
+        for name, value in params.items():
+            setattr(self, name, value)
+        self._sync_params()
+        return self
+
+    def _sync_params(self) -> None:
+        """Rebuild derived state after a parameter change (default: nothing)."""
+
+
+def clone(estimator):
+    """A fresh unfitted estimator with the same parameters.
+
+    The round-trip contract: ``type(est)(**est.get_params())`` must
+    construct an estimator whose ``get_params()`` compares equal — which
+    holds because estimators store (possibly normalized) constructor
+    arguments that their constructors accept back unchanged.
+    """
+    params = estimator.get_params()
+    return type(estimator)(**params)

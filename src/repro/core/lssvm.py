@@ -27,8 +27,10 @@ import numpy as np
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
 from ..parameter import Parameter
 from ..profiling import ComponentTimer
+from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import BackendType, KernelType, TargetPlatform
 from .cg import CGResult, conjugate_gradient
+from .estimator import ParamsMixin
 from .model import LSSVMModel
 from .precond import make_preconditioner
 from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
@@ -68,7 +70,7 @@ def decode_labels(y_internal: np.ndarray, labels: Tuple[float, float]) -> np.nda
     return np.where(np.asarray(y_internal) >= 0.0, pos, neg)
 
 
-class LSSVC:
+class LSSVC(ParamsMixin):
     """Least Squares Support Vector Classifier.
 
     Parameters
@@ -179,57 +181,88 @@ class LSSVC:
         checkpoint_interval: Optional[int] = None,
         max_retries: int = 3,
     ) -> None:
-        self.param = Parameter(
-            kernel=kernel,
-            cost=C,
-            gamma=gamma,
-            degree=degree,
-            coef0=coef0,
-            epsilon=epsilon,
-            max_iter=max_iter,
-            dtype=dtype,
-        )
+        # Every constructor argument lands under its own attribute name
+        # (the ParamsMixin/get_params contract); derived state is built in
+        # _sync_params so set_params revalidates exactly like __init__.
+        self.kernel = kernel
+        self.C = C
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.epsilon = epsilon
+        self.max_iter = max_iter
+        self.dtype = dtype
         self.backend = backend
-        self.target = TargetPlatform.from_name(target)
-        if n_devices < 1:
-            raise DataError("n_devices must be positive")
-        self.n_devices = int(n_devices)
+        self.target = target
+        self.n_devices = n_devices
         self.implicit = implicit
-        self.jacobi = jacobi
-        if jacobi and precondition is not None and precondition != "jacobi":
-            raise DataError(
-                f"jacobi=True conflicts with precondition={precondition!r}; "
-                "drop the legacy flag"
-            )
-        self.precondition = "jacobi" if jacobi and precondition is None else precondition
+        self.precondition = precondition
         self.precond_rank = precond_rank
         self.precond_rng = precond_rng
-        self.sparse = bool(sparse)
+        self.jacobi = jacobi
+        self.sparse = sparse
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
         self.compute_dtype = compute_dtype
         self.fault_plan = fault_plan
-        if checkpoint_interval is not None and checkpoint_interval < 1:
-            raise InvalidParameterError("checkpoint_interval must be positive")
         self.checkpoint_interval = checkpoint_interval
-        if max_retries < 0:
+        self.max_retries = max_retries
+        self._sync_params()
+        self.model_: Optional[LSSVMModel] = None
+        self.result_: Optional[CGResult] = None
+        self.report_: Optional[TrainingReport] = None
+        self.timings_: ComponentTimer = ComponentTimer()
+
+    def _sync_params(self) -> None:
+        """Validate parameters and rebuild derived state.
+
+        Called from ``__init__`` and after every :meth:`set_params`, so a
+        parameter update invalidates the cached backend instance and runs
+        the same cross-parameter checks as construction.
+        """
+        self.param = Parameter(
+            kernel=self.kernel,
+            cost=self.C,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            epsilon=self.epsilon,
+            max_iter=self.max_iter,
+            dtype=self.dtype,
+        )
+        self.target = TargetPlatform.from_name(self.target)
+        if self.n_devices < 1:
+            raise DataError("n_devices must be positive")
+        self.n_devices = int(self.n_devices)
+        if (
+            self.jacobi
+            and self.precondition is not None
+            and self.precondition != "jacobi"
+        ):
+            raise DataError(
+                f"jacobi=True conflicts with precondition={self.precondition!r}; "
+                "drop the legacy flag"
+            )
+        if self.jacobi and self.precondition is None:
+            self.precondition = "jacobi"
+        self.sparse = bool(self.sparse)
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise InvalidParameterError("checkpoint_interval must be positive")
+        if self.max_retries < 0:
             raise InvalidParameterError("max_retries must be >= 0")
-        self.max_retries = int(max_retries)
-        if fault_plan is not None:
-            is_host = backend is None or (
-                isinstance(backend, (str, BackendType))
-                and BackendType.from_name(backend) is BackendType.OPENMP
+        self.max_retries = int(self.max_retries)
+        if self.fault_plan is not None:
+            is_host = self.backend is None or (
+                isinstance(self.backend, (str, BackendType))
+                and BackendType.from_name(self.backend) is BackendType.OPENMP
             )
             if is_host:
                 raise InvalidParameterError(
                     "fault_plan requires a device backend (cuda/opencl/sycl); "
                     "the host paths have no devices to fault"
                 )
-        if self.sparse and backend is not None:
+        if self.sparse and self.backend is not None:
             raise DataError("sparse CG runs on the NumPy path; use backend=None")
-        self.model_: Optional[LSSVMModel] = None
-        self.result_: Optional[CGResult] = None
-        self.timings_: ComponentTimer = ComponentTimer()
         self._backend_instance = None
 
     # -- backend plumbing ---------------------------------------------------
@@ -283,62 +316,84 @@ class LSSVC:
 
     # -- estimator API --------------------------------------------------------
 
+    def _backend_description(self) -> str:
+        if self.backend is None:
+            return "numpy (sparse)" if self.sparse else "numpy"
+        backend = self._resolve_backend()
+        return backend.describe()
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVC":
         """Train on ``(X, y)``; ``y`` may use any two distinct labels."""
         self.timings_ = ComponentTimer()
-        with self.timings_.section("total"):
-            X = np.asarray(X, dtype=self.param.dtype)
-            y_enc, labels = encode_labels(y)
-            # Backends transform the data into their device layout here
-            # (the paper's "transform" component); the plain NumPy path's
-            # operator setup is accounted separately as "assembly".
-            setup_section = "transform" if self.backend is not None else "assembly"
-            with self.timings_.section(setup_section):
-                qmat, rhs = self._build_operator(X, y_enc)
-            # Preconditioner setup is solver work (it trades setup time for
-            # iterations), so it is accounted inside the paper's cg section.
-            with self.timings_.section("cg"):
-                precond = make_preconditioner(
-                    qmat,
-                    self.precondition,
-                    rank=self.precond_rank,
-                    rng=self.precond_rng,
+        with fit_scope("LSSVC.fit", estimator="LSSVC") as ctx:
+            with self.timings_.section("total"):
+                X = np.asarray(X, dtype=self.param.dtype)
+                y_enc, labels = encode_labels(y)
+                # Backends transform the data into their device layout here
+                # (the paper's "transform" component); the plain NumPy path's
+                # operator setup is accounted separately as "assembly".
+                setup_section = "transform" if self.backend is not None else "assembly"
+                with self.timings_.section(setup_section), ctx.span(setup_section):
+                    qmat, rhs = self._build_operator(X, y_enc)
+                # Preconditioner setup is solver work (it trades setup time
+                # for iterations), so it is accounted inside the paper's cg
+                # section.
+                with self.timings_.section("cg"):
+                    precond = make_preconditioner(
+                        qmat,
+                        self.precondition,
+                        rank=self.precond_rank,
+                        rng=self.precond_rng,
+                    )
+                    if (
+                        self.fault_plan is not None
+                        or self.checkpoint_interval is not None
+                    ):
+                        # Fault-tolerant driving: checkpointed CG plus
+                        # transient retry and device-loss redistribution.
+                        solve_kwargs = {}
+                        if self.checkpoint_interval is not None:
+                            solve_kwargs["checkpoint_interval"] = (
+                                self.checkpoint_interval
+                            )
+                        result = resilient_solve(
+                            qmat,
+                            rhs,
+                            epsilon=self.param.epsilon,
+                            max_iter=self.param.max_iter,
+                            preconditioner=precond,
+                            max_retries=self.max_retries,
+                            **solve_kwargs,
+                        )
+                    else:
+                        result = conjugate_gradient(
+                            qmat,
+                            rhs,
+                            epsilon=self.param.epsilon,
+                            max_iter=self.param.max_iter,
+                            preconditioner=precond,
+                        )
+                alpha, bias = recover_bias_and_alpha(qmat, result.x)
+                self.result_ = result
+                self.model_ = LSSVMModel(
+                    support_vectors=qmat.X,
+                    alpha=alpha,
+                    bias=bias,
+                    param=qmat.param,
+                    labels=labels,
                 )
-                if self.fault_plan is not None or self.checkpoint_interval is not None:
-                    # Fault-tolerant driving: checkpointed CG plus transient
-                    # retry and device-loss redistribution.
-                    solve_kwargs = {}
-                    if self.checkpoint_interval is not None:
-                        solve_kwargs["checkpoint_interval"] = self.checkpoint_interval
-                    result = resilient_solve(
-                        qmat,
-                        rhs,
-                        epsilon=self.param.epsilon,
-                        max_iter=self.param.max_iter,
-                        preconditioner=precond,
-                        max_retries=self.max_retries,
-                        **solve_kwargs,
-                    )
-                else:
-                    result = conjugate_gradient(
-                        qmat,
-                        rhs,
-                        epsilon=self.param.epsilon,
-                        max_iter=self.param.max_iter,
-                        preconditioner=precond,
-                    )
-            alpha, bias = recover_bias_and_alpha(qmat, result.x)
-            self.result_ = result
-            self.model_ = LSSVMModel(
-                support_vectors=qmat.X,
-                alpha=alpha,
-                bias=bias,
-                param=qmat.param,
-                labels=labels,
-            )
-            backend = self._resolve_backend()
-            if backend is not None:
-                backend.finalize(qmat, self.timings_)
+                backend = self._resolve_backend()
+                if backend is not None:
+                    backend.finalize(qmat, self.timings_)
+        self.report_ = build_report(
+            ctx,
+            estimator="LSSVC",
+            backend=self._backend_description(),
+            num_samples=X.shape[0],
+            num_features=X.shape[1] if X.ndim > 1 else 1,
+            timings=self.timings_,
+            result=result,
+        )
         return self
 
     def _require_model(self) -> LSSVMModel:

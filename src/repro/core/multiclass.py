@@ -25,8 +25,10 @@ import numpy as np
 
 from ..exceptions import DataError, NotFittedError
 from ..parameter import Parameter
+from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import KernelType
 from .cg import conjugate_gradient_block
+from .estimator import ParamsMixin
 from .lssvm import LSSVC
 from .model import LSSVMModel
 from .precond import make_preconditioner
@@ -58,7 +60,7 @@ def _positive_first(X: np.ndarray, binary: np.ndarray) -> Tuple[np.ndarray, np.n
     return X[order], binary[order]
 
 
-class _MulticlassBase:
+class _MulticlassBase(ParamsMixin):
     """Shared constructor/plumbing of the two decompositions."""
 
     def __init__(
@@ -90,29 +92,39 @@ class _MulticlassBase:
         self.compute_dtype = compute_dtype
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
+        self.estimator_factory = estimator_factory
+        self.classes_: Optional[np.ndarray] = None
+
+    @property
+    def _default_factory(self) -> bool:
         # The shared block solve builds the reduced system itself; it only
         # applies when the machines are the default LSSVC (a custom factory
         # may wrap any estimator, whose fit we must not bypass).
-        self._default_factory = estimator_factory is None
-        if estimator_factory is None:
-            def estimator_factory() -> LSSVC:  # noqa: F811 - intentional default
-                return LSSVC(
-                    kernel=kernel,
-                    C=C,
-                    gamma=gamma,
-                    degree=degree,
-                    coef0=coef0,
-                    epsilon=epsilon,
-                    implicit=implicit,
-                    precondition=precondition,
-                    precond_rank=precond_rank,
-                    compute_dtype=compute_dtype,
-                    solver_threads=solver_threads,
-                    tile_cache_mb=tile_cache_mb,
-                )
+        return self.estimator_factory is None
 
-        self._factory = estimator_factory
-        self.classes_: Optional[np.ndarray] = None
+    def _make_estimator(self):
+        """One fresh binary machine, resolved at fit time.
+
+        Resolving here (instead of capturing the hyper-parameters in a
+        closure at construction) keeps :meth:`set_params` effective: the
+        machines always see the estimator's *current* parameters.
+        """
+        if self.estimator_factory is not None:
+            return self.estimator_factory()
+        return LSSVC(
+            kernel=self.kernel,
+            C=self.C,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            epsilon=self.epsilon,
+            implicit=self.implicit,
+            precondition=self.precondition,
+            precond_rank=self.precond_rank,
+            compute_dtype=self.compute_dtype,
+            solver_threads=self.solver_threads,
+            tile_cache_mb=self.tile_cache_mb,
+        )
 
     def _require_fitted(self) -> None:
         if self.classes_ is None:
@@ -144,9 +156,43 @@ class OneVsAllLSSVC(_MulticlassBase):
     custom ``estimator_factory``) falls back to per-class fits.
     """
 
-    def __init__(self, *args, shared_solve: bool = True, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        kernel: Union[str, int, KernelType] = "linear",
+        C: float = 1.0,
+        *,
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        epsilon: float = 1e-3,
+        implicit: Optional[bool] = None,
+        precondition: Union[None, str, object] = None,
+        precond_rank: Optional[int] = None,
+        compute_dtype=None,
+        solver_threads: Optional[int] = None,
+        tile_cache_mb: Optional[float] = None,
+        estimator_factory: Optional[Callable[[], object]] = None,
+        shared_solve: bool = True,
+    ) -> None:
+        # The signature is spelled out (no *args/**kwargs passthrough) so
+        # the ParamsMixin introspection sees every parameter.
+        super().__init__(
+            kernel,
+            C,
+            gamma=gamma,
+            degree=degree,
+            coef0=coef0,
+            epsilon=epsilon,
+            implicit=implicit,
+            precondition=precondition,
+            precond_rank=precond_rank,
+            compute_dtype=compute_dtype,
+            solver_threads=solver_threads,
+            tile_cache_mb=tile_cache_mb,
+            estimator_factory=estimator_factory,
+        )
         self.shared_solve = bool(shared_solve)
+        self.report_: Optional[TrainingReport] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
         y = np.asarray(y).ravel()
@@ -160,7 +206,7 @@ class OneVsAllLSSVC(_MulticlassBase):
             if not np.any(binary == 1.0):
                 raise DataError(f"class {label} has no samples")
             X_ord, binary_ord = _positive_first(X, binary)
-            clf = self._factory()
+            clf = self._make_estimator()
             clf.fit(X_ord, binary_ord)
             self.machines_.append(clf)
         return self
@@ -189,42 +235,56 @@ class OneVsAllLSSVC(_MulticlassBase):
         Y = np.stack(
             [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
         )
-        qmat, _ = build_reduced_system(
-            X,
-            Y[:, 0],
-            param,
-            implicit=self.implicit,
-            solver_threads=self.solver_threads,
-            tile_cache_mb=self.tile_cache_mb,
-            compute_dtype=self.compute_dtype,
-        )
-        precond = make_preconditioner(
-            qmat, self.precondition, rank=self.precond_rank, rng=0
-        )
-        B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
-        result = conjugate_gradient_block(
-            qmat,
-            B,
-            epsilon=self.epsilon,
-            max_iter=param.max_iter,
-            preconditioner=precond,
-        )
-        for j, _ in enumerate(self.classes_):
-            alpha_bar = result.X[:, j]
-            s = float(alpha_bar.sum())
-            # Eq. 15 with this machine's eliminated target Y[-1, j].
-            bias = float(Y[-1, j]) + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
-            alpha = np.concatenate([alpha_bar, np.asarray([-s], dtype=qmat.dtype)])
-            clf = self._factory()
-            clf.model_ = LSSVMModel(
-                support_vectors=qmat.X,
-                alpha=alpha,
-                bias=bias,
-                param=qmat.param,
-                labels=(1.0, -1.0),
+        with fit_scope(
+            "OneVsAllLSSVC.fit", estimator="OneVsAllLSSVC", classes=len(self.classes_)
+        ) as ctx:
+            with ctx.span("assembly"):
+                qmat, _ = build_reduced_system(
+                    X,
+                    Y[:, 0],
+                    param,
+                    implicit=self.implicit,
+                    solver_threads=self.solver_threads,
+                    tile_cache_mb=self.tile_cache_mb,
+                    compute_dtype=self.compute_dtype,
+                )
+            precond = make_preconditioner(
+                qmat, self.precondition, rank=self.precond_rank, rng=0
             )
-            clf.result_ = result.column(j)
-            self.machines_.append(clf)
+            B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
+            result = conjugate_gradient_block(
+                qmat,
+                B,
+                epsilon=self.epsilon,
+                max_iter=param.max_iter,
+                preconditioner=precond,
+            )
+            for j, _ in enumerate(self.classes_):
+                alpha_bar = result.X[:, j]
+                s = float(alpha_bar.sum())
+                # Eq. 15 with this machine's eliminated target Y[-1, j].
+                bias = float(Y[-1, j]) + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
+                alpha = np.concatenate(
+                    [alpha_bar, np.asarray([-s], dtype=qmat.dtype)]
+                )
+                clf = self._make_estimator()
+                clf.model_ = LSSVMModel(
+                    support_vectors=qmat.X,
+                    alpha=alpha,
+                    bias=bias,
+                    param=qmat.param,
+                    labels=(1.0, -1.0),
+                )
+                clf.result_ = result.column(j)
+                self.machines_.append(clf)
+        self.report_ = build_report(
+            ctx,
+            estimator="OneVsAllLSSVC",
+            backend="numpy (shared block solve)",
+            num_samples=X.shape[0],
+            num_features=X.shape[1],
+            result=result,
+        )
         return self
 
     def decision_matrix(self, X: np.ndarray) -> np.ndarray:
@@ -258,7 +318,7 @@ class OneVsOneLSSVC(_MulticlassBase):
                 raise DataError(f"classes {a} and {b} are not both present")
             binary = np.where(y[mask] == a, 1.0, -1.0)
             X_ord, binary_ord = _positive_first(X[mask], binary)
-            clf = self._factory()
+            clf = self._make_estimator()
             clf.fit(X_ord, binary_ord)
             self.pairs_.append((float(a), float(b)))
             self.machines_.append(clf)

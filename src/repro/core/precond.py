@@ -33,9 +33,9 @@ run its plain (unpreconditioned) recursion on the transformed SPD system
 diagonal scaling composed with a rank-``r`` correction of the identity,
 obtained from one thin SVD at setup and applied in ``O(m r)``.
 
-Setup cost and the realized rank are recorded in
-:func:`repro.profiling.solver_counters` so benchmarks can report the
-iterations-vs-setup trade-off without plumbing.
+Setup cost and the realized rank are reported through the active
+:class:`repro.telemetry.TelemetryContext` so benchmarks and per-fit
+reports see the iterations-vs-setup trade-off without plumbing.
 """
 
 from __future__ import annotations
@@ -46,7 +46,7 @@ from typing import List, Optional, Protocol, Tuple, Union, runtime_checkable
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..profiling.stats import solver_counters
+from ..telemetry.context import current_context
 from ..types import KernelType
 from .kernels import kernel_diagonal, kernel_row
 
@@ -408,7 +408,7 @@ def make_preconditioner(
     ``kind`` may be ``None`` / ``"none"`` (no preconditioning),
     ``"jacobi"``, ``"nystrom"``, or a ready-made :class:`Preconditioner`
     instance (returned as-is). Setup wall time and the realized rank are
-    folded into :func:`repro.profiling.solver_counters`.
+    reported through the active :class:`repro.telemetry.TelemetryContext`.
     """
     if kind is None:
         return None
@@ -422,17 +422,18 @@ def make_preconditioner(
     name = kind.strip().lower()
     if name in ("", "none"):
         return None
+    ctx = current_context()
     start = time.perf_counter()
-    if name == "jacobi":
-        precond: Preconditioner = JacobiPrecond.from_qmatrix(qmat)
-    elif name == "nystrom":
-        precond = NystromPrecond.from_qmatrix(qmat, rank=rank, rng=rng)
-    else:
-        raise InvalidParameterError(
-            f"unknown preconditioner {kind!r}; expected 'jacobi', 'nystrom', or None"
-        )
-    counters = solver_counters()
-    counters.precond_setups += 1
-    counters.precond_setup_seconds += time.perf_counter() - start
-    counters.precond_rank = getattr(precond, "rank", 0)
+    with ctx.span("precond_setup", kind=name):
+        if name == "jacobi":
+            precond: Preconditioner = JacobiPrecond.from_qmatrix(qmat)
+        elif name == "nystrom":
+            precond = NystromPrecond.from_qmatrix(qmat, rank=rank, rng=rng)
+        else:
+            raise InvalidParameterError(
+                f"unknown preconditioner {kind!r}; expected 'jacobi', 'nystrom', or None"
+            )
+    ctx.inc("precond_setups")
+    ctx.inc("precond_setup_seconds", time.perf_counter() - start)
+    ctx.set_gauge("precond_rank", getattr(precond, "rank", 0))
     return precond

@@ -24,8 +24,10 @@ import numpy as np
 from ..exceptions import DataError, NotFittedError
 from ..parameter import Parameter
 from ..profiling import ComponentTimer
+from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import KernelType
 from .cg import CGResult, conjugate_gradient
+from .estimator import ParamsMixin
 from .qmatrix import (
     EXPLICIT_LIMIT,
     ExplicitQMatrix,
@@ -36,7 +38,7 @@ from .qmatrix import (
 __all__ = ["LSSVR"]
 
 
-class LSSVR:
+class LSSVR(ParamsMixin):
     """Least Squares Support Vector Regressor.
 
     Parameters match :class:`repro.core.lssvm.LSSVC` where they apply;
@@ -67,22 +69,34 @@ class LSSVR:
         dtype=np.float64,
         implicit: Optional[bool] = None,
     ) -> None:
-        self.param = Parameter(
-            kernel=kernel,
-            cost=C,
-            gamma=gamma,
-            degree=degree,
-            coef0=coef0,
-            epsilon=epsilon,
-            max_iter=max_iter,
-            dtype=dtype,
-        )
+        self.kernel = kernel
+        self.C = C
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.epsilon = epsilon
+        self.max_iter = max_iter
+        self.dtype = dtype
         self.implicit = implicit
+        self._sync_params()
         self.result_: Optional[CGResult] = None
+        self.report_: Optional[TrainingReport] = None
         self.timings_ = ComponentTimer()
         self._qmat = None
         self._alpha: Optional[np.ndarray] = None
         self._bias = 0.0
+
+    def _sync_params(self) -> None:
+        self.param = Parameter(
+            kernel=self.kernel,
+            cost=self.C,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            epsilon=self.epsilon,
+            max_iter=self.max_iter,
+            dtype=self.dtype,
+        )
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVR":
         """Fit on real-valued targets ``y``."""
@@ -95,19 +109,31 @@ class LSSVR:
         implicit = self.implicit
         if implicit is None:
             implicit = X.shape[0] > EXPLICIT_LIMIT
-        with self.timings_.section("total"):
-            if implicit:
-                qmat = ImplicitQMatrix(X, y, self.param, binary_labels=False)
-            else:
-                qmat = ExplicitQMatrix(X, y, self.param, binary_labels=False)
-            with self.timings_.section("cg"):
-                result = conjugate_gradient(
-                    qmat,
-                    qmat.rhs(),
-                    epsilon=self.param.epsilon,
-                    max_iter=self.param.max_iter,
-                )
-            alpha, bias = recover_bias_and_alpha(qmat, result.x)
+        self.timings_ = ComponentTimer()
+        with fit_scope("LSSVR.fit", estimator="LSSVR") as ctx:
+            with self.timings_.section("total"):
+                with self.timings_.section("assembly"), ctx.span("assembly"):
+                    if implicit:
+                        qmat = ImplicitQMatrix(X, y, self.param, binary_labels=False)
+                    else:
+                        qmat = ExplicitQMatrix(X, y, self.param, binary_labels=False)
+                with self.timings_.section("cg"):
+                    result = conjugate_gradient(
+                        qmat,
+                        qmat.rhs(),
+                        epsilon=self.param.epsilon,
+                        max_iter=self.param.max_iter,
+                    )
+                alpha, bias = recover_bias_and_alpha(qmat, result.x)
+        self.report_ = build_report(
+            ctx,
+            estimator="LSSVR",
+            backend="numpy",
+            num_samples=X.shape[0],
+            num_features=X.shape[1],
+            timings=self.timings_,
+            result=result,
+        )
         self.result_ = result
         self._qmat = qmat
         self._alpha = alpha

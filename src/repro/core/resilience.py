@@ -21,10 +21,11 @@ for bit when the surviving operator computes identical partial sums;
 within solver tolerance when the device set — and hence the partial-sum
 reduction order — changed).
 
-All recovery activity is recorded in the process-wide
-:class:`~repro.profiling.stats.SolverCounters` (``devices_lost``,
-``redistributions``, ``checkpoint_restores``, ``transient_retries``,
-``backoff_seconds``) so the CLI can surface it.
+All recovery activity is reported through the active
+:class:`repro.telemetry.TelemetryContext`: the familiar counters
+(``devices_lost``, ``redistributions``, ``checkpoint_restores``,
+``transient_retries``, ``backoff_seconds``) plus one audit-log entry per
+event, so a fit's ``report_`` carries the full fault/recovery timeline.
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from ..exceptions import DeviceLostError, InvalidParameterError, TransientDeviceError
-from ..profiling.stats import solver_counters
+from ..telemetry.context import current_context
 from .cg import (
     BlockCGResult,
     CGCheckpoint,
@@ -62,12 +63,17 @@ def _recover_device_loss(A, exc: DeviceLostError) -> None:
     *during* redistribution — are handled by recovering again, until the
     operator reports that no devices remain.
     """
-    counters = solver_counters()
+    ctx = current_context()
     while True:
         handler = getattr(A, "handle_device_loss", None)
         if handler is None or exc.device is None:
             raise exc
-        counters.devices_lost += 1
+        ctx.inc("devices_lost")
+        ctx.record_fault_event(
+            "device_lost",
+            device=getattr(exc.device, "name", str(exc.device)),
+            message=str(exc),
+        )
         try:
             handler(exc.device)
         except DeviceLostError as cascade:
@@ -75,8 +81,14 @@ def _recover_device_loss(A, exc: DeviceLostError) -> None:
                 raise
             exc = cascade
             continue
-        counters.redistributions += 1
+        ctx.inc("redistributions")
+        ctx.record_fault_event("redistribution", survivors=_survivor_count(A))
         return
+
+
+def _survivor_count(A) -> Optional[int]:
+    devices = getattr(A, "devices", None)
+    return len(devices) if devices is not None else None
 
 
 def resilient_solve(
@@ -112,7 +124,7 @@ def resilient_solve(
         Exponential backoff schedule for transient faults: attempt ``i``
         (0-based within a no-progress streak) waits
         ``backoff_base_s * backoff_factor**i`` seconds. The delay is always
-        accounted in ``SolverCounters.backoff_seconds``; it is actually
+        accounted in the ``backoff_seconds`` telemetry counter; it is actually
         slept only when a ``sleep`` callable is given — the default
         ``None`` suits simulated hardware, where wall-clock waiting buys
         nothing.
@@ -152,7 +164,7 @@ def resilient_solve(
     else:
         solver = conjugate_gradient_block
 
-    counters = solver_counters()
+    ctx = current_context()
     ckpt: Optional[CGCheckpoint] = None
     transient_streak = 0
     while True:
@@ -178,8 +190,16 @@ def resilient_solve(
                     device=exc.device,
                 ) from exc
             delay = backoff_base_s * backoff_factor ** max(transient_streak - 1, 0)
-            counters.transient_retries += 1
-            counters.backoff_seconds += delay
+            ctx.inc("transient_retries")
+            ctx.inc("backoff_seconds", delay)
+            ctx.record_fault_event(
+                "transient_retry",
+                device=getattr(exc.device, "name", None),
+                streak=transient_streak,
+                backoff_s=delay,
+                progressed=progressed,
+                message=str(exc),
+            )
             if sleep is not None and delay > 0:
                 sleep(delay)
         except DeviceLostError as exc:
@@ -188,4 +208,5 @@ def resilient_solve(
             _recover_device_loss(A, exc)
             transient_streak = 0
         if ckpt is not None:
-            counters.checkpoint_restores += 1
+            ctx.inc("checkpoint_restores")
+            ctx.record_fault_event("checkpoint_restore", iteration=ckpt.iteration)

@@ -29,9 +29,10 @@ effective cache capacity and bandwidth): tiles are evaluated and cached in
 ``float32`` while sweep results are accumulated back into the ``float64``
 the solver's recursion and termination criterion run in.
 
-All activity is mirrored into the process-wide
-:func:`repro.profiling.solver_counters`, so benchmarks can report sweep
-counts and cache hit rates without plumbing.
+All activity is reported through the active
+:class:`repro.telemetry.TelemetryContext` (resolved per sweep in the
+calling thread), so each fit's ``report_`` sees only its own sweeps while
+the process-wide aggregate keeps benchmarks honest without plumbing.
 """
 
 from __future__ import annotations
@@ -44,7 +45,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..parallel.thread_pool import ThreadPool, shared_pool
-from ..profiling.stats import solver_counters
+from ..telemetry.context import current_context
 from ..types import KernelType
 from .kernels import kernel_matrix, squared_row_norms, validate_kernel_params
 
@@ -152,9 +153,9 @@ class _SweepStats:
 
     Concurrent sweeps used to reconstruct their deltas from before/after
     snapshots of the shared cache counters — two interleaved sweeps then
-    double- or under-counted the deltas flushed to ``solver_counters()``.
-    Counting each sweep's own events in an object private to the sweep
-    makes the flush exact regardless of interleaving.
+    double- or under-counted the flushed deltas. Counting each sweep's own
+    events in an object private to the sweep makes the flush into the
+    active telemetry context exact regardless of interleaving.
     """
 
     __slots__ = ("lock", "hits", "misses", "evictions", "oversized", "computed")
@@ -377,21 +378,26 @@ class TilePipeline:
             start, stop = self.tiles[index]
             out2[start:stop] = self.tile(index, _stats=stats) @ V2
 
-        self.pool.map_tasks(run, range(self.num_tiles))
+        # Resolved in the *calling* thread — the worker pool is shared
+        # across fits, so only the sweep caller knows which fit this is.
+        ctx = current_context()
+        with ctx.span("tile_sweep", tiles=self.num_tiles, columns=k) as span:
+            self.pool.map_tasks(run, range(self.num_tiles))
         self.sweeps += 1
 
-        counters = solver_counters()
-        counters.tile_sweeps += 1
-        counters.tiles_computed += stats.computed
+        ctx.inc("tile_sweeps")
+        ctx.inc("tiles_computed", stats.computed)
         if self.cache is not None:
-            counters.cache_hits += stats.hits
-            counters.cache_misses += stats.misses
-            counters.cache_evictions += stats.evictions
-            counters.cache_oversized += stats.oversized
+            ctx.inc("cache_hits", stats.hits)
+            ctx.inc("cache_misses", stats.misses)
+            ctx.inc("cache_evictions", stats.evictions)
+            ctx.inc("cache_oversized", stats.oversized)
+        if span is not None:
+            ctx.observe("sweep_seconds", span.dur)
         return result
 
     def stats(self) -> dict:
-        """Per-pipeline counters (the global ones live in profiling.stats)."""
+        """Per-pipeline counters (scoped ones live on the telemetry context)."""
         out = {
             "sweeps": self.sweeps,
             "tiles_computed": self.tiles_computed,

@@ -22,6 +22,7 @@ __all__ = [
     "ConvergenceWarning",
     "NotFittedError",
     "DataError",
+    "TelemetryError",
 ]
 
 
@@ -117,3 +118,12 @@ class NotFittedError(PLSSVMError, RuntimeError):
 
 class DataError(PLSSVMError, ValueError):
     """Training/test data is malformed (shape mismatch, non-binary labels, ...)."""
+
+
+class TelemetryError(PLSSVMError, ValueError):
+    """A telemetry artifact (training report, trace) fails validation.
+
+    Raised by :func:`repro.telemetry.validate_report` when a serialized
+    :class:`~repro.telemetry.TrainingReport` does not conform to the
+    report schema — the CI smoke step turns this into a hard failure.
+    """

@@ -13,6 +13,12 @@ compute_dtype="float32", **kw), ...)`` runs every fold with
 Nyström-preconditioned CG on float32 kernel tiles — the fold scores are
 unchanged (both knobs preserve the solution to the CG tolerance) while
 ill-conditioned grid corners converge in far fewer iterations.
+
+Since the estimators implement the scikit-learn parameter protocol
+(``get_params``/``set_params``, see :mod:`repro.core.estimator`), an
+**estimator instance** works wherever a factory does: it is treated as a
+prototype, cloned per fold / per grid point, and grid parameters are
+applied with ``set_params`` — no constructor special-casing.
 """
 
 from __future__ import annotations
@@ -51,8 +57,42 @@ def kfold_indices(
     return out
 
 
+def _as_factory(estimator: Union[Callable[..., object], object]) -> Callable[..., object]:
+    """Normalize factory-or-prototype into a factory taking kwargs.
+
+    Accepted forms:
+
+    * a callable factory (``lambda **p: LSSVC(**p)``, or an estimator
+      class) — returned as-is;
+    * an **estimator instance** implementing ``get_params``/``set_params``
+      — wrapped so each call clones the prototype and applies the given
+      keyword overrides via ``set_params``.
+    """
+    if isinstance(estimator, type) or not hasattr(estimator, "fit"):
+        if callable(estimator):
+            return estimator
+        raise DataError(
+            "estimator must be a factory callable or an estimator instance "
+            f"with fit(); got {type(estimator).__name__}"
+        )
+    if not hasattr(estimator, "get_params"):
+        raise DataError(
+            f"estimator instance {type(estimator).__name__} does not implement "
+            "get_params(); pass a factory callable instead"
+        )
+    from .core.estimator import clone
+
+    def factory(**overrides):
+        fresh = clone(estimator)
+        if overrides:
+            fresh.set_params(**overrides)
+        return fresh
+
+    return factory
+
+
 def cross_val_score(
-    estimator_factory: Callable[[], object],
+    estimator_factory: Union[Callable[[], object], object],
     X: np.ndarray,
     y: np.ndarray,
     *,
@@ -62,8 +102,9 @@ def cross_val_score(
 ) -> np.ndarray:
     """Per-fold test scores of a freshly constructed estimator.
 
-    ``estimator_factory`` must return a *new* estimator per call (fitted
-    state must not leak across folds).
+    ``estimator_factory`` is either a callable returning a *new* estimator
+    per call (fitted state must not leak across folds) or an unfitted
+    estimator instance used as a prototype and cloned per fold.
 
     ``n_threads > 1`` evaluates folds concurrently on a
     :class:`repro.parallel.ThreadPool`: each fold's fit is dominated by
@@ -76,10 +117,11 @@ def cross_val_score(
     if X.shape[0] != y.shape[0]:
         raise DataError("data and labels disagree in length")
     folds = kfold_indices(X.shape[0], k, rng=rng)
+    factory = _as_factory(estimator_factory)
 
     def run_fold(fold: Tuple[np.ndarray, np.ndarray]) -> float:
         train_idx, test_idx = fold
-        estimator = estimator_factory()
+        estimator = factory()
         estimator.fit(X[train_idx], y[train_idx])
         return float(estimator.score(X[test_idx], y[test_idx]))
 
@@ -111,7 +153,9 @@ class GridSearch:
     estimator_factory:
         Callable taking the grid parameters as keyword arguments and
         returning a fresh estimator, e.g.
-        ``lambda **p: LSSVC(kernel="rbf", **p)``.
+        ``lambda **p: LSSVC(kernel="rbf", **p)`` — or an unfitted
+        estimator instance used as a prototype (cloned per grid point,
+        grid parameters applied via ``set_params``).
     param_grid:
         Mapping from parameter name to the values to sweep; the grid is
         the cartesian product. LIBSVM's classic grid is exponential in
@@ -124,7 +168,7 @@ class GridSearch:
 
     def __init__(
         self,
-        estimator_factory: Callable[..., object],
+        estimator_factory: Union[Callable[..., object], object],
         param_grid: Dict[str, Iterable],
         *,
         k: int = 5,
@@ -133,7 +177,7 @@ class GridSearch:
     ) -> None:
         if not param_grid:
             raise DataError("param_grid must name at least one parameter")
-        self._factory = estimator_factory
+        self._factory = _as_factory(estimator_factory)
         self.param_grid = {name: list(values) for name, values in param_grid.items()}
         for name, values in self.param_grid.items():
             if not values:

@@ -176,14 +176,98 @@ class SolverCounters:
         self.backoff_seconds = 0.0
 
 
-_SOLVER_COUNTERS = SolverCounters()
+class _RootCountersProxy:
+    """Deprecated live view of the telemetry root context's solver metrics.
+
+    Quacks like the old process-wide :class:`SolverCounters` instance:
+    attribute reads resolve against the root
+    :class:`repro.telemetry.MetricsRegistry` *at access time* (so holding
+    the object across a solve and reading afterwards sees the new
+    totals, exactly like the old mutable singleton), and attribute
+    writes forward into the registry for any legacy code that still
+    mutates counters directly.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def _registry():
+        from ..telemetry.context import root_context
+
+        return root_context().metrics
+
+    def __getattr__(self, name: str):
+        from ..telemetry.metrics import SOLVER_COUNTER_NAMES, SOLVER_GAUGE_NAMES
+
+        if name in SOLVER_COUNTER_NAMES or name in SOLVER_GAUGE_NAMES:
+            return self._registry().value(name)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        from ..telemetry.metrics import SOLVER_COUNTER_NAMES, SOLVER_GAUGE_NAMES
+
+        registry = self._registry()
+        if name in SOLVER_GAUGE_NAMES:
+            registry.gauge(name).set(value)
+        elif name in SOLVER_COUNTER_NAMES:
+            registry.counter(name).set(value)
+        else:
+            raise AttributeError(name)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of tile lookups served from the cache (0 when unused)."""
+        hits = self.cache_hits
+        total = hits + self.cache_misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return self._registry().solver_counters_dict()
+
+    def reset(self) -> None:
+        from ..telemetry.context import reset_root_context
+
+        reset_root_context()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolverCounters(proxy over telemetry root, {self.as_dict()!r})"
 
 
-def solver_counters() -> SolverCounters:
-    """The process-wide :class:`SolverCounters` instance."""
+_SOLVER_COUNTERS = _RootCountersProxy()
+
+
+def _warn_deprecated(name: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"repro.profiling.{name}() is deprecated; per-fit numbers live on "
+        "model.report_ (repro.telemetry.TrainingReport), aggregates on "
+        "repro.telemetry.root_context().",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def solver_counters() -> _RootCountersProxy:
+    """Deprecated: the process-wide solver-counter aggregate.
+
+    .. deprecated::
+        Use ``model.report_`` (a :class:`repro.telemetry.TrainingReport`)
+        for per-fit numbers, or :func:`repro.telemetry.root_context` for
+        process-wide aggregates. This shim now proxies the telemetry root
+        context so aggregate semantics are unchanged.
+    """
+    _warn_deprecated("solver_counters")
     return _SOLVER_COUNTERS
 
 
 def reset_solver_counters() -> None:
-    """Zero the process-wide solver counters (benchmark harness hook)."""
-    _SOLVER_COUNTERS.reset()
+    """Deprecated: zero the process-wide solver counters.
+
+    .. deprecated::
+        Use :func:`repro.telemetry.reset_root_context`.
+    """
+    _warn_deprecated("reset_solver_counters")
+    from ..telemetry.context import reset_root_context
+
+    reset_root_context()

@@ -99,9 +99,20 @@ class ComponentTimer:
         return max(0.0, total - parts)
 
     def merge(self, other: "ComponentTimer") -> None:
-        """Accumulate another run's timings into this one."""
+        """Accumulate another run's timings into this one.
+
+        Section names are unioned: a section recorded only by ``other``
+        appears in the merged result. Entry counts carry over exactly —
+        routing through :meth:`Timer.add` would count each merged section
+        as a single entry and stamp a phantom entry onto sections the
+        other run never entered.
+        """
         for name, timer in other._timers.items():
-            self[name].add(timer.elapsed)
+            if timer.entries == 0 and timer.elapsed == 0.0:
+                continue
+            mine = self[name]
+            mine.elapsed += timer.elapsed
+            mine.entries += timer.entries
 
     def report(self) -> str:
         """Human-readable component table (used by the CLI's verbose mode).

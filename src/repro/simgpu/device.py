@@ -19,6 +19,7 @@ from ..exceptions import (
     KernelLaunchError,
     TransientDeviceError,
 )
+from ..telemetry.context import current_context
 from .costmodel import CostModel, transfer_time
 from .faults import FaultPlan
 from .kernel import KernelLaunch
@@ -140,13 +141,27 @@ class SimulatedDevice:
         if outcome is None:
             return
         kind, latency = outcome
+        ctx = current_context()
         if kind == "latency":
             self.clock += latency
             self.counters.latency_spikes += 1
             self.counters.fault_delay_s += latency
+            ctx.record_fault_event(
+                "latency_spike",
+                device=self.spec.name,
+                device_id=self.device_id,
+                op=op,
+                delay_s=latency,
+            )
             return
         if kind == "transient":
             self.counters.transient_faults += 1
+            ctx.record_fault_event(
+                "transient_fault",
+                device=self.spec.name,
+                device_id=self.device_id,
+                op=op,
+            )
             raise TransientDeviceError(
                 f"transient fault on {self.spec.name!r} (id {self.device_id}) "
                 f"during {op}; retry after backoff",
@@ -154,6 +169,12 @@ class SimulatedDevice:
             )
         self.lost = True
         self.counters.device_lost += 1
+        ctx.record_fault_event(
+            "device_lost_injected",
+            device=self.spec.name,
+            device_id=self.device_id,
+            op=op,
+        )
         raise DeviceLostError(
             f"device {self.spec.name!r} (id {self.device_id}) lost during {op}",
             device=self,
@@ -203,6 +224,7 @@ class SimulatedDevice:
         self._require_initialized()
         self._consult_fault_plan("copy_to_device")
         duration = transfer_time(self.spec, nbytes)
+        self._record_event("transfer", "copy_to_device", duration, {"bytes": nbytes})
         self.clock += duration
         self.counters.bytes_to_device += nbytes
         self.counters.transfers += 1
@@ -213,6 +235,7 @@ class SimulatedDevice:
         self._require_initialized()
         self._consult_fault_plan("copy_from_device")
         duration = transfer_time(self.spec, nbytes)
+        self._record_event("transfer", "copy_from_device", duration, {"bytes": nbytes})
         self.clock += duration
         self.counters.bytes_from_device += nbytes
         self.counters.transfers += 1
@@ -250,6 +273,9 @@ class SimulatedDevice:
             grid_blocks=grid_blocks,
             block_threads=block_threads,
         )
+        self._record_event(
+            "kernel", name, duration, {"flops": flops, "precision": precision}
+        )
         self.clock += duration
         self.counters.launches += 1
         self.counters.flops += flops
@@ -257,6 +283,25 @@ class SimulatedDevice:
         self.counters.shared_bytes += shared_bytes
         self.launch_log.append(launch)
         return launch
+
+    def _record_event(
+        self, kind: str, name: str, duration: float, args: Optional[Dict] = None
+    ) -> None:
+        """Mirror one modeled event into the active telemetry context.
+
+        ``ts`` is the device clock *before* the event — modeled device
+        seconds, deliberately not host wall time; the merged chrome trace
+        renders the two clocks on separate process rows.
+        """
+        current_context().record_device_event(
+            device_id=self.device_id,
+            device_name=self.spec.name,
+            kind=kind,
+            name=name,
+            ts=self.clock,
+            dur=duration,
+            args=args,
+        )
 
     def _require_initialized(self) -> None:
         if not self.initialized:

@@ -1,0 +1,212 @@
+"""Typed metrics for the per-fit telemetry contexts.
+
+Three metric kinds, mirroring the usual observability trio:
+
+* :class:`Counter` — a monotonically growing tally (``tile_sweeps``,
+  ``cg_iterations``, summed seconds like ``precond_setup_seconds``);
+* :class:`Gauge` — a last-write-wins sample (``precond_rank``);
+* :class:`Histogram` — a streaming summary (count / total / min / max) of
+  repeated observations (``sweep_seconds``, ``iteration_seconds``), kept
+  O(1) per observation so the solver's hot loop can afford it.
+
+A :class:`MetricsRegistry` holds one namespace of metrics. The fields of
+the legacy ``SolverCounters`` dataclass are pre-registered as typed
+metrics (every field a counter except ``precond_rank``, which is a
+gauge), so a registry snapshot can always be materialized back into a
+``SolverCounters``-shaped dict — that is what keeps the deprecated
+:func:`repro.profiling.solver_counters` shim and the benchmark output
+byte-compatible.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SOLVER_COUNTER_NAMES",
+    "SOLVER_GAUGE_NAMES",
+]
+
+#: SolverCounters fields that accumulate (everything but the rank gauge).
+#: Telemetry sits below profiling in the import graph, so the list is the
+#: canonical definition here; a regression test keeps it in lockstep with
+#: the :class:`repro.profiling.stats.SolverCounters` dataclass fields.
+SOLVER_COUNTER_NAMES: List[str] = [
+    "tile_sweeps",
+    "tiles_computed",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_oversized",
+    "cg_solves",
+    "cg_iterations",
+    "precond_setups",
+    "precond_setup_seconds",
+    "devices_lost",
+    "redistributions",
+    "checkpoint_restores",
+    "transient_retries",
+    "backoff_seconds",
+]
+
+#: SolverCounters fields that are last-write-wins samples.
+SOLVER_GAUGE_NAMES: List[str] = ["precond_rank"]
+
+
+class Counter:
+    """Monotonic tally. ``inc`` adds; ``set`` exists for the legacy shim."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins sample."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observations: count, total, min, max.
+
+    Deliberately bucket-free — the report consumers (per-phase second
+    sums, mean sweep cost) need aggregates, and O(1) state keeps the
+    per-iteration overhead negligible.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """One namespace of typed metrics, safe for concurrent writers.
+
+    The registry itself does *not* propagate to parents — cross-context
+    aggregation (per-fit numbers bubbling into the process root so the
+    deprecated global counters stay correct) is the job of
+    :class:`repro.telemetry.context.TelemetryContext`, which walks its
+    ancestry and updates each registry along the way.
+    """
+
+    def __init__(self, *, preregister_solver_metrics: bool = True) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+        if preregister_solver_metrics:
+            for name in SOLVER_COUNTER_NAMES:
+                self._metrics[name] = Counter(name)
+            for name in SOLVER_GAUGE_NAMES:
+                self._metrics[name] = Gauge(name)
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def value(self, name: str) -> Union[int, float]:
+        """Scalar value of a counter/gauge (0 when never touched)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use snapshot()")
+        return metric.value
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time dump of every metric, keyed by name."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.snapshot() for m in metrics}
+
+    def solver_counters_dict(self) -> Dict[str, Union[int, float]]:
+        """The SolverCounters-shaped view (incl. derived cache_hit_rate)."""
+        out: Dict[str, Union[int, float]] = {}
+        for name in SOLVER_COUNTER_NAMES:
+            out[name] = self.value(name)
+        for name in SOLVER_GAUGE_NAMES:
+            out[name] = self.value(name)
+        hits = out.get("cache_hits", 0)
+        misses = out.get("cache_misses", 0)
+        total = hits + misses
+        out["cache_hit_rate"] = hits / total if total else 0.0
+        return out
+
+    def reset(self) -> None:
+        """Zero every registered metric (the benchmark-harness hook)."""
+        with self._lock:
+            for name, metric in list(self._metrics.items()):
+                self._metrics[name] = type(metric)(name)

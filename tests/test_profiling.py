@@ -89,6 +89,34 @@ class TestComponentTimer:
         a.merge(b)
         assert a.elapsed("cg") == pytest.approx(3.0)
 
+    def test_merge_unions_dynamic_sections(self):
+        a, b = ComponentTimer(), ComponentTimer()
+        a.section("cg").add(1.0)
+        b.section("cg_device").add(2.5)  # only b recorded this section
+        a.merge(b)
+        assert a.elapsed("cg") == pytest.approx(1.0)
+        assert a.elapsed("cg_device") == pytest.approx(2.5)
+        assert "cg_device" in a.as_dict()
+
+    def test_merge_preserves_entry_counts(self):
+        a, b = ComponentTimer(), ComponentTimer()
+        a.section("cg").add(1.0)
+        for _ in range(3):
+            b.section("cg").add(1.0)
+        a.merge(b)
+        assert a["cg"].entries == 4
+        assert a.elapsed("cg") == pytest.approx(4.0)
+
+    def test_merge_skips_never_entered_sections(self):
+        a, b = ComponentTimer(), ComponentTimer()
+        b.section("cg").add(2.0)
+        a.merge(b)
+        # The pre-created but never-entered components ("read", "write",
+        # ...) must not gain phantom entries from the merge.
+        assert a["read"].entries == 0
+        assert a["total"].entries == 0
+        assert a["cg"].entries == 1
+
     def test_report_format(self):
         ct = ComponentTimer()
         ct.section("total").add(10.0)
