@@ -1,0 +1,256 @@
+"""Perf harness for the ``repro.serve`` micro-batching inference stack.
+
+Runs closed-loop in-process load tests against a warm
+:class:`~repro.serve.PredictionEngine` and writes the numbers to
+``BENCH_serve.json`` at the repository root:
+
+* ``warm_engine`` — repeated single-row prediction through
+  ``LSSVMModel.decision_function`` (re-deriving norms every call) vs the
+  warm engine (norms, casts, and pool hoisted to load time).
+* ``batching`` — a sweep of client concurrency x batch policy: K closed-
+  loop clients each submitting single rows through one
+  :class:`~repro.serve.MicroBatcher`, with batching disabled
+  (``max_batch_rows=1``) and enabled. Reports p50/p99 request latency,
+  throughput, and the measured coalescing factor (requests per batch).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--points 4000 ...]
+
+``--quick`` shrinks every scenario to CI-smoke size (a few seconds
+total); the numbers are then only a plumbing check, not a measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lssvm import LSSVC
+from repro.data.synthetic import make_planes
+from repro.serve import BatchPolicy, MicroBatcher, PredictionEngine
+from repro.telemetry import TelemetryContext, activate
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _train_model(points: int, features: int, seed: int):
+    X, y = make_planes(points, features, rng=seed)
+    clf = LSSVC(kernel="rbf", C=10.0, gamma=1.0 / features).fit(X, y)
+    return clf.model_, X
+
+
+def bench_warm_engine(model, X, requests: int) -> dict:
+    """Cold per-call model prediction vs the warm engine, single rows."""
+    rows = X[np.arange(requests) % X.shape[0]]
+
+    start = time.perf_counter()
+    for i in range(requests):
+        model.decision_function(rows[i])
+    cold_seconds = time.perf_counter() - start
+
+    engine = PredictionEngine(model)
+    engine.decision_function(rows[0])  # touch everything once
+    start = time.perf_counter()
+    for i in range(requests):
+        engine.decision_function(rows[i])
+    warm_seconds = time.perf_counter() - start
+
+    return {
+        "requests": requests,
+        "support_vectors": model.num_support_vectors,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / max(warm_seconds, 1e-9),
+    }
+
+
+def _closed_loop(
+    engine,
+    X,
+    *,
+    clients: int,
+    requests_per_client: int,
+    policy: BatchPolicy,
+) -> dict:
+    """K closed-loop clients, each firing single-row requests back to back."""
+    ctx = TelemetryContext(f"bench-serve-c{clients}")
+    latencies = [[] for _ in range(clients)]
+    errors = []
+    gate = threading.Barrier(clients + 1)
+
+    def client(k):
+        rng = np.random.default_rng(k)
+        idx = rng.integers(0, X.shape[0], size=requests_per_client)
+        try:
+            gate.wait(timeout=30.0)
+            with activate(ctx):
+                for i in idx:
+                    t0 = time.perf_counter()
+                    batcher.submit(X[i], timeout=60.0)
+                    latencies[k].append(time.perf_counter() - t0)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    with MicroBatcher(engine, policy=policy, context=ctx) as batcher:
+        threads = [
+            threading.Thread(target=client, args=(k,), daemon=True)
+            for k in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        gate.wait(timeout=30.0)
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        batches = batcher.batches
+    if errors:
+        raise errors[0]
+
+    lat = np.array([v for per_client in latencies for v in per_client])
+    total = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": elapsed,
+        "throughput_rps": total / elapsed,
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "latency_mean_ms": float(lat.mean() * 1e3),
+        "batches": batches,
+        "requests_per_batch": total / max(batches, 1),
+        "tile_sweeps": ctx.metrics.value("tile_sweeps"),
+        "batched_requests": ctx.metrics.value("serve_batched_requests"),
+    }
+
+
+def bench_batching(
+    model,
+    X,
+    *,
+    concurrency: list,
+    requests_per_client: int,
+    max_batch_rows: int,
+    max_wait_ms: float,
+) -> dict:
+    engine = PredictionEngine(model)
+    engine.decision_function(X[:1])  # warm once, outside the clock
+    grid = {}
+    for clients in concurrency:
+        off = _closed_loop(
+            engine,
+            X,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            policy=BatchPolicy(max_batch_rows=1, max_wait_ms=0.0,
+                               max_queue_rows=max(4096, clients * 4)),
+        )
+        on = _closed_loop(
+            engine,
+            X,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            policy=BatchPolicy(max_batch_rows=max_batch_rows,
+                               max_wait_ms=max_wait_ms,
+                               max_queue_rows=max(4096, clients * 4)),
+        )
+        grid[str(clients)] = {
+            "unbatched": off,
+            "batched": on,
+            "throughput_gain": on["throughput_rps"] / off["throughput_rps"],
+            "p99_ratio": on["latency_p99_ms"] / max(off["latency_p99_ms"], 1e-9),
+        }
+    return {
+        "policy": {"max_batch_rows": max_batch_rows, "max_wait_ms": max_wait_ms},
+        "requests_per_client": requests_per_client,
+        "grid": grid,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    report = {
+        "harness": "benchmarks/bench_serve.py",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "points": args.points,
+            "features": args.features,
+            "requests": args.requests,
+            "requests_per_client": args.requests_per_client,
+            "concurrency": args.concurrency,
+            "max_batch_rows": args.max_batch_rows,
+            "max_wait_ms": args.max_wait_ms,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "scenarios": {},
+    }
+    print(f"training RBF model (m={args.points}, d={args.features}) ...")
+    model, X = _train_model(args.points, args.features, args.seed)
+    print(f"[1/2] cold model vs warm engine ({args.requests} single rows) ...")
+    report["scenarios"]["warm_engine"] = bench_warm_engine(model, X, args.requests)
+    print(f"[2/2] batching off vs on, concurrency {args.concurrency} ...")
+    report["scenarios"]["batching"] = bench_batching(
+        model,
+        X,
+        concurrency=args.concurrency,
+        requests_per_client=args.requests_per_client,
+        max_batch_rows=args.max_batch_rows,
+        max_wait_ms=args.max_wait_ms,
+    )
+    return report
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=4000,
+                        help="training points (= support vectors served against)")
+    parser.add_argument("--features", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=200,
+                        help="single-row requests for the warm-engine scenario")
+    parser.add_argument("--requests-per-client", type=int, default=50)
+    parser.add_argument("--concurrency", type=int, nargs="+", default=[1, 8, 32])
+    parser.add_argument("--max-batch-rows", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny sizes, write to "
+                        "BENCH_serve.quick.json unless --output is given")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.points = min(args.points, 500)
+        args.requests = min(args.requests, 40)
+        args.requests_per_client = min(args.requests_per_client, 10)
+        args.concurrency = [c for c in args.concurrency if c <= 8] or [1, 8]
+    if args.output is None:
+        args.output = (
+            DEFAULT_OUTPUT.with_suffix(".quick.json") if args.quick else DEFAULT_OUTPUT
+        )
+
+    report = run(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    we = report["scenarios"]["warm_engine"]
+    print(f"\nwarm engine : {we['cold_seconds']:.2f}s -> {we['warm_seconds']:.2f}s "
+          f"({we['speedup']:.2f}x over {we['requests']} single-row requests)")
+    for clients, cell in report["scenarios"]["batching"]["grid"].items():
+        off, on = cell["unbatched"], cell["batched"]
+        print(f"batching c={clients:>3}: {off['throughput_rps']:8.0f} -> "
+              f"{on['throughput_rps']:8.0f} req/s "
+              f"({cell['throughput_gain']:.2f}x), p99 "
+              f"{off['latency_p99_ms']:.2f} -> {on['latency_p99_ms']:.2f} ms, "
+              f"{on['requests_per_batch']:.1f} req/batch")
+    print(f"[saved to {args.output}]")
+    return report
+
+
+if __name__ == "__main__":
+    main()

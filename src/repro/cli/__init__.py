@@ -2,9 +2,11 @@
 
 * ``plssvm-train`` — :mod:`repro.cli.train` (svm-train compatible flags);
 * ``plssvm-predict`` — :mod:`repro.cli.predict`;
+* ``plssvm-serve`` — :mod:`repro.cli.serve`, the micro-batching JSON
+  HTTP inference server over :mod:`repro.serve`;
 * ``plssvm-scale`` — :mod:`repro.cli.scale`;
 * ``plssvm-generate-data`` — :mod:`repro.cli.generate_data`, the Python
   port of PLSSVM's ``generate_data.py`` utility script.
 """
 
-__all__ = ["train", "predict", "scale", "generate_data"]
+__all__ = ["train", "predict", "serve", "scale", "generate_data"]

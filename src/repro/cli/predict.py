@@ -2,7 +2,15 @@
 
 Mirrors ``svm-predict``: reads test data and a model file, writes one
 predicted label per line, and prints the accuracy when the test file
-carries ground-truth labels.
+carries ground-truth labels. Unlabeled test files (rows starting
+directly with ``index:value`` entries) still get their predictions
+written — the accuracy line is simply skipped, like ``svm-predict``
+given placeholder labels.
+
+Prediction routes through :class:`repro.serve.PredictionEngine` — the
+same warm tile-pipeline path the ``plssvm-serve`` server uses (threaded
+sweeps, precomputed RBF norms, optional mixed precision) — instead of
+the naive full-matrix evaluation the CLI used before.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 
 from ..core.model import load_model
 from ..io.libsvm_format import read_libsvm_file
+from ..serve.engine import PredictionEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -32,6 +41,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="predictions output (default: <test_file>.predict)",
     )
+    parser.add_argument(
+        "--solver-threads",
+        type=int,
+        default=None,
+        help="worker threads for the prediction tile sweeps "
+        "(default: PLSSVM_NUM_THREADS / CPU count)",
+    )
+    parser.add_argument(
+        "--compute-dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="mixed precision: evaluate kernel tiles in this dtype while "
+        "decision values accumulate in the model precision",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -42,21 +65,35 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     model = load_model(args.model_file)
     X, y = read_libsvm_file(args.test_file, num_features=model.num_features)
-    predictions = model.predict(X)
+    engine = PredictionEngine(
+        model,
+        solver_threads=args.solver_threads,
+        compute_dtype=args.compute_dtype,
+    )
+    predictions = engine.predict(X)
 
     with open(output_path, "w", encoding="ascii") as f:
         for label in predictions:
             value = float(label)
             f.write(f"{int(value)}\n" if value.is_integer() else f"{value:g}\n")
 
-    accuracy = float(np.mean(predictions == y))
-    correct = int(np.count_nonzero(predictions == y))
-    print(
-        f"Accuracy = {accuracy * 100:.4f}% ({correct}/{len(y)}) (classification)"
-    )
+    labeled = np.asarray(y).size > 0 and not np.isnan(y).any()
+    if labeled:
+        accuracy = float(np.mean(predictions == y))
+        correct = int(np.count_nonzero(predictions == y))
+        print(
+            f"Accuracy = {accuracy * 100:.4f}% ({correct}/{len(y)}) (classification)"
+        )
+    else:
+        print(
+            f"{len(predictions)} predictions written (test file has no "
+            f"labels; accuracy skipped)"
+        )
     if args.verbose:
         print(f"model: {model.num_support_vectors} support vectors, "
               f"{model.param.describe()}")
+        print(f"engine: {engine.pipeline.compute_dtype.name} tiles, "
+              f"{engine.nbytes / 1e6:.1f} MB warm")
     return 0
 
 

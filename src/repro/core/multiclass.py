@@ -287,9 +287,69 @@ class OneVsAllLSSVC(_MulticlassBase):
         )
         return self
 
+    def _shared_predict_state(self):
+        """Stacked coefficients when every machine shares one support set.
+
+        The shared block solve gives all K machines the *same* support
+        vector array (one object); their decision values then differ only
+        by alpha column and bias, so the whole ensemble's decision matrix
+        is one cross-kernel sweep ``K(X, SV) @ A + b`` — the serving-side
+        twin of the training-side "one assembly, one block solve"
+        optimization — instead of K independent kernel evaluations.
+        Returns ``None`` when the machines do not share a support set
+        (custom factory / legacy per-class fits with reordered rows).
+        """
+        models = [getattr(m, "model_", None) for m in self.machines_]
+        if not models or any(mod is None for mod in models):
+            return None
+        sv = models[0].support_vectors
+        if any(mod.support_vectors is not sv for mod in models[1:]):
+            return None
+        cached = getattr(self, "_predict_state", None)
+        if cached is not None and cached[0] is sv and len(cached[2]) == len(models):
+            return cached
+        param = models[0].param
+        A = np.column_stack([mod.alpha for mod in models])
+        biases = np.asarray([mod.bias for mod in models], dtype=param.dtype)
+        if param.kernel is KernelType.LINEAR:
+            pipeline = None
+            W = np.column_stack([mod.weight_vector() for mod in models])
+        else:
+            from .tile_pipeline import TilePipeline
+
+            W = None
+            pipeline = TilePipeline(
+                sv,
+                param.kernel,
+                gamma=param.gamma,
+                degree=param.degree,
+                coef0=param.coef0,
+                num_threads=self.solver_threads,
+                cache_mb=0.0,
+                dtype=param.dtype,
+                compute_dtype=self.compute_dtype,
+            )
+        state = (sv, param, biases, A, W, pipeline)
+        self._predict_state = state
+        return state
+
     def decision_matrix(self, X: np.ndarray) -> np.ndarray:
-        """Per-class decision values, shape ``(len(X), num_classes)``."""
+        """Per-class decision values, shape ``(len(X), num_classes)``.
+
+        When the machines share one support set (the default shared-solve
+        fit), all K columns come from a single warm tile-pipeline sweep;
+        otherwise each machine evaluates independently.
+        """
         self._require_fitted()
+        state = self._shared_predict_state()
+        if state is not None:
+            sv, param, biases, A, W, pipeline = state
+            Xd = np.asarray(X, dtype=param.dtype)
+            if Xd.ndim == 1:
+                Xd = Xd[None, :]
+            if W is not None:
+                return Xd @ W + biases
+            return pipeline.cross_sweep(Xd, A) + biases
         columns = [np.atleast_1d(m.decision_function(X)) for m in self.machines_]
         return np.column_stack(columns)
 

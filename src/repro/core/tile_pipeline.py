@@ -396,6 +396,107 @@ class TilePipeline:
             ctx.observe("sweep_seconds", span.dur)
         return result
 
+    def cross_sweep(
+        self,
+        Q: np.ndarray,
+        V: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        *,
+        tile_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Compute ``K(Q, points) @ V`` for a block of *query* rows ``Q``.
+
+        This is the serving-side counterpart of :meth:`sweep`: the column
+        side is still the pipeline's fixed point set (a model's support
+        vectors), but the rows are novel test points, so the tile cache
+        does not apply. What the warm pipeline still contributes is the
+        precomputed support-vector row norms (the ``b_sq`` half of the RBF
+        distance expansion), the points already cast to ``compute_dtype``,
+        and the shared worker pool — which is exactly the per-request work
+        a cold path would redo.
+
+        ``V`` may be a vector ``(n,)`` (one model's alphas) or a block
+        ``(n, k)`` (stacked alphas of k machines sharing the support set);
+        either way the cost is one pass over the query tiles. Results are
+        accumulated into the pipeline ``dtype``.
+        """
+        Q = np.asarray(Q)
+        if Q.ndim == 1:
+            Q = Q[None, :]
+        if Q.ndim != 2 or Q.shape[1] != self.points.shape[1]:
+            raise InvalidParameterError(
+                f"query block of shape {Q.shape} does not match "
+                f"{self.points.shape[1]} pipeline features"
+            )
+        n = self.points.shape[0]
+        V = np.asarray(V, dtype=self.dtype)
+        squeeze = V.ndim == 1
+        V2 = V[:, None] if squeeze else V
+        if V2.ndim != 2 or V2.shape[0] != n:
+            raise InvalidParameterError(
+                f"operand of shape {V.shape} does not match {n} pipeline rows"
+            )
+        Qc = np.ascontiguousarray(Q, dtype=self.compute_dtype)
+        Vc = np.ascontiguousarray(V2, dtype=self.compute_dtype)
+        q, k = Qc.shape[0], Vc.shape[1]
+        expected = (q,) if squeeze else (q, k)
+        if out is None:
+            out2 = np.empty((q, k), dtype=self.dtype)
+            result = out2[:, 0] if squeeze else out2
+        else:
+            if not isinstance(out, np.ndarray) or out.shape != expected:
+                got = out.shape if isinstance(out, np.ndarray) else type(out).__name__
+                raise InvalidParameterError(
+                    f"out must be a numpy array of shape {expected} to receive "
+                    f"K(Q, points) @ V, got {got}"
+                )
+            if out.dtype != self.dtype:
+                raise InvalidParameterError(
+                    f"out must have dtype {self.dtype}, got {out.dtype}"
+                )
+            out2 = out[:, None] if squeeze else out
+            result = out
+
+        rows = int(tile_rows) if tile_rows is not None else self.tile_rows
+        if rows <= 0:
+            raise InvalidParameterError("tile_rows must be positive")
+        # Query-side norms for the RBF expansion; the support-side norms
+        # are the pipeline's precomputed ones.
+        q_norms = (
+            squared_row_norms(Qc) if self.kernel is KernelType.RBF else None
+        )
+        spans = [(start, min(start + rows, q)) for start in range(0, q, rows)]
+
+        def run(span_idx: int) -> None:
+            start, stop = spans[span_idx]
+            tile = kernel_matrix(
+                Qc[start:stop],
+                self._points_c,
+                self.kernel,
+                gamma=self.gamma,
+                degree=self.degree,
+                coef0=self.coef0,
+                a_sq=None if q_norms is None else q_norms[start:stop],
+                b_sq=self.row_norms,
+            )
+            out2[start:stop] = tile.astype(self.compute_dtype, copy=False) @ Vc
+
+        ctx = current_context()
+        with ctx.span("tile_sweep", tiles=len(spans), columns=k, rows=q, cross=True) as span:
+            if len(spans) == 1:
+                # A micro-batch is usually one tile; skip the pool hand-off.
+                run(0)
+            else:
+                self.pool.map_tasks(run, range(len(spans)))
+        self.sweeps += 1
+        with self._count_lock:
+            self.tiles_computed += len(spans)
+        ctx.inc("tile_sweeps")
+        ctx.inc("tiles_computed", len(spans))
+        if span is not None:
+            ctx.observe("sweep_seconds", span.dur)
+        return result
+
     def stats(self) -> dict:
         """Per-pipeline counters (scoped ones live on the telemetry context)."""
         out = {

@@ -23,6 +23,9 @@ __all__ = [
     "NotFittedError",
     "DataError",
     "TelemetryError",
+    "ServingError",
+    "ServerOverloadedError",
+    "ModelNotFoundError",
 ]
 
 
@@ -127,3 +130,31 @@ class TelemetryError(PLSSVMError, ValueError):
     :class:`~repro.telemetry.TrainingReport` does not conform to the
     report schema — the CI smoke step turns this into a hard failure.
     """
+
+
+class ServingError(PLSSVMError, RuntimeError):
+    """Base class of the inference-serving subsystem's errors."""
+
+
+class ServerOverloadedError(ServingError):
+    """The micro-batcher's bounded queue is full; the request was rejected.
+
+    This is the serving layer's backpressure signal: admitting the request
+    would grow the queue past ``max_queue_rows``, so it is refused *before*
+    any work happens. The HTTP front-end maps it to ``503`` with a
+    ``Retry-After`` hint; in-process callers should back off and resubmit.
+
+    Attributes
+    ----------
+    queued_rows / max_queue_rows:
+        Queue occupancy at rejection time, for the caller's logging.
+    """
+
+    def __init__(self, message: str, *, queued_rows: int = 0, max_queue_rows: int = 0) -> None:
+        super().__init__(message)
+        self.queued_rows = queued_rows
+        self.max_queue_rows = max_queue_rows
+
+
+class ModelNotFoundError(ServingError, KeyError):
+    """The requested model name is not registered with the serving registry."""

@@ -36,6 +36,12 @@ def read_libsvm_file(
         Pad/validate to this many columns (needed when test data misses
         trailing features the training data had). ``None`` infers the
         maximum index present.
+
+    Unlabeled rows — lines that start directly with an ``index:value``
+    feature entry, the common shape of real-world *test* files — are
+    accepted and reported as ``NaN`` labels, so prediction tooling can
+    distinguish "no ground truth" from any real label value. Training
+    entry points reject NaN labels downstream.
     """
     path = Path(path)
     labels: List[float] = []
@@ -47,15 +53,21 @@ def read_libsvm_file(
             if not line:
                 continue
             tokens = line.split()
-            try:
-                label = float(tokens[0])
-            except ValueError:
-                raise FileFormatError(
-                    f"{path}:{lineno}: malformed label {tokens[0]!r}"
-                ) from None
+            if ":" in tokens[0]:
+                # No leading label: the whole line is features (an
+                # unlabeled test row, mirroring svm-predict's tolerance).
+                label = float("nan")
+            else:
+                try:
+                    label = float(tokens[0])
+                except ValueError:
+                    raise FileFormatError(
+                        f"{path}:{lineno}: malformed label {tokens[0]!r}"
+                    ) from None
+                tokens = tokens[1:]
             entries: List[Tuple[int, float]] = []
             last_index = 0
-            for token in tokens[1:]:
+            for token in tokens:
                 idx_str, sep, val_str = token.partition(":")
                 if not sep:
                     raise FileFormatError(

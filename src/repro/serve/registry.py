@@ -1,0 +1,234 @@
+"""Multi-model registry: named models, warm-engine LRU, hot-swap reload.
+
+A serving process fronts many models but cannot keep them all warm: each
+warm :class:`~repro.serve.engine.PredictionEngine` pins the support-vector
+matrix (possibly twice, with a ``compute_dtype`` cast) plus norms in
+memory. The registry therefore separates the cheap part — *knowing* a
+model (a name bound to a file path or an in-memory model object) — from
+the expensive part — keeping its engine warm — and budgets only the
+latter: a byte-budgeted LRU over warm engines, the same idiom as the
+training side's :class:`~repro.core.tile_pipeline.TileCache` (evict
+least-recently-used until the newcomer fits; an engine alone larger than
+the whole budget is served cold-built but never retained).
+
+Hot swap is generation-tagged: every (re)registration bumps the name's
+generation, and :meth:`get` hands out a warm engine only when its
+generation matches the current registration — a reloaded model can never
+be served from the stale engine, while requests already in flight on the
+old engine object finish undisturbed (engines are immutable).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.model import LSSVMModel, load_model
+from ..exceptions import InvalidParameterError, ModelNotFoundError
+from .engine import PredictionEngine
+
+__all__ = ["ModelRegistry", "DEFAULT_REGISTRY_MB"]
+
+#: Default byte budget for warm engines (MiB) — roughly forty 4096x64
+#: float64 models; tune with ``ModelRegistry(budget_mb=...)``.
+DEFAULT_REGISTRY_MB = 512.0
+
+
+class _Registration:
+    """One name's current source and generation."""
+
+    __slots__ = ("source", "generation")
+
+    def __init__(self, source: Union[str, Path, LSSVMModel], generation: int) -> None:
+        self.source = source
+        self.generation = generation
+
+
+class ModelRegistry:
+    """Named models with a byte-budgeted LRU of warm engines.
+
+    Parameters
+    ----------
+    budget_mb:
+        Byte budget (MiB) for *warm engines* (not registrations, which
+        are a name and a path). ``0`` keeps nothing warm — every ``get``
+        builds a throwaway engine, which still works but forfeits the
+        amortization.
+    solver_threads / compute_dtype / tile_rows:
+        Forwarded to every engine built by this registry.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget_mb: float = DEFAULT_REGISTRY_MB,
+        solver_threads: Optional[int] = None,
+        compute_dtype=None,
+        tile_rows: int = 1024,
+    ) -> None:
+        if budget_mb < 0:
+            raise InvalidParameterError("budget_mb must be non-negative")
+        self.budget_bytes = int(budget_mb * 1024 * 1024)
+        self._engine_kwargs = {
+            "solver_threads": solver_threads,
+            "compute_dtype": compute_dtype,
+            "tile_rows": tile_rows,
+        }
+        self._registrations: Dict[str, _Registration] = {}
+        self._warm: "OrderedDict[str, PredictionEngine]" = OrderedDict()
+        self._warm_bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversized = 0
+        self.reloads = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, source: Union[str, Path, LSSVMModel]) -> int:
+        """Bind ``name`` to a model file path or an in-memory model.
+
+        Re-registering an existing name is the hot-swap path: the
+        generation is bumped and any warm engine of the old generation is
+        dropped, so the next request is served by the new model. Returns
+        the new generation.
+        """
+        if not name:
+            raise InvalidParameterError("model name must be non-empty")
+        if not isinstance(source, (str, Path, LSSVMModel)):
+            raise InvalidParameterError(
+                "model source must be a path or an LSSVMModel, "
+                f"got {type(source).__name__}"
+            )
+        with self._lock:
+            current = self._registrations.get(name)
+            generation = current.generation + 1 if current is not None else 0
+            self._registrations[name] = _Registration(source, generation)
+            if current is not None:
+                self.reloads += 1
+            stale = self._warm.pop(name, None)
+            if stale is not None:
+                self._warm_bytes -= stale.nbytes
+            return generation
+
+    #: Hot-swap alias: re-register under the same name.
+    reload = register
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if name not in self._registrations:
+                raise ModelNotFoundError(name)
+            del self._registrations[name]
+            stale = self._warm.pop(name, None)
+            if stale is not None:
+                self._warm_bytes -= stale.nbytes
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> PredictionEngine:
+        """The warm engine for ``name``, building (and caching) on miss.
+
+        The returned engine always carries the *current* generation: a
+        warm engine left over from before a :meth:`reload` can never be
+        handed out.
+        """
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                raise ModelNotFoundError(name)
+            warm = self._warm.get(name)
+            if warm is not None and warm.generation == registration.generation:
+                self.hits += 1
+                self._warm.move_to_end(name)
+                return warm
+            self.misses += 1
+            # Build under the lock: concurrent misses for the same model
+            # would otherwise race to load it twice. Registries front
+            # few, rarely-cold models, so the simplicity wins.
+            source = registration.source
+            model = source if isinstance(source, LSSVMModel) else load_model(source)
+            engine = PredictionEngine(
+                model,
+                name=name,
+                generation=registration.generation,
+                **self._engine_kwargs,
+            )
+            self._admit(name, engine)
+            return engine
+
+    def _admit(self, name: str, engine: PredictionEngine) -> None:
+        """LRU admission under the byte budget (lock held)."""
+        nbytes = engine.nbytes
+        if nbytes > self.budget_bytes:
+            # Retaining it would pin the set over budget forever; serve
+            # this engine cold-built, keep the LRU intact.
+            self.oversized += 1
+            return
+        stale = self._warm.pop(name, None)
+        if stale is not None:
+            self._warm_bytes -= stale.nbytes
+        self._warm[name] = engine
+        self._warm_bytes += nbytes
+        while self._warm_bytes > self.budget_bytes:
+            _, evicted = self._warm.popitem(last=False)
+            self._warm_bytes -= evicted.nbytes
+            self.evictions += 1
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def warm_bytes(self) -> int:
+        with self._lock:
+            return self._warm_bytes
+
+    @property
+    def warm_models(self) -> List[str]:
+        with self._lock:
+            return list(self._warm)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._registrations
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._registrations)
+
+    def models(self) -> List[dict]:
+        """JSON-ready per-model summaries for the ``/models`` endpoint."""
+        with self._lock:
+            out = []
+            for name, registration in sorted(self._registrations.items()):
+                warm = self._warm.get(name)
+                entry = {
+                    "name": name,
+                    "generation": registration.generation,
+                    "warm": warm is not None
+                    and warm.generation == registration.generation,
+                    "source": (
+                        str(registration.source)
+                        if not isinstance(registration.source, LSSVMModel)
+                        else "<in-memory>"
+                    ),
+                }
+                if warm is not None:
+                    entry.update(warm.describe())
+                out.append(entry)
+            return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "registered": len(self._registrations),
+                "warm": len(self._warm),
+                "warm_bytes": self._warm_bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "oversized": self.oversized,
+                "reloads": self.reloads,
+            }

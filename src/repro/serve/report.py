@@ -1,0 +1,257 @@
+"""The structured serving report and the ``/metrics`` schema.
+
+The serving analogue of :class:`repro.telemetry.TrainingReport`: where a
+training report attributes one fit's counters and spans, a
+:class:`ServingReport` snapshots one *server's* lifetime — request /
+batch / rejection counters, latency histograms (request wall time, batch
+wait, sweep seconds), queue gauges, registry occupancy, and per-model
+summaries. ``/metrics`` serves exactly :meth:`ServingReport.as_dict`,
+and :func:`validate_serving_report` checks the shape the same hand-rolled
+way ``validate_report`` does (no third-party jsonschema), so the CI
+serving-smoke job can hard-fail on drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import TelemetryError
+
+__all__ = [
+    "ServingReport",
+    "SERVING_REPORT_SCHEMA",
+    "SERVING_REPORT_SCHEMA_VERSION",
+    "validate_serving_report",
+    "build_serving_report",
+]
+
+#: Version stamp written into every serving report.
+SERVING_REPORT_SCHEMA_VERSION = 1
+
+#: Required top-level keys -> type spec (same conventions as REPORT_SCHEMA).
+SERVING_REPORT_SCHEMA: Dict[str, object] = {
+    "schema_version": int,
+    "server": str,
+    "uptime_seconds": (int, float),
+    "policy": dict,
+    "counters": dict,
+    "latency": dict,
+    "queue": dict,
+    "registry": dict,
+    "models": list,
+}
+
+#: Counter keys every serving report must carry.
+_REQUIRED_COUNTERS = (
+    "serve_requests",
+    "serve_rows",
+    "serve_rows_submitted",
+    "serve_batches",
+    "serve_batched_requests",
+    "serve_rejected",
+    "tile_sweeps",
+)
+
+#: Histogram keys every serving report must carry under "latency".
+_REQUIRED_LATENCY = (
+    "serve_request_seconds",
+    "serve_wait_seconds",
+    "serve_batch_rows",
+    "sweep_seconds",
+)
+
+_HISTOGRAM_FIELDS = ("count", "total", "mean", "min", "max")
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise TelemetryError(message)
+
+
+def validate_serving_report(data: Union[dict, str]) -> dict:
+    """Validate a serialized serving report / ``/metrics`` payload.
+
+    Accepts the parsed dict or a JSON string; returns the parsed dict on
+    success, raises :class:`~repro.exceptions.TelemetryError` naming the
+    first violation otherwise.
+    """
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(f"serving report is not valid JSON: {exc}") from exc
+    _check(isinstance(data, dict), "serving report must be a JSON object")
+    for key, spec in SERVING_REPORT_SCHEMA.items():
+        _check(key in data, f"serving report missing required key {key!r}")
+        if spec in (list, dict):
+            _check(
+                isinstance(data[key], spec),
+                f"serving report key {key!r} must be a {spec.__name__}",
+            )
+        else:
+            _check(
+                isinstance(data[key], spec)
+                and not (spec is int and isinstance(data[key], bool)),
+                f"serving report key {key!r} has wrong type "
+                f"{type(data[key]).__name__}",
+            )
+    _check(
+        data["schema_version"] == SERVING_REPORT_SCHEMA_VERSION,
+        f"unsupported schema_version {data['schema_version']!r} "
+        f"(expected {SERVING_REPORT_SCHEMA_VERSION})",
+    )
+    for key in _REQUIRED_COUNTERS:
+        _check(key in data["counters"], f"serving counters missing key {key!r}")
+        _check(
+            isinstance(data["counters"][key], (int, float)),
+            f"serving counter {key!r} must be numeric",
+        )
+    for key in _REQUIRED_LATENCY:
+        _check(key in data["latency"], f"serving latency missing key {key!r}")
+        hist = data["latency"][key]
+        _check(isinstance(hist, dict), f"serving latency {key!r} must be an object")
+        for field in _HISTOGRAM_FIELDS:
+            _check(
+                field in hist and isinstance(hist[field], (int, float)),
+                f"serving latency {key!r} missing numeric field {field!r}",
+            )
+    for key in ("depth_rows", "max_queue_rows"):
+        _check(
+            key in data["queue"] and isinstance(data["queue"][key], (int, float)),
+            f"serving queue missing numeric key {key!r}",
+        )
+    for i, model in enumerate(data["models"]):
+        _check(isinstance(model, dict), f"models[{i}] must be an object")
+        for key in ("name", "generation", "warm"):
+            _check(key in model, f"models[{i}] missing key {key!r}")
+    return data
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Snapshot of one server's serving telemetry.
+
+    Attributes
+    ----------
+    server:
+        Label of the serving context (host:port for the HTTP server).
+    uptime_seconds:
+        Seconds since the serving context's epoch.
+    policy:
+        The active :class:`~repro.serve.batcher.BatchPolicy` knobs.
+    counters:
+        Serving counters scoped to this server (requests, rows, batches,
+        coalesced requests, rejections, tile sweeps).
+    latency:
+        Histogram snapshots (count/total/mean/min/max) of request wall
+        time, batch wait, batch size, and sweep seconds.
+    queue / registry / models:
+        Queue occupancy, warm-engine LRU stats, per-model summaries.
+    """
+
+    server: str
+    uptime_seconds: float
+    policy: Dict[str, object]
+    counters: Dict[str, float]
+    latency: Dict[str, Dict[str, float]]
+    queue: Dict[str, float]
+    registry: Dict[str, object]
+    models: List[dict]
+    schema_version: int = SERVING_REPORT_SCHEMA_VERSION
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "server": self.server,
+            "uptime_seconds": self.uptime_seconds,
+            "policy": dict(self.policy),
+            "counters": dict(self.counters),
+            "latency": {k: dict(v) for k, v in self.latency.items()},
+            "queue": dict(self.queue),
+            "registry": dict(self.registry),
+            "models": list(self.models),
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, default=_jsonify)
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+
+def _jsonify(value):
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def _histogram_snapshot(ctx, name: str) -> Dict[str, float]:
+    return ctx.metrics.histogram(name).snapshot()
+
+
+def build_serving_report(
+    ctx,
+    *,
+    server: str,
+    policy,
+    registry=None,
+    queue_rows: int = 0,
+    models: Optional[List[dict]] = None,
+) -> ServingReport:
+    """Assemble a :class:`ServingReport` from a live serving context.
+
+    Parameters
+    ----------
+    ctx:
+        The server's aggregate :class:`~repro.telemetry.TelemetryContext`.
+    server:
+        Display label (e.g. ``"127.0.0.1:8000"``).
+    policy:
+        The active :class:`~repro.serve.batcher.BatchPolicy`.
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry`, when serving
+        from one (its stats and model list land in the report).
+    queue_rows:
+        Current queued-row count across batchers.
+    models:
+        Explicit model summaries; defaults to ``registry.models()``.
+    """
+    counters = {
+        "serve_requests": ctx.metrics.value("serve_requests"),
+        "serve_rows": ctx.metrics.value("serve_rows"),
+        "serve_rows_submitted": ctx.metrics.value("serve_rows_submitted"),
+        "serve_batches": ctx.metrics.value("serve_batches"),
+        "serve_batched_requests": ctx.metrics.value("serve_batched_requests"),
+        "serve_rejected": ctx.metrics.value("serve_rejected"),
+        "serve_errors": ctx.metrics.value("serve_errors"),
+        "tile_sweeps": ctx.metrics.value("tile_sweeps"),
+        "tiles_computed": ctx.metrics.value("tiles_computed"),
+    }
+    latency = {
+        name: _histogram_snapshot(ctx, name)
+        for name in (
+            "serve_request_seconds",
+            "serve_wait_seconds",
+            "serve_batch_rows",
+            "serve_batch_requests",
+            "sweep_seconds",
+        )
+    }
+    return ServingReport(
+        server=server,
+        uptime_seconds=ctx.now(),
+        policy=policy.as_dict() if hasattr(policy, "as_dict") else dict(policy),
+        counters=counters,
+        latency=latency,
+        queue={
+            "depth_rows": int(queue_rows),
+            "max_queue_rows": int(getattr(policy, "max_queue_rows", 0)),
+        },
+        registry=registry.stats() if registry is not None else {},
+        models=models if models is not None else (registry.models() if registry else []),
+    )

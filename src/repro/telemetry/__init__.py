@@ -18,10 +18,12 @@ This package replaces the process-global ``solver_counters()`` singleton
 from .context import (
     Span,
     TelemetryContext,
+    activate,
     current_context,
     fit_scope,
     reset_root_context,
     root_context,
+    scope,
 )
 from .metrics import (
     SOLVER_COUNTER_NAMES,
@@ -42,8 +44,10 @@ from .report import (
 __all__ = [
     "Span",
     "TelemetryContext",
+    "activate",
     "current_context",
     "fit_scope",
+    "scope",
     "root_context",
     "reset_root_context",
     "Counter",

@@ -45,6 +45,8 @@ __all__ = [
     "root_context",
     "reset_root_context",
     "fit_scope",
+    "scope",
+    "activate",
 ]
 
 
@@ -295,20 +297,24 @@ def current_context() -> TelemetryContext:
 
 
 @contextlib.contextmanager
-def fit_scope(
-    name: str = "fit",
+def scope(
+    name: str = "scope",
     *,
+    parent: Optional[TelemetryContext] = None,
     max_spans: int = 20000,
     **attrs,
 ) -> Iterator[TelemetryContext]:
-    """Activate a fresh fit-scoped context for the duration of the block.
+    """Activate a fresh context for the duration of the block.
 
-    The new context's parent is whatever context is active here (another
-    fit's context for nested estimators, else the process root), so
-    metrics keep bubbling into the global aggregate while spans and
-    events stay private to this fit.
+    ``parent`` defaults to whatever context is active here (another scope
+    for nested estimators, else the process root); passing one explicitly
+    lets long-lived aggregates — the serving subsystem's per-server
+    context — adopt short-lived children (one per request) created on
+    arbitrary handler threads, so metrics keep bubbling into the right
+    aggregate while spans and events stay private to the child.
     """
-    parent = _ACTIVE.get() or _ROOT
+    if parent is None:
+        parent = _ACTIVE.get() or _ROOT
     ctx = TelemetryContext(name, parent=parent, max_spans=max_spans, attrs=attrs)
     token = _ACTIVE.set(ctx)
     span_token = _CURRENT_SPAN.set(ctx.root_span)
@@ -319,3 +325,39 @@ def fit_scope(
         ctx.root_span.dur += time.perf_counter() - start
         _CURRENT_SPAN.reset(span_token)
         _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def activate(ctx: TelemetryContext) -> Iterator[TelemetryContext]:
+    """Make an *existing* context current for the duration of the block.
+
+    :func:`scope` creates a context per block; worker threads that serve
+    one long-lived context (the micro-batcher's flush thread reporting
+    into the server's aggregate) instead re-enter it here. The context's
+    root span is *not* re-timed — only ownership of
+    :func:`current_context` changes on this thread.
+    """
+    token = _ACTIVE.set(ctx)
+    span_token = _CURRENT_SPAN.set(ctx.root_span)
+    try:
+        yield ctx
+    finally:
+        _CURRENT_SPAN.reset(span_token)
+        _ACTIVE.reset(token)
+
+
+def fit_scope(
+    name: str = "fit",
+    *,
+    max_spans: int = 20000,
+    **attrs,
+):
+    """Activate a fresh fit-scoped context for the duration of the block.
+
+    The new context's parent is whatever context is active here (another
+    fit's context for nested estimators, else the process root), so
+    metrics keep bubbling into the global aggregate while spans and
+    events stay private to this fit. Alias of :func:`scope` kept for the
+    training-side call sites and their name in reports.
+    """
+    return scope(name, max_spans=max_spans, **attrs)

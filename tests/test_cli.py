@@ -105,6 +105,35 @@ class TestPredict:
         assert len(lines) == 96
         assert set(lines) <= {"1", "-1"}
 
+    def test_unlabeled_test_file_skips_accuracy(self, data_file, tmp_path, capsys):
+        """Real-world test files often carry no labels; prediction must
+        still write one label per row instead of crashing."""
+        model_path = tmp_path / "m.model"
+        train_main([str(data_file), str(model_path)])
+        X, _ = read_libsvm_file(data_file, num_features=8)
+        unlabeled = tmp_path / "test.libsvm"
+        with open(unlabeled, "w") as f:
+            for row in X[:20]:
+                f.write(
+                    " ".join(f"{i}:{v:.17g}" for i, v in enumerate(row, 1) if v)
+                    + "\n"
+                )
+        out = tmp_path / "test.predict"
+        capsys.readouterr()
+        rc = predict_main([str(unlabeled), str(model_path), str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Accuracy" not in text
+        assert "accuracy skipped" in text
+        lines = out.read_text().split()
+        assert len(lines) == 20
+        assert set(lines) <= {"1", "-1"}
+        # Predictions match the labeled path over the same rows.
+        labeled_model = load_model(model_path)
+        assert np.array_equal(
+            np.array([float(v) for v in lines]), labeled_model.predict(X[:20])
+        )
+
     def test_training_accuracy_is_high(self, data_file, tmp_path, capsys):
         model_path = tmp_path / "m.model"
         train_main([str(data_file), str(model_path)])
