@@ -29,23 +29,31 @@ Package map
 from .core import (
     LSSVC,
     LSSVR,
+    SOLVER_STRATEGIES,
     BlockCGResult,
     CGCheckpoint,
     CGResult,
+    FeatureMapModel,
+    FourierFeatureMap,
     JacobiPrecond,
     LSSVMModel,
     NystromPrecond,
     OneVsAllLSSVC,
     OneVsOneLSSVC,
     Preconditioner,
+    SolverInfo,
     SparseLSSVC,
     WeightedLSSVC,
     clone,
     conjugate_gradient,
     conjugate_gradient_block,
+    default_solver_rank,
+    fit_reduced_set,
+    fit_rff_primal,
     make_preconditioner,
     resilient_solve,
     rpcholesky,
+    solve_nystrom,
 )
 from .parameter import Parameter
 from .telemetry import TelemetryContext, TrainingReport, fit_scope, validate_report
@@ -57,6 +65,14 @@ __all__ = [
     "LSSVC",
     "LSSVR",
     "LSSVMModel",
+    "FeatureMapModel",
+    "SOLVER_STRATEGIES",
+    "SolverInfo",
+    "FourierFeatureMap",
+    "default_solver_rank",
+    "fit_reduced_set",
+    "fit_rff_primal",
+    "solve_nystrom",
     "OneVsAllLSSVC",
     "OneVsOneLSSVC",
     "WeightedLSSVC",

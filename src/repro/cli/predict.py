@@ -90,10 +90,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"labels; accuracy skipped)"
         )
     if args.verbose:
-        print(f"model: {model.num_support_vectors} support vectors, "
-              f"{model.param.describe()}")
-        print(f"engine: {engine.pipeline.compute_dtype.name} tiles, "
-              f"{engine.nbytes / 1e6:.1f} MB warm")
+        if engine.pipeline is None:
+            print(f"model: compact feature-map, rank {model.rank}, "
+                  f"{model.param.describe()}")
+            print(f"engine: primal fast path, "
+                  f"{engine.nbytes / 1e6:.1f} MB warm")
+        else:
+            print(f"model: {model.num_support_vectors} support vectors, "
+                  f"{model.param.describe()}")
+            print(f"engine: {engine.pipeline.compute_dtype.name} tiles, "
+                  f"{engine.nbytes / 1e6:.1f} MB warm")
     return 0
 
 

@@ -103,6 +103,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank of the nystrom approximation (default ~2*sqrt(m))",
     )
     parser.add_argument(
+        "--solver",
+        choices=["cg", "nystrom", "rff"],
+        default="cg",
+        help="solver strategy: cg (exact iterative solve), nystrom (direct "
+        "rank-r randomized solve, O(m*r) train time), rff (random Fourier "
+        "feature primal, RBF only; writes a compact O(r) model)",
+    )
+    parser.add_argument(
+        "--solver-rank",
+        type=int,
+        default=None,
+        metavar="R",
+        help="rank r of the randomized solver strategies "
+        "(default ~4*sqrt(m), capped at 1024)",
+    )
+    parser.add_argument(
+        "--solver-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for RPCholesky pivoting / Fourier feature sampling; "
+        "fixed seed makes randomized fits bit-reproducible (default 0)",
+    )
+    parser.add_argument(
+        "--polish-iters",
+        type=int,
+        default=0,
+        metavar="N",
+        help="warm-started exact-CG refinement iterations after the "
+        "nystrom direct solve (default 0)",
+    )
+    parser.add_argument(
         "--compute-dtype",
         choices=["float32", "float64"],
         default=None,
@@ -176,6 +208,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..simgpu.faults import parse_fault_plan
 
         fault_plan = parse_fault_plan(args.fault_plan)
+    # The randomized strategies are host-side direct solves: no CG loop to
+    # offload, so the backend machinery (and the CG-only knobs) stays off.
+    randomized = args.solver != "cg"
+    if randomized:
+        conflicts = []
+        if precondition is not None:
+            conflicts.append("--precondition")
+        if fault_plan is not None:
+            conflicts.append("--fault-plan")
+        if args.checkpoint_interval is not None:
+            conflicts.append("--checkpoint-interval")
+        if conflicts:
+            print(
+                f"error: {', '.join(conflicts)} only applies to --solver cg",
+                file=sys.stderr,
+            )
+            return 2
     clf = LSSVC(
         kernel=_parse_kernel(args.kernel_type),
         C=args.cost,
@@ -184,18 +233,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         coef0=args.coef0,
         epsilon=args.epsilon,
         max_iter=args.max_iter,
-        backend=args.backend,
+        backend=None if randomized else args.backend,
         target=args.target_platform,
         n_devices=args.num_devices,
         dtype=np.float32 if args.float32 else np.float64,
-        precondition=precondition,
+        precondition=None if randomized else precondition,
         precond_rank=args.precond_rank,
         solver_threads=args.solver_threads,
         tile_cache_mb=args.tile_cache_mb,
         compute_dtype=args.compute_dtype,
-        fault_plan=fault_plan,
-        checkpoint_interval=args.checkpoint_interval,
+        fault_plan=None if randomized else fault_plan,
+        checkpoint_interval=None if randomized else args.checkpoint_interval,
         max_retries=args.max_retries,
+        solver=args.solver,
+        solver_rank=args.solver_rank,
+        solver_seed=args.solver_seed,
+        polish_iters=args.polish_iters,
     )
     with clf.timings_.section("read"):
         X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
@@ -260,6 +313,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verbose:
         print(f"backend: {clf._resolve_backend().describe() if clf.backend else 'numpy reference'}")
         print(f"parameters: {clf.param.describe()}")
+        solver_info = report.as_dict()["solver"]
+        if solver_info["strategy"] != "cg":
+            print(
+                f"solver: {solver_info['strategy']} (rank "
+                f"{solver_info['rank']}, setup "
+                f"{solver_info['setup_seconds']:.3f}s, "
+                f"{clf.iterations_} polish iterations)"
+            )
         print(f"CG iterations: {clf.iterations_}")
         print(f"final relative residual: {clf.result_.residual:.3e}")
         if counters["precond_setups"]:
@@ -277,10 +338,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{counters['cache_evictions']} evictions)"
             )
         print(clf.timings_.report())
-    print(
-        f"trained on {X.shape[0]} points x {X.shape[1]} features "
-        f"-> {Path(model_path).name} ({clf.iterations_} CG iterations)"
-    )
+    if randomized:
+        print(
+            f"trained on {X.shape[0]} points x {X.shape[1]} features "
+            f"-> {Path(model_path).name} ({args.solver} direct solve, "
+            f"rank {report.as_dict()['solver']['rank']})"
+        )
+    else:
+        print(
+            f"trained on {X.shape[0]} points x {X.shape[1]} features "
+            f"-> {Path(model_path).name} ({clf.iterations_} CG iterations)"
+        )
     return 0
 
 

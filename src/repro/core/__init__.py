@@ -11,8 +11,10 @@ everything else in this package is the machinery behind its ``fit``:
 * :mod:`repro.core.precond` — CG preconditioners: Jacobi diagonal scaling
   and the randomized Nyström (randomly pivoted partial Cholesky) low-rank
   preconditioner.
-* :mod:`repro.core.model` — the trained-model container plus LIBSVM-format
-  model file serialization.
+* :mod:`repro.core.model` — the trained-model containers (full-support
+  and compact feature-map) plus LIBSVM/compact model file serialization.
+* :mod:`repro.core.solvers` — the solver-strategy layer: exact CG, the
+  direct rank-r Nyström solve, and the random Fourier feature primal.
 * :mod:`repro.core.lssvm` — the high-level classifier.
 """
 
@@ -41,11 +43,21 @@ from .precond import (
 from .estimator import ParamsMixin, clone
 from .tile_pipeline import TileCache, TilePipeline
 from .lssvm import LSSVC
-from .model import LSSVMModel
+from .model import FeatureMapModel, LSSVMModel
 from .multiclass import OneVsAllLSSVC, OneVsOneLSSVC
 from .qmatrix import ExplicitQMatrix, ImplicitQMatrix, build_reduced_system
 from .regression import LSSVR
 from .resilience import resilient_solve
+from .solvers import (
+    SOLVER_STRATEGIES,
+    FourierFeatureMap,
+    SolverInfo,
+    default_solver_rank,
+    fit_reduced_set,
+    fit_rff_primal,
+    sample_fourier_features,
+    solve_nystrom,
+)
 from .sparse_approx import SparseLSSVC
 from .weighted import WeightedLSSVC, hampel_weights
 
@@ -72,6 +84,15 @@ __all__ = [
     "LSSVC",
     "LSSVR",
     "LSSVMModel",
+    "FeatureMapModel",
+    "SOLVER_STRATEGIES",
+    "SolverInfo",
+    "FourierFeatureMap",
+    "default_solver_rank",
+    "fit_reduced_set",
+    "fit_rff_primal",
+    "sample_fourier_features",
+    "solve_nystrom",
     "ParamsMixin",
     "clone",
     "OneVsAllLSSVC",

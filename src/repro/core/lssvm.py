@@ -31,10 +31,16 @@ from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import BackendType, KernelType, TargetPlatform
 from .cg import CGResult, conjugate_gradient
 from .estimator import ParamsMixin
-from .model import LSSVMModel
+from .model import FeatureMapModel, LSSVMModel
 from .precond import make_preconditioner
 from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
 from .resilience import resilient_solve
+from .solvers import (
+    SolverInfo,
+    fit_rff_primal,
+    resolve_solver,
+    solve_nystrom,
+)
 
 __all__ = ["LSSVC", "encode_labels", "decode_labels"]
 
@@ -103,6 +109,23 @@ class LSSVC(ParamsMixin):
     implicit:
         Force the matrix-free (``True``) or explicit (``False``) reduced
         system on the NumPy path; ``None`` selects by problem size.
+    solver:
+        Solver strategy: ``"cg"`` (exact, the default), ``"nystrom"``
+        (direct rank-``r`` Woodbury solve of the RPCholesky-factored
+        reduced system — O(m·r) training, no outer CG), or ``"rff"``
+        (random Fourier feature primal for the RBF kernel — O(m·r)
+        training *and* a compact O(r) model; see
+        :mod:`repro.core.solvers`).
+    solver_rank:
+        Rank ``r`` of the randomized strategies; ``None`` picks
+        :func:`repro.core.solvers.default_solver_rank` (~``4 sqrt(m)``).
+    solver_seed:
+        Single seed driving *all* of a randomized fit's sampling
+        (RPCholesky pivots / RFF frequencies) — equal seeds give
+        bit-identical fits.
+    polish_iters:
+        ``solver="nystrom"`` only: run this many warm-started exact-CG
+        iterations from the direct solution (0 = pure direct solve).
     precondition:
         CG preconditioner: ``None`` (plain CG), ``"jacobi"`` (diagonal
         scaling), ``"nystrom"`` (randomized low-rank kernel approximation
@@ -169,6 +192,10 @@ class LSSVC(ParamsMixin):
         n_devices: int = 1,
         dtype=np.float64,
         implicit: Optional[bool] = None,
+        solver: str = "cg",
+        solver_rank: Optional[int] = None,
+        solver_seed: Union[None, int, np.random.Generator] = 0,
+        polish_iters: int = 0,
         precondition: Union[None, str, object] = None,
         precond_rank: Optional[int] = None,
         precond_rng: Union[None, int, np.random.Generator] = 0,
@@ -196,6 +223,10 @@ class LSSVC(ParamsMixin):
         self.target = target
         self.n_devices = n_devices
         self.implicit = implicit
+        self.solver = solver
+        self.solver_rank = solver_rank
+        self.solver_seed = solver_seed
+        self.polish_iters = polish_iters
         self.precondition = precondition
         self.precond_rank = precond_rank
         self.precond_rng = precond_rng
@@ -208,7 +239,7 @@ class LSSVC(ParamsMixin):
         self.checkpoint_interval = checkpoint_interval
         self.max_retries = max_retries
         self._sync_params()
-        self.model_: Optional[LSSVMModel] = None
+        self.model_: Union[None, LSSVMModel, FeatureMapModel] = None
         self.result_: Optional[CGResult] = None
         self.report_: Optional[TrainingReport] = None
         self.timings_: ComponentTimer = ComponentTimer()
@@ -263,6 +294,43 @@ class LSSVC(ParamsMixin):
                 )
         if self.sparse and self.backend is not None:
             raise DataError("sparse CG runs on the NumPy path; use backend=None")
+        self.solver = resolve_solver(self.solver)
+        if self.polish_iters < 0:
+            raise InvalidParameterError("polish_iters must be >= 0")
+        self.polish_iters = int(self.polish_iters)
+        if self.solver_rank is not None and self.solver_rank < 1:
+            raise InvalidParameterError("solver_rank must be positive")
+        if self.solver != "cg":
+            if self.fault_plan is not None or self.checkpoint_interval is not None:
+                raise InvalidParameterError(
+                    "fault_plan/checkpoint_interval require the resilient CG "
+                    f"driver; solver={self.solver!r} is a direct randomized solve"
+                )
+            if self.precondition is not None or self.jacobi:
+                raise InvalidParameterError(
+                    f"precondition applies to solver='cg' only; solver="
+                    f"{self.solver!r} has no outer CG (use polish_iters for "
+                    "refinement)"
+                )
+            if self.sparse:
+                raise InvalidParameterError(
+                    "sparse CG and the randomized solvers are exclusive paths"
+                )
+        if self.polish_iters and self.solver != "nystrom":
+            raise InvalidParameterError(
+                "polish_iters refines the nystrom direct solve; it does not "
+                f"apply to solver={self.solver!r}"
+            )
+        if self.solver == "rff":
+            if self.param.kernel is not KernelType.RBF:
+                raise InvalidParameterError(
+                    "solver='rff' maps the RBF kernel only "
+                    f"(got kernel={self.param.kernel})"
+                )
+            if self.backend is not None:
+                raise InvalidParameterError(
+                    "solver='rff' is a host-side primal solve; use backend=None"
+                )
         self._backend_instance = None
 
     # -- backend plumbing ---------------------------------------------------
@@ -329,62 +397,10 @@ class LSSVC(ParamsMixin):
             with self.timings_.section("total"):
                 X = np.asarray(X, dtype=self.param.dtype)
                 y_enc, labels = encode_labels(y)
-                # Backends transform the data into their device layout here
-                # (the paper's "transform" component); the plain NumPy path's
-                # operator setup is accounted separately as "assembly".
-                setup_section = "transform" if self.backend is not None else "assembly"
-                with self.timings_.section(setup_section), ctx.span(setup_section):
-                    qmat, rhs = self._build_operator(X, y_enc)
-                # Preconditioner setup is solver work (it trades setup time
-                # for iterations), so it is accounted inside the paper's cg
-                # section.
-                with self.timings_.section("cg"):
-                    precond = make_preconditioner(
-                        qmat,
-                        self.precondition,
-                        rank=self.precond_rank,
-                        rng=self.precond_rng,
-                    )
-                    if (
-                        self.fault_plan is not None
-                        or self.checkpoint_interval is not None
-                    ):
-                        # Fault-tolerant driving: checkpointed CG plus
-                        # transient retry and device-loss redistribution.
-                        solve_kwargs = {}
-                        if self.checkpoint_interval is not None:
-                            solve_kwargs["checkpoint_interval"] = (
-                                self.checkpoint_interval
-                            )
-                        result = resilient_solve(
-                            qmat,
-                            rhs,
-                            epsilon=self.param.epsilon,
-                            max_iter=self.param.max_iter,
-                            preconditioner=precond,
-                            max_retries=self.max_retries,
-                            **solve_kwargs,
-                        )
-                    else:
-                        result = conjugate_gradient(
-                            qmat,
-                            rhs,
-                            epsilon=self.param.epsilon,
-                            max_iter=self.param.max_iter,
-                            preconditioner=precond,
-                        )
-                alpha, bias = recover_bias_and_alpha(qmat, result.x)
-                self.result_ = result
-                self.model_ = LSSVMModel(
-                    support_vectors=qmat.X,
-                    alpha=alpha,
-                    bias=bias,
-                    param=qmat.param,
-                    labels=labels,
-                )
-                backend = self._resolve_backend()
-                if backend is not None:
-                    backend.finalize(qmat, self.timings_)
+                if self.solver == "rff":
+                    result, info = self._fit_rff(ctx, X, y_enc, labels)
+                else:
+                    result, info = self._fit_reduced(ctx, X, y_enc, labels)
         self.report_ = build_report(
             ctx,
             estimator="LSSVC",
@@ -393,8 +409,109 @@ class LSSVC(ParamsMixin):
             num_features=X.shape[1] if X.ndim > 1 else 1,
             timings=self.timings_,
             result=result,
+            solver_strategy=info.strategy,
+            solver_rank=info.rank,
+            solver_setup_seconds=info.setup_seconds,
         )
         return self
+
+    def _fit_rff(self, ctx, X, y_enc, labels) -> Tuple[CGResult, SolverInfo]:
+        """The random-feature primal path: no reduced system, compact model.
+
+        Skips operator assembly entirely — the O(m²)-capable machinery is
+        never touched; the whole fit is feature sampling, one blocked Gram
+        accumulation, and an (r+1)-dimensional SPD solve.
+        """
+        with self.timings_.section("cg"):
+            fmap, weights, bias, result, info = fit_rff_primal(
+                X,
+                y_enc,
+                self.param,
+                rank=self.solver_rank,
+                rng=self.solver_seed,
+            )
+        self.result_ = result
+        self.model_ = FeatureMapModel(
+            omega=fmap.omega,
+            offsets=fmap.offsets,
+            weights=weights,
+            bias=bias,
+            param=self.param.with_gamma_for(X.shape[1]),
+            labels=labels,
+            seed=self.solver_seed if isinstance(self.solver_seed, int) else None,
+        )
+        return result, info
+
+    def _fit_reduced(self, ctx, X, y_enc, labels) -> Tuple[CGResult, SolverInfo]:
+        """The reduced-system paths: exact CG and the direct Nyström solve."""
+        # Backends transform the data into their device layout here
+        # (the paper's "transform" component); the plain NumPy path's
+        # operator setup is accounted separately as "assembly".
+        setup_section = "transform" if self.backend is not None else "assembly"
+        with self.timings_.section(setup_section), ctx.span(setup_section):
+            qmat, rhs = self._build_operator(X, y_enc)
+        # Solver setup (preconditioner / randomized factorization) is
+        # solver work — it trades setup time for iterations — so it is
+        # accounted inside the paper's cg section.
+        with self.timings_.section("cg"):
+            if self.solver == "nystrom":
+                result, info = solve_nystrom(
+                    qmat,
+                    rhs,
+                    rank=self.solver_rank,
+                    rng=self.solver_seed,
+                    polish_iters=self.polish_iters,
+                    epsilon=self.param.epsilon,
+                )
+            else:
+                info = SolverInfo()
+                precond = make_preconditioner(
+                    qmat,
+                    self.precondition,
+                    rank=self.precond_rank,
+                    rng=self.precond_rng,
+                )
+                if (
+                    self.fault_plan is not None
+                    or self.checkpoint_interval is not None
+                ):
+                    # Fault-tolerant driving: checkpointed CG plus
+                    # transient retry and device-loss redistribution.
+                    solve_kwargs = {}
+                    if self.checkpoint_interval is not None:
+                        solve_kwargs["checkpoint_interval"] = (
+                            self.checkpoint_interval
+                        )
+                    result = resilient_solve(
+                        qmat,
+                        rhs,
+                        epsilon=self.param.epsilon,
+                        max_iter=self.param.max_iter,
+                        preconditioner=precond,
+                        max_retries=self.max_retries,
+                        **solve_kwargs,
+                    )
+                else:
+                    result = conjugate_gradient(
+                        qmat,
+                        rhs,
+                        epsilon=self.param.epsilon,
+                        max_iter=self.param.max_iter,
+                        preconditioner=precond,
+                    )
+        alpha, bias = recover_bias_and_alpha(qmat, result.x)
+        self.result_ = result
+        self.model_ = LSSVMModel(
+            support_vectors=qmat.X,
+            alpha=alpha,
+            bias=bias,
+            param=qmat.param,
+            labels=labels,
+        )
+        backend = self._resolve_backend()
+        if backend is not None:
+            backend.finalize(qmat, self.timings_)
+        return result, info
 
     def _require_model(self) -> LSSVMModel:
         if self.model_ is None:

@@ -12,11 +12,21 @@ Eq. 11, so no explicit ``y_i`` factor appears).
 The on-disk format is the LIBSVM model format — the reproduction keeps
 PLSSVM's drop-in compatibility promise, mapping ``rho = -b`` and writing one
 ``alpha_i`` coefficient per support vector row.
+
+A second, *compact* artifact kind exists for the randomized ``rff``
+solver: :class:`FeatureMapModel` stores random-Fourier-feature weights
+instead of the full support set, so the file is O(r·d) rather than
+O(m·d) and prediction costs O(r·d) per row. It serializes as a small
+JSON document; :func:`load_model` sniffs the two formats apart (a
+compact file starts with ``{``, a LIBSVM file never does), so every
+consumer — the predict CLI, the serving registry — loads either kind
+through the same entry point.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from pathlib import Path
 from typing import Optional, Sequence, TextIO, Tuple, Union
 
@@ -27,7 +37,17 @@ from ..parameter import Parameter
 from ..types import KernelType
 from .kernels import kernel_matrix
 
-__all__ = ["LSSVMModel", "save_model", "load_model"]
+__all__ = [
+    "LSSVMModel",
+    "FeatureMapModel",
+    "MODEL_TYPES",
+    "save_model",
+    "load_model",
+]
+
+#: On-disk format tag of the compact feature-map artifact.
+COMPACT_FORMAT = "plssvm-compact"
+COMPACT_FORMAT_VERSION = 1
 
 _KERNEL_NAMES = {
     KernelType.LINEAR: "linear",
@@ -197,6 +217,202 @@ class LSSVMModel:
         return load_model(path)
 
 
+@dataclasses.dataclass
+class FeatureMapModel:
+    """A compact fitted LS-SVM: feature-map weights, no support set.
+
+    Produced by the ``rff`` solver strategy: the decision function is the
+    *primal* form over the random Fourier features,
+
+        f(x) = z(x) . w + b,      z(x) = sqrt(2/r) cos(x Omega + offsets)
+
+    so prediction never touches training points — O(r·d) per row versus
+    the exact model's O(m·d). The sampled frequencies ``Omega`` and phase
+    ``offsets`` are part of the model (they *are* the kernel
+    approximation); ``seed`` records the solver seed for provenance.
+
+    Attributes
+    ----------
+    omega:
+        Sampled frequencies, shape ``(d, r)``.
+    offsets:
+        Phase offsets, shape ``(r,)``.
+    weights:
+        Primal weight vector over the features, shape ``(r,)``.
+    bias:
+        Hyperplane offset ``b``.
+    param:
+        Hyper-parameters used during training (gamma resolved).
+    labels:
+        The two original class labels, ``(positive, negative)``.
+    seed:
+        The solver seed the frequencies were drawn with (``None`` when a
+        live generator was passed).
+    """
+
+    omega: np.ndarray
+    offsets: np.ndarray
+    weights: np.ndarray
+    bias: float
+    param: Parameter
+    labels: Tuple[float, float] = (1.0, -1.0)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.omega = np.ascontiguousarray(np.asarray(self.omega, dtype=self.param.dtype))
+        self.offsets = np.asarray(self.offsets, dtype=self.param.dtype).ravel()
+        self.weights = np.asarray(self.weights, dtype=self.param.dtype).ravel()
+        if self.omega.ndim != 2:
+            raise ModelFormatError("feature-map frequencies must form a 2-D array")
+        if self.offsets.shape[0] != self.omega.shape[1]:
+            raise ModelFormatError(
+                f"{self.offsets.shape[0]} offsets for {self.omega.shape[1]} frequencies"
+            )
+        if self.weights.shape[0] != self.omega.shape[1]:
+            raise ModelFormatError(
+                f"{self.weights.shape[0]} weights for {self.omega.shape[1]} features"
+            )
+
+    @property
+    def num_features(self) -> int:
+        return self.omega.shape[0]
+
+    @property
+    def rank(self) -> int:
+        """Feature-map width ``r`` (the model's whole size driver)."""
+        return self.omega.shape[1]
+
+    @property
+    def num_support_vectors(self) -> int:
+        """0 — the compact model keeps no support set (drop-in introspection)."""
+        return 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.omega.nbytes + self.offsets.nbytes + self.weights.nbytes
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Feature rows ``z(x)``; shape ``(n, r)``."""
+        X = np.asarray(X, dtype=self.param.dtype)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self.num_features:
+            raise ModelFormatError(
+                f"test data has {X.shape[1]} features, model expects {self.num_features}"
+            )
+        Z = X @ self.omega
+        Z += self.offsets
+        np.cos(Z, out=Z)
+        Z *= np.sqrt(2.0 / self.rank)
+        return Z[0] if single else Z
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """``f(x) = z(x) . w + b`` per row — the generalized primal fast path."""
+        return self.transform(X) @ self.weights + self.bias
+
+    def engine(self, **kwargs):
+        """A warm :class:`repro.serve.PredictionEngine` over this model."""
+        from ..serve.engine import PredictionEngine
+
+        return PredictionEngine(self, **kwargs)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (in the original label alphabet)."""
+        f = np.atleast_1d(self.decision_function(X))
+        pos, neg = self.labels
+        return np.where(f >= 0.0, pos, neg)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        pred = self.predict(X)
+        if pred.shape[0] != y.shape[0]:
+            raise ModelFormatError("label vector length does not match data")
+        return float(np.mean(pred == y))
+
+    def save(self, path: Union[str, Path]) -> None:
+        save_compact_model(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FeatureMapModel":
+        return load_compact_model(path)
+
+
+#: Every fitted-model artifact kind (isinstance checks in registries etc.).
+MODEL_TYPES = (LSSVMModel, FeatureMapModel)
+
+
+def save_compact_model(model: FeatureMapModel, path: Union[str, Path]) -> None:
+    """Write the compact feature-map artifact as JSON.
+
+    Floats serialize via ``repr`` (Python's ``json``), which round-trips
+    IEEE doubles exactly — a saved/loaded compact model predicts
+    bit-identically to the in-memory one.
+    """
+    param = model.param
+    doc = {
+        "format": COMPACT_FORMAT,
+        "version": COMPACT_FORMAT_VERSION,
+        "kind": "rff",
+        "kernel_type": _KERNEL_NAMES[param.kernel],
+        "gamma": param.gamma,
+        "cost": param.cost,
+        "rho": -model.bias,
+        "label": [model.labels[0], model.labels[1]],
+        "seed": model.seed,
+        "num_features": model.num_features,
+        "rank": model.rank,
+        "omega": model.omega.tolist(),
+        "offsets": model.offsets.tolist(),
+        "weights": model.weights.tolist(),
+    }
+    Path(path).write_text(json.dumps(doc), encoding="ascii")
+
+
+def load_compact_model(path: Union[str, Path]) -> FeatureMapModel:
+    """Read a compact model written by :func:`save_compact_model`."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="ascii"))
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(f"compact model is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != COMPACT_FORMAT:
+        raise ModelFormatError(
+            f"not a compact model file (format tag {doc.get('format')!r})"
+        )
+    if doc.get("version") != COMPACT_FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported compact model version {doc.get('version')!r}"
+        )
+    for required in ("kernel_type", "rho", "omega", "offsets", "weights"):
+        if required not in doc:
+            raise ModelFormatError(f"compact model missing {required!r}")
+    try:
+        kernel = _KERNEL_FROM_NAME[doc["kernel_type"]]
+    except KeyError:
+        raise ModelFormatError(
+            f"unsupported kernel_type {doc['kernel_type']!r}"
+        ) from None
+    param = Parameter(
+        kernel=kernel,
+        cost=float(doc.get("cost", 1.0)),
+        gamma=float(doc["gamma"]) if doc.get("gamma") is not None else None,
+    )
+    labels = tuple(float(v) for v in doc.get("label", (1.0, -1.0)))
+    if len(labels) != 2:
+        raise ModelFormatError("compact model must list exactly two labels")
+    seed = doc.get("seed")
+    return FeatureMapModel(
+        omega=np.asarray(doc["omega"], dtype=np.float64),
+        offsets=np.asarray(doc["offsets"], dtype=np.float64),
+        weights=np.asarray(doc["weights"], dtype=np.float64),
+        bias=-float(doc["rho"]),
+        param=param,
+        labels=labels,  # type: ignore[arg-type]
+        seed=int(seed) if seed is not None else None,
+    )
+
+
 def _write_sparse_row(stream: TextIO, coef: float, features: Sequence[float]) -> None:
     parts = [f"{coef:.17g}"]
     for idx, value in enumerate(features, start=1):
@@ -241,9 +457,19 @@ def _format_label(label: float) -> str:
     return f"{int(label)}" if float(label).is_integer() else f"{label:g}"
 
 
-def load_model(path: Union[str, Path]) -> LSSVMModel:
-    """Read a model file written by :func:`save_model` (LIBSVM format)."""
+def load_model(path: Union[str, Path]) -> Union[LSSVMModel, FeatureMapModel]:
+    """Read a model file of either artifact kind.
+
+    Sniffs the format: a compact feature-map model is a JSON object (its
+    first non-whitespace character is ``{``, which no LIBSVM model file
+    starts with); anything else parses as the LIBSVM format written by
+    :func:`save_model`.
+    """
     path = Path(path)
+    with path.open("r", encoding="ascii") as probe:
+        head = probe.read(64)
+    if head.lstrip()[:1] == "{":
+        return load_compact_model(path)
     header: dict = {}
     sv_lines: list = []
     with path.open("r", encoding="ascii") as f:

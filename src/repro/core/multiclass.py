@@ -30,9 +30,15 @@ from ..types import KernelType
 from .cg import conjugate_gradient_block
 from .estimator import ParamsMixin
 from .lssvm import LSSVC
-from .model import LSSVMModel
+from .model import FeatureMapModel, LSSVMModel
 from .precond import make_preconditioner
 from .qmatrix import build_reduced_system
+from .solvers import (
+    SolverInfo,
+    fit_rff_primal_multi,
+    resolve_solver,
+    solve_nystrom_block,
+)
 
 __all__ = ["OneVsAllLSSVC", "OneVsOneLSSVC"]
 
@@ -78,6 +84,10 @@ class _MulticlassBase(ParamsMixin):
         compute_dtype=None,
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
+        solver: str = "cg",
+        solver_rank: Optional[int] = None,
+        solver_seed: Union[None, int, np.random.Generator] = 0,
+        polish_iters: int = 0,
         estimator_factory: Optional[Callable[[], object]] = None,
     ) -> None:
         self.kernel = kernel
@@ -92,6 +102,10 @@ class _MulticlassBase(ParamsMixin):
         self.compute_dtype = compute_dtype
         self.solver_threads = solver_threads
         self.tile_cache_mb = tile_cache_mb
+        self.solver = solver
+        self.solver_rank = solver_rank
+        self.solver_seed = solver_seed
+        self.polish_iters = polish_iters
         self.estimator_factory = estimator_factory
         self.classes_: Optional[np.ndarray] = None
 
@@ -124,6 +138,10 @@ class _MulticlassBase(ParamsMixin):
             compute_dtype=self.compute_dtype,
             solver_threads=self.solver_threads,
             tile_cache_mb=self.tile_cache_mb,
+            solver=self.solver,
+            solver_rank=self.solver_rank,
+            solver_seed=self.solver_seed,
+            polish_iters=self.polish_iters,
         )
 
     def _require_fitted(self) -> None:
@@ -171,6 +189,10 @@ class OneVsAllLSSVC(_MulticlassBase):
         compute_dtype=None,
         solver_threads: Optional[int] = None,
         tile_cache_mb: Optional[float] = None,
+        solver: str = "cg",
+        solver_rank: Optional[int] = None,
+        solver_seed: Union[None, int, np.random.Generator] = 0,
+        polish_iters: int = 0,
         estimator_factory: Optional[Callable[[], object]] = None,
         shared_solve: bool = True,
     ) -> None:
@@ -189,6 +211,10 @@ class OneVsAllLSSVC(_MulticlassBase):
             compute_dtype=compute_dtype,
             solver_threads=solver_threads,
             tile_cache_mb=tile_cache_mb,
+            solver=solver,
+            solver_rank=solver_rank,
+            solver_seed=solver_seed,
+            polish_iters=polish_iters,
             estimator_factory=estimator_factory,
         )
         self.shared_solve = bool(shared_solve)
@@ -235,48 +261,85 @@ class OneVsAllLSSVC(_MulticlassBase):
         Y = np.stack(
             [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
         )
+        solver = resolve_solver(self.solver)
         with fit_scope(
             "OneVsAllLSSVC.fit", estimator="OneVsAllLSSVC", classes=len(self.classes_)
         ) as ctx:
-            with ctx.span("assembly"):
-                qmat, _ = build_reduced_system(
-                    X,
-                    Y[:, 0],
-                    param,
-                    implicit=self.implicit,
-                    solver_threads=self.solver_threads,
-                    tile_cache_mb=self.tile_cache_mb,
-                    compute_dtype=self.compute_dtype,
+            if solver == "rff":
+                # The random-feature primal shares even more than the
+                # reduced system: one feature map, one Gram accumulation,
+                # K right-hand sides of one (r+1)-dimensional solve.
+                fmap, W, biases, result, info = fit_rff_primal_multi(
+                    X, Y, param, rank=self.solver_rank, rng=self.solver_seed
                 )
-            precond = make_preconditioner(
-                qmat, self.precondition, rank=self.precond_rank, rng=0
-            )
-            B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
-            result = conjugate_gradient_block(
-                qmat,
-                B,
-                epsilon=self.epsilon,
-                max_iter=param.max_iter,
-                preconditioner=precond,
-            )
-            for j, _ in enumerate(self.classes_):
-                alpha_bar = result.X[:, j]
-                s = float(alpha_bar.sum())
-                # Eq. 15 with this machine's eliminated target Y[-1, j].
-                bias = float(Y[-1, j]) + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
-                alpha = np.concatenate(
-                    [alpha_bar, np.asarray([-s], dtype=qmat.dtype)]
-                )
-                clf = self._make_estimator()
-                clf.model_ = LSSVMModel(
-                    support_vectors=qmat.X,
-                    alpha=alpha,
-                    bias=bias,
-                    param=qmat.param,
-                    labels=(1.0, -1.0),
-                )
-                clf.result_ = result.column(j)
-                self.machines_.append(clf)
+                resolved = param.with_gamma_for(X.shape[1])
+                seed = self.solver_seed if isinstance(self.solver_seed, int) else None
+                for j, _ in enumerate(self.classes_):
+                    clf = self._make_estimator()
+                    clf.model_ = FeatureMapModel(
+                        omega=fmap.omega,
+                        offsets=fmap.offsets,
+                        weights=np.ascontiguousarray(W[:, j]),
+                        bias=float(biases[j]),
+                        param=resolved,
+                        labels=(1.0, -1.0),
+                        seed=seed,
+                    )
+                    clf.result_ = result.column(j)
+                    self.machines_.append(clf)
+            else:
+                with ctx.span("assembly"):
+                    qmat, _ = build_reduced_system(
+                        X,
+                        Y[:, 0],
+                        param,
+                        implicit=self.implicit,
+                        solver_threads=self.solver_threads,
+                        tile_cache_mb=self.tile_cache_mb,
+                        compute_dtype=self.compute_dtype,
+                    )
+                B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
+                if solver == "nystrom":
+                    result, info = solve_nystrom_block(
+                        qmat,
+                        B,
+                        rank=self.solver_rank,
+                        rng=self.solver_seed,
+                        polish_iters=self.polish_iters,
+                        epsilon=self.epsilon,
+                    )
+                else:
+                    info = SolverInfo()
+                    precond = make_preconditioner(
+                        qmat, self.precondition, rank=self.precond_rank, rng=0
+                    )
+                    result = conjugate_gradient_block(
+                        qmat,
+                        B,
+                        epsilon=self.epsilon,
+                        max_iter=param.max_iter,
+                        preconditioner=precond,
+                    )
+                for j, _ in enumerate(self.classes_):
+                    alpha_bar = result.X[:, j]
+                    s = float(alpha_bar.sum())
+                    # Eq. 15 with this machine's eliminated target Y[-1, j].
+                    bias = (
+                        float(Y[-1, j]) + qmat.q_mm * s - float(qmat.q_bar @ alpha_bar)
+                    )
+                    alpha = np.concatenate(
+                        [alpha_bar, np.asarray([-s], dtype=qmat.dtype)]
+                    )
+                    clf = self._make_estimator()
+                    clf.model_ = LSSVMModel(
+                        support_vectors=qmat.X,
+                        alpha=alpha,
+                        bias=bias,
+                        param=qmat.param,
+                        labels=(1.0, -1.0),
+                    )
+                    clf.result_ = result.column(j)
+                    self.machines_.append(clf)
         self.report_ = build_report(
             ctx,
             estimator="OneVsAllLSSVC",
@@ -284,6 +347,9 @@ class OneVsAllLSSVC(_MulticlassBase):
             num_samples=X.shape[0],
             num_features=X.shape[1],
             result=result,
+            solver_strategy=info.strategy,
+            solver_rank=info.rank,
+            solver_setup_seconds=info.setup_seconds,
         )
         return self
 
@@ -301,6 +367,24 @@ class OneVsAllLSSVC(_MulticlassBase):
         """
         models = [getattr(m, "model_", None) for m in self.machines_]
         if not models or any(mod is None for mod in models):
+            return None
+        if all(isinstance(mod, FeatureMapModel) for mod in models):
+            # Compact ensemble from the shared rff fit: every machine
+            # shares one feature map object, so the decision matrix is a
+            # single z(X) @ W + b — one transform for all K classes.
+            key = models[0].omega
+            if any(mod.omega is not key for mod in models[1:]):
+                return None
+            cached = getattr(self, "_predict_state", None)
+            if cached is not None and cached[0] is key and len(cached[2]) == len(models):
+                return cached
+            param = models[0].param
+            W = np.column_stack([mod.weights for mod in models])
+            biases = np.asarray([mod.bias for mod in models], dtype=param.dtype)
+            state = (key, param, biases, None, W, None, models[0].transform)
+            self._predict_state = state
+            return state
+        if any(isinstance(mod, FeatureMapModel) for mod in models):
             return None
         sv = models[0].support_vectors
         if any(mod.support_vectors is not sv for mod in models[1:]):
@@ -329,7 +413,7 @@ class OneVsAllLSSVC(_MulticlassBase):
                 dtype=param.dtype,
                 compute_dtype=self.compute_dtype,
             )
-        state = (sv, param, biases, A, W, pipeline)
+        state = (sv, param, biases, A, W, pipeline, None)
         self._predict_state = state
         return state
 
@@ -343,12 +427,13 @@ class OneVsAllLSSVC(_MulticlassBase):
         self._require_fitted()
         state = self._shared_predict_state()
         if state is not None:
-            sv, param, biases, A, W, pipeline = state
+            _, param, biases, A, W, pipeline, transform = state
             Xd = np.asarray(X, dtype=param.dtype)
             if Xd.ndim == 1:
                 Xd = Xd[None, :]
             if W is not None:
-                return Xd @ W + biases
+                Z = Xd if transform is None else transform(Xd)
+                return Z @ W + biases
             return pipeline.cross_sweep(Xd, A) + biases
         columns = [np.atleast_1d(m.decision_function(X)) for m in self.machines_]
         return np.column_stack(columns)

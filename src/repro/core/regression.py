@@ -21,7 +21,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..exceptions import DataError, NotFittedError
+from ..exceptions import DataError, InvalidParameterError, NotFittedError
 from ..parameter import Parameter
 from ..profiling import ComponentTimer
 from ..telemetry import TrainingReport, build_report, fit_scope
@@ -33,6 +33,12 @@ from .qmatrix import (
     ExplicitQMatrix,
     ImplicitQMatrix,
     recover_bias_and_alpha,
+)
+from .solvers import (
+    SolverInfo,
+    fit_rff_primal,
+    resolve_solver,
+    solve_nystrom,
 )
 
 __all__ = ["LSSVR"]
@@ -68,6 +74,10 @@ class LSSVR(ParamsMixin):
         max_iter: Optional[int] = None,
         dtype=np.float64,
         implicit: Optional[bool] = None,
+        solver: str = "cg",
+        solver_rank: Optional[int] = None,
+        solver_seed: Union[None, int, np.random.Generator] = 0,
+        polish_iters: int = 0,
     ) -> None:
         self.kernel = kernel
         self.C = C
@@ -78,6 +88,10 @@ class LSSVR(ParamsMixin):
         self.max_iter = max_iter
         self.dtype = dtype
         self.implicit = implicit
+        self.solver = solver
+        self.solver_rank = solver_rank
+        self.solver_seed = solver_seed
+        self.polish_iters = polish_iters
         self._sync_params()
         self.result_: Optional[CGResult] = None
         self.report_: Optional[TrainingReport] = None
@@ -85,6 +99,7 @@ class LSSVR(ParamsMixin):
         self._qmat = None
         self._alpha: Optional[np.ndarray] = None
         self._bias = 0.0
+        self._fmap = None
 
     def _sync_params(self) -> None:
         self.param = Parameter(
@@ -97,6 +112,19 @@ class LSSVR(ParamsMixin):
             max_iter=self.max_iter,
             dtype=self.dtype,
         )
+        self.solver = resolve_solver(self.solver)
+        self.polish_iters = int(self.polish_iters)
+        if self.polish_iters < 0:
+            raise InvalidParameterError("polish_iters must be non-negative")
+        if self.polish_iters and self.solver != "nystrom":
+            raise InvalidParameterError(
+                "polish_iters only applies to solver='nystrom'"
+            )
+        if self.solver == "rff" and self.param.kernel is not KernelType.RBF:
+            raise InvalidParameterError(
+                "solver='rff' requires the RBF kernel "
+                f"(got {self.param.kernel})"
+            )
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVR":
         """Fit on real-valued targets ``y``."""
@@ -110,21 +138,53 @@ class LSSVR(ParamsMixin):
         if implicit is None:
             implicit = X.shape[0] > EXPLICIT_LIMIT
         self.timings_ = ComponentTimer()
+        self._qmat = None
+        self._fmap = None
         with fit_scope("LSSVR.fit", estimator="LSSVR") as ctx:
             with self.timings_.section("total"):
-                with self.timings_.section("assembly"), ctx.span("assembly"):
-                    if implicit:
-                        qmat = ImplicitQMatrix(X, y, self.param, binary_labels=False)
-                    else:
-                        qmat = ExplicitQMatrix(X, y, self.param, binary_labels=False)
-                with self.timings_.section("cg"):
-                    result = conjugate_gradient(
-                        qmat,
-                        qmat.rhs(),
-                        epsilon=self.param.epsilon,
-                        max_iter=self.param.max_iter,
-                    )
-                alpha, bias = recover_bias_and_alpha(qmat, result.x)
+                if self.solver == "rff":
+                    # The dual ridge system never appears: the primal
+                    # normal equations accept real targets verbatim.
+                    with self.timings_.section("cg"):
+                        fmap, weights, bias, result, info = fit_rff_primal(
+                            X,
+                            y,
+                            self.param,
+                            rank=self.solver_rank,
+                            rng=self.solver_seed,
+                        )
+                    self._fmap = fmap
+                    alpha = weights
+                else:
+                    with self.timings_.section("assembly"), ctx.span("assembly"):
+                        if implicit:
+                            qmat = ImplicitQMatrix(
+                                X, y, self.param, binary_labels=False
+                            )
+                        else:
+                            qmat = ExplicitQMatrix(
+                                X, y, self.param, binary_labels=False
+                            )
+                    with self.timings_.section("cg"):
+                        if self.solver == "nystrom":
+                            result, info = solve_nystrom(
+                                qmat,
+                                qmat.rhs(),
+                                rank=self.solver_rank,
+                                rng=self.solver_seed,
+                                polish_iters=self.polish_iters,
+                                epsilon=self.param.epsilon,
+                            )
+                        else:
+                            info = SolverInfo()
+                            result = conjugate_gradient(
+                                qmat,
+                                qmat.rhs(),
+                                epsilon=self.param.epsilon,
+                                max_iter=self.param.max_iter,
+                            )
+                    alpha, bias = recover_bias_and_alpha(qmat, result.x)
+                    self._qmat = qmat
         self.report_ = build_report(
             ctx,
             estimator="LSSVR",
@@ -133,9 +193,11 @@ class LSSVR(ParamsMixin):
             num_features=X.shape[1],
             timings=self.timings_,
             result=result,
+            solver_strategy=info.strategy,
+            solver_rank=info.rank,
+            solver_setup_seconds=info.setup_seconds,
         )
         self.result_ = result
-        self._qmat = qmat
         self._alpha = alpha
         self._bias = bias
         return self
@@ -153,6 +215,14 @@ class LSSVR(ParamsMixin):
         single = X.ndim == 1
         if single:
             X = X[None, :]
+        if self._fmap is not None:
+            if X.shape[1] != self._fmap.num_features:
+                raise DataError(
+                    f"test data has {X.shape[1]} features, model expects "
+                    f"{self._fmap.num_features}"
+                )
+            out = self._fmap.transform(X) @ self._alpha + self._bias
+            return out[0] if single else out
         if X.shape[1] != self._qmat.X.shape[1]:
             raise DataError(
                 f"test data has {X.shape[1]} features, model expects "

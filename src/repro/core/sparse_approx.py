@@ -1,46 +1,63 @@
-"""Sparse approximation of the LS-SVM by support pruning (paper ref. [26]).
+"""Sparse LS-SVM via reduced-set landmarks (deprecated front-end).
 
 Unlike the classic SVM, the LS-SVM keeps *every* training point as a
 support vector (§II-C), which makes its models large and prediction
-linear in the training set size. Suykens et al.'s remedy prunes the
-spectrum: since ``|alpha_i|`` is proportional to point ``i``'s contribution
-(it equals ``C * xi_i``), iteratively dropping the smallest-``|alpha|``
-points and retraining on the survivors yields a sparse model that usually
-sacrifices little accuracy.
+linear in the training set size. The historical remedy implemented here
+— Suykens et al.'s iterative smallest-``|alpha|`` pruning — refit the
+model once per pruning round, paying many dense solves to end up with a
+small support set.
 
-:class:`SparseLSSVC` wraps any LSSVC-compatible estimator and prunes a
-fixed fraction per round until the target support size (or an accuracy
-floor on the training data) is reached.
+The solver-strategy layer (:mod:`repro.core.solvers`) obsoletes that:
+:func:`~repro.core.solvers.fit_reduced_set` picks the landmark set in
+one RPCholesky pass and solves the r-dimensional reduced-set problem
+directly, giving the same artifact (an LS-SVM whose support set is a
+small subset of the training points) for a fraction of the cost.
+:class:`SparseLSSVC` is kept as a deprecated shim over that path; new
+code should use ``LSSVC(solver="nystrom")`` for fast full-support fits
+or ``LSSVC(solver="rff")`` for compact models.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Union
 
 import numpy as np
 
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
+from ..parameter import Parameter
 from ..types import KernelType
-from .lssvm import LSSVC
+from .lssvm import LSSVC, encode_labels
+from .model import LSSVMModel
+from .solvers import default_solver_rank, fit_reduced_set
 
 __all__ = ["SparseLSSVC"]
 
 
 class SparseLSSVC:
-    """Pruning-based sparse LS-SVM classifier.
+    """Reduced-set sparse LS-SVM classifier (deprecated).
+
+    .. deprecated::
+        Use ``LSSVC(solver="nystrom")`` (fast randomized solve, full
+        support set) or ``LSSVC(solver="rff")`` (compact feature-map
+        model) instead. This shim remains for the old pruning-based API
+        and now trains via one reduced-set landmark solve.
 
     Parameters
     ----------
     kernel, C, gamma, degree, coef0, epsilon:
         Forwarded to the underlying :class:`LSSVC`.
     target_fraction:
-        Fraction of the training points to keep as support vectors.
+        Fraction of the training points to keep as support vectors
+        (landmarks).
     prune_per_round:
-        Fraction of the *current* support set dropped per pruning round
-        (Suykens et al. recommend gradual pruning, e.g. 5 %).
+        Retained for signature compatibility with the pruning-based
+        implementation; the landmark solve selects the support set in a
+        single pass, so this no longer influences the result.
     min_accuracy_drop:
-        Stop early when the training accuracy falls more than this below
-        the unpruned model's.
+        Guard rail: if the reduced-set model's training accuracy falls
+        more than this below the full-support baseline, the baseline
+        model is kept instead.
     """
 
     def __init__(
@@ -56,13 +73,19 @@ class SparseLSSVC:
         prune_per_round: float = 0.1,
         min_accuracy_drop: float = 0.05,
     ) -> None:
+        warnings.warn(
+            "SparseLSSVC is deprecated; use LSSVC(solver='nystrom') for fast "
+            "randomized fits or LSSVC(solver='rff') for compact models",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not 0.0 < target_fraction < 1.0:
             raise InvalidParameterError("target_fraction must lie in (0, 1)")
         if not 0.0 < prune_per_round < 1.0:
             raise InvalidParameterError("prune_per_round must lie in (0, 1)")
         if min_accuracy_drop < 0:
             raise InvalidParameterError("min_accuracy_drop must be non-negative")
-        self._make = lambda: LSSVC(
+        self._hyper = dict(
             kernel=kernel, C=C, gamma=gamma, degree=degree, coef0=coef0,
             epsilon=epsilon,
         )
@@ -73,40 +96,86 @@ class SparseLSSVC:
         self.support_indices_: Optional[np.ndarray] = None
         self.history_: List[dict] = []
 
+    def _wrap(self, model: LSSVMModel) -> LSSVC:
+        """An LSSVC shell around a ready-made model (prediction interface)."""
+        clf = LSSVC(**self._hyper)
+        clf.model_ = model
+        return clf
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "SparseLSSVC":
         X = np.asarray(X)
         y = np.asarray(y).ravel()
         if X.shape[0] != y.shape[0]:
             raise DataError("data and labels disagree in length")
-        target = max(int(round(X.shape[0] * self.target_fraction)), 4)
+        m = X.shape[0]
+        rank = min(max(int(round(m * self.target_fraction)), 4), m - 1)
 
-        accepted = np.arange(X.shape[0])
-        clf = self._make().fit(X, y)
-        base_accuracy = clf.score(X, y)
-        self.history_ = [
-            {"support": X.shape[0], "train_accuracy": base_accuracy}
-        ]
+        # Full-support baseline via the randomized direct solve: cheap, and
+        # its support set is genuinely all m points.
+        baseline = LSSVC(
+            solver="nystrom",
+            solver_rank=min(default_solver_rank(m), m - 1),
+            solver_seed=0,
+            **self._hyper,
+        ).fit(X, y)
+        base_accuracy = baseline.score(X, y)
+        self.history_ = [{"support": m, "train_accuracy": base_accuracy}]
 
-        while accepted.shape[0] > target:
-            drop = max(int(round(accepted.shape[0] * self.prune_per_round)), 1)
-            keep_count = max(accepted.shape[0] - drop, target)
-            # Keep the largest-|alpha| points — but never let a class die.
-            order = np.argsort(np.abs(clf.model_.alpha))[::-1]
-            keep_local = _keep_both_classes(order, y[accepted], keep_count)
-            candidate_idx = accepted[keep_local]
-            candidate = self._make().fit(X[candidate_idx], y[candidate_idx])
-            accuracy = candidate.score(X, y)
-            self.history_.append(
-                {"support": candidate_idx.shape[0], "train_accuracy": accuracy}
+        y_enc, labels = encode_labels(y)
+        param = Parameter(
+            kernel=self._hyper["kernel"],
+            cost=self._hyper["C"],
+            gamma=self._hyper["gamma"],
+            degree=self._hyper["degree"],
+            coef0=self._hyper["coef0"],
+            epsilon=self._hyper["epsilon"],
+        )
+        Xd = np.ascontiguousarray(X, dtype=param.dtype)
+        beta, bias, pivots, _ = fit_reduced_set(
+            Xd, y_enc, param, rank=rank, rng=0
+        )
+        fixed = self._ensure_both_classes(pivots, y_enc)
+        if not np.array_equal(fixed, pivots):
+            # Class guard changed the landmark set: re-solve on it.
+            beta, bias, pivots, _ = fit_reduced_set(
+                Xd, y_enc, param, rank=rank, rng=0, pivots=fixed
             )
-            if accuracy < base_accuracy - self.min_accuracy_drop:
-                break
-            clf = candidate
-            accepted = candidate_idx
-
-        self.estimator_ = clf
-        self.support_indices_ = accepted
+        sparse_model = LSSVMModel(
+            support_vectors=np.ascontiguousarray(Xd[pivots]),
+            alpha=beta,
+            bias=bias,
+            param=param.with_gamma_for(X.shape[1]),
+            labels=labels,
+        )
+        sparse = self._wrap(sparse_model)
+        accuracy = sparse.score(X, y)
+        self.history_.append(
+            {"support": int(pivots.shape[0]), "train_accuracy": accuracy}
+        )
+        if accuracy < base_accuracy - self.min_accuracy_drop:
+            # The landmark budget is too tight for this data: keep the
+            # full-support baseline rather than ship a degraded model.
+            self.estimator_ = baseline
+            self.support_indices_ = np.arange(m)
+            self.history_.pop()
+            return self
+        self.estimator_ = sparse
+        self.support_indices_ = np.sort(pivots)
         return self
+
+    @staticmethod
+    def _ensure_both_classes(pivots: np.ndarray, y_enc: np.ndarray) -> np.ndarray:
+        """Swap one landmark for the missing class if pruning killed it."""
+        pivots = np.asarray(pivots)
+        kept = y_enc[pivots]
+        if np.unique(kept).size >= 2:
+            return pivots
+        missing = np.nonzero(y_enc != kept[0])[0]
+        if missing.size == 0:
+            return pivots
+        fixed = pivots.copy()
+        fixed[-1] = missing[0]
+        return fixed
 
     def _require_fitted(self) -> LSSVC:
         if self.estimator_ is None:
@@ -132,21 +201,3 @@ class SparseLSSVC:
         if not self.history_:
             raise NotFittedError("SparseLSSVC is not fitted yet; call fit() first")
         return self.history_[0]["support"] / self.num_support_vectors
-
-
-def _keep_both_classes(
-    order: np.ndarray, labels: np.ndarray, keep_count: int
-) -> np.ndarray:
-    """Select ``keep_count`` indices by priority while retaining both classes."""
-    selected = order[:keep_count]
-    kept_labels = labels[selected]
-    if np.unique(kept_labels).size >= 2:
-        return np.sort(selected)
-    # All kept points are one class: swap the lowest-priority keeper for the
-    # highest-priority point of the missing class.
-    missing_mask = labels != kept_labels[0]
-    for idx in order[keep_count:]:
-        if missing_mask[idx]:
-            selected = np.concatenate([selected[:-1], [idx]])
-            break
-    return np.sort(selected)

@@ -25,13 +25,22 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .exceptions import DataError
 
-__all__ = ["kfold_indices", "cross_val_score", "GridSearch", "GridPoint"]
+__all__ = [
+    "kfold_indices",
+    "cross_val_score",
+    "GridSearch",
+    "GridPoint",
+    "RankTrial",
+    "RankTuningResult",
+    "tune_solver_rank",
+]
 
 
 def kfold_indices(
@@ -242,3 +251,149 @@ class GridSearch:
         if self.best_estimator_ is None:
             raise DataError("GridSearch is not fitted yet; call fit() first")
         return self.best_estimator_.score(X, y)
+
+
+@dataclasses.dataclass
+class RankTrial:
+    """One evaluated ``(solver, rank)`` candidate of :func:`tune_solver_rank`."""
+
+    solver: str
+    rank: int
+    mean_score: float
+    std_score: float
+    fit_seconds: float
+    fold_scores: np.ndarray
+
+
+@dataclasses.dataclass
+class RankTuningResult:
+    """Outcome of the speed-vs-accuracy rank auto-tuner.
+
+    ``rank`` is the chosen rank, ``solver`` the strategy it applies to;
+    ``baseline`` is the exact-CG reference trial, ``trials`` the sweep in
+    ascending rank order. ``within_tolerance`` says whether the chosen
+    rank met the accuracy budget (otherwise the best-scoring rank was
+    returned as a fallback).
+    """
+
+    solver: str
+    rank: int
+    within_tolerance: bool
+    baseline: RankTrial
+    trials: List[RankTrial]
+
+    @property
+    def speedup(self) -> float:
+        """Cross-validated fit-time speedup of the chosen rank over exact CG."""
+        chosen = next(t for t in self.trials if t.rank == self.rank)
+        if chosen.fit_seconds <= 0.0:
+            return float("inf")
+        return self.baseline.fit_seconds / chosen.fit_seconds
+
+
+def _default_rank_ladder(num_samples: int, k: int) -> List[int]:
+    """Geometric rank candidates from coarse up to 4x the default rank.
+
+    The ladder deliberately overshoots the strategy's default: when the
+    spectrum decays slowly the default rank misses the accuracy budget,
+    and the tuner's job is to discover how much more rank that budget
+    costs.
+    """
+    from .core.solvers import default_solver_rank
+
+    train_size = max(num_samples - num_samples // k, 2)
+    default = default_solver_rank(train_size)
+    top = min(4 * default, train_size - 1)
+    ladder = []
+    rank = max(default // 8, 8)
+    while rank < top:
+        ladder.append(min(rank, train_size - 1))
+        rank *= 2
+    ladder.append(top)
+    return sorted(set(ladder))
+
+
+def tune_solver_rank(
+    estimator: Union[Callable[..., object], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    solver: str = "nystrom",
+    ranks: Optional[Sequence[int]] = None,
+    k: int = 3,
+    rng: Union[None, int] = 0,
+    max_accuracy_drop: float = 0.01,
+    n_threads: Optional[int] = None,
+) -> RankTuningResult:
+    """Pick the smallest solver rank within an accuracy budget.
+
+    Cross-validates the exact-CG baseline once, then sweeps ``ranks``
+    (ascending; a geometric ladder up to the strategy's default rank when
+    omitted) with the requested randomized ``solver`` and returns the
+    smallest rank whose mean CV score stays within ``max_accuracy_drop``
+    of the baseline — the speed-vs-accuracy knee. If no rank qualifies,
+    the best-scoring rank is returned with ``within_tolerance=False``.
+
+    ``estimator`` follows the factory-or-prototype convention of
+    :func:`cross_val_score`; solver parameters are applied on top, so a
+    plain ``LSSVC(kernel="rbf", C=10)`` prototype works directly.
+    """
+    from .core.solvers import resolve_solver
+
+    solver = resolve_solver(solver)
+    if solver == "cg":
+        raise DataError("tune_solver_rank tunes the randomized strategies; "
+                        "solver must be 'nystrom' or 'rff'")
+    if max_accuracy_drop < 0:
+        raise DataError("max_accuracy_drop must be non-negative")
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    factory = _as_factory(estimator)
+    if ranks is None:
+        ranks = _default_rank_ladder(X.shape[0], k)
+    ranks = sorted({int(r) for r in ranks})
+    if not ranks or ranks[0] < 1:
+        raise DataError("ranks must be positive integers")
+
+    def trial(**solver_params) -> Tuple[np.ndarray, float]:
+        start = time.perf_counter()
+        scores = cross_val_score(
+            lambda: factory(**solver_params),
+            X, y, k=k, rng=rng, n_threads=n_threads,
+        )
+        return scores, time.perf_counter() - start
+
+    base_scores, base_seconds = trial(solver="cg")
+    baseline = RankTrial(
+        solver="cg",
+        rank=0,
+        mean_score=float(base_scores.mean()),
+        std_score=float(base_scores.std()),
+        fit_seconds=base_seconds,
+        fold_scores=base_scores,
+    )
+    trials: List[RankTrial] = []
+    for rank in ranks:
+        scores, seconds = trial(solver=solver, solver_rank=rank)
+        trials.append(
+            RankTrial(
+                solver=solver,
+                rank=rank,
+                mean_score=float(scores.mean()),
+                std_score=float(scores.std()),
+                fit_seconds=seconds,
+                fold_scores=scores,
+            )
+        )
+    floor = baseline.mean_score - max_accuracy_drop
+    for t in trials:
+        if t.mean_score >= floor:
+            return RankTuningResult(
+                solver=solver, rank=t.rank, within_tolerance=True,
+                baseline=baseline, trials=trials,
+            )
+    best = max(trials, key=lambda t: t.mean_score)
+    return RankTuningResult(
+        solver=solver, rank=best.rank, within_tolerance=False,
+        baseline=baseline, trials=trials,
+    )

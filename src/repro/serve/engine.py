@@ -18,6 +18,14 @@ routes every prediction through
 budget-tiled, mixed-precision capable — instead of the naive path.
 ``predict`` is thread-safe and stateless per call, so one engine serves
 arbitrarily many concurrent callers (the micro-batcher counts on it).
+
+Compact :class:`~repro.core.model.FeatureMapModel` artifacts take a
+generalized primal fast path instead: there is no support set to tile
+over, so the engine skips the pipeline entirely and serves
+``z(x) @ w + b`` — the same O(r)-per-row expression the model itself
+evaluates, hence bit-identical to offline prediction. The linear
+kernel's materialized-``w`` path is the special case of this with an
+identity feature map.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.model import LSSVMModel
+from ..core.model import FeatureMapModel, LSSVMModel
 from ..core.tile_pipeline import TilePipeline
 from ..exceptions import DataError
 from ..telemetry.context import current_context
@@ -75,27 +83,37 @@ class PredictionEngine:
         self.name = name
         self.generation = int(generation)
         param = model.param
-        # cache_mb=0: the square support x support cache never pays off in
-        # serving (queries are novel rows); the pipeline is kept for its
-        # warm norms, casts, and pool.
-        self.pipeline = TilePipeline(
-            model.support_vectors,
-            param.kernel,
-            gamma=param.gamma,
-            degree=param.degree,
-            coef0=param.coef0,
-            tile_rows=tile_rows,
-            num_threads=solver_threads,
-            cache_mb=0.0,
-            dtype=param.dtype,
-            compute_dtype=compute_dtype,
-        )
-        self._alpha = np.ascontiguousarray(model.alpha, dtype=param.dtype)
-        # The linear kernel's O(d)-per-point primal fast path: materialize
-        # w once at load time instead of lazily on the first request.
-        self._weight = (
-            model.weight_vector() if param.kernel is KernelType.LINEAR else None
-        )
+        self._transform = None
+        if isinstance(model, FeatureMapModel):
+            # Compact artifact: no support set, no pipeline — the whole
+            # warm state is the (d, r) feature map plus the primal weights.
+            self.pipeline = None
+            self._alpha = None
+            self._weight = np.ascontiguousarray(model.weights, dtype=param.dtype)
+            self._transform = model.transform
+        else:
+            # cache_mb=0: the square support x support cache never pays off
+            # in serving (queries are novel rows); the pipeline is kept for
+            # its warm norms, casts, and pool.
+            self.pipeline = TilePipeline(
+                model.support_vectors,
+                param.kernel,
+                gamma=param.gamma,
+                degree=param.degree,
+                coef0=param.coef0,
+                tile_rows=tile_rows,
+                num_threads=solver_threads,
+                cache_mb=0.0,
+                dtype=param.dtype,
+                compute_dtype=compute_dtype,
+            )
+            self._alpha = np.ascontiguousarray(model.alpha, dtype=param.dtype)
+            # The linear kernel's O(d)-per-point primal fast path:
+            # materialize w once at load time instead of lazily on the
+            # first request.
+            self._weight = (
+                model.weight_vector() if param.kernel is KernelType.LINEAR else None
+            )
         self._lock = threading.Lock()
         self.requests = 0
         self.rows_served = 0
@@ -113,6 +131,8 @@ class PredictionEngine:
     @property
     def nbytes(self) -> int:
         """Resident bytes of the warm state (the registry's eviction unit)."""
+        if self.pipeline is None:
+            return int(self.model.nbytes)
         total = self.model.support_vectors.nbytes + self._alpha.nbytes
         pipe = self.pipeline
         if pipe._points_c is not pipe.points:
@@ -125,17 +145,25 @@ class PredictionEngine:
 
     def describe(self) -> dict:
         """JSON-ready summary for the ``/models`` endpoint."""
-        return {
+        if self.pipeline is not None:
+            compute_dtype = self.pipeline.compute_dtype.name
+        else:
+            compute_dtype = np.dtype(self.model.param.dtype).name
+        summary = {
             "name": self.name,
             "generation": self.generation,
             "kernel": self.model.param.kernel.name.lower(),
             "num_support_vectors": self.num_support_vectors,
             "num_features": self.num_features,
-            "compute_dtype": self.pipeline.compute_dtype.name,
+            "compute_dtype": compute_dtype,
             "nbytes": int(self.nbytes),
             "requests": self.requests,
             "rows_served": self.rows_served,
         }
+        if self._transform is not None:
+            summary["kind"] = "compact"
+            summary["rank"] = self.model.rank
+        return summary
 
     # -- prediction -----------------------------------------------------------
 
@@ -161,7 +189,11 @@ class PredictionEngine:
         """
         X = self._validate(X)
         if self._weight is not None:
-            f = X @ self._weight + self.model.bias
+            # Generalized primal fast path: identity map for the linear
+            # kernel, the random Fourier map for compact models. Either
+            # way f(x) = z(x) @ w + b, O(features-out) per row.
+            Z = X if self._transform is None else self._transform(X)
+            f = Z @ self._weight + self.model.bias
         else:
             f = self.pipeline.cross_sweep(X, self._alpha)
             f += self.model.bias

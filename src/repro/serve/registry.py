@@ -25,7 +25,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..core.model import LSSVMModel, load_model
+from ..core.model import MODEL_TYPES, LSSVMModel, load_model
 from ..exceptions import InvalidParameterError, ModelNotFoundError
 from .engine import PredictionEngine
 
@@ -41,7 +41,7 @@ class _Registration:
 
     __slots__ = ("source", "generation")
 
-    def __init__(self, source: Union[str, Path, LSSVMModel], generation: int) -> None:
+    def __init__(self, source: Union[str, Path, LSSVMModel, "FeatureMapModel"], generation: int) -> None:
         self.source = source
         self.generation = generation
 
@@ -88,7 +88,7 @@ class ModelRegistry:
 
     # -- registration ---------------------------------------------------------
 
-    def register(self, name: str, source: Union[str, Path, LSSVMModel]) -> int:
+    def register(self, name: str, source: Union[str, Path, LSSVMModel, "FeatureMapModel"]) -> int:
         """Bind ``name`` to a model file path or an in-memory model.
 
         Re-registering an existing name is the hot-swap path: the
@@ -98,10 +98,10 @@ class ModelRegistry:
         """
         if not name:
             raise InvalidParameterError("model name must be non-empty")
-        if not isinstance(source, (str, Path, LSSVMModel)):
+        if not isinstance(source, (str, Path) + MODEL_TYPES):
             raise InvalidParameterError(
-                "model source must be a path or an LSSVMModel, "
-                f"got {type(source).__name__}"
+                "model source must be a path, an LSSVMModel, or a "
+                f"FeatureMapModel, got {type(source).__name__}"
             )
         with self._lock:
             current = self._registrations.get(name)
@@ -149,7 +149,7 @@ class ModelRegistry:
             # would otherwise race to load it twice. Registries front
             # few, rarely-cold models, so the simplicity wins.
             source = registration.source
-            model = source if isinstance(source, LSSVMModel) else load_model(source)
+            model = source if isinstance(source, MODEL_TYPES) else load_model(source)
             engine = PredictionEngine(
                 model,
                 name=name,
@@ -210,7 +210,7 @@ class ModelRegistry:
                     and warm.generation == registration.generation,
                     "source": (
                         str(registration.source)
-                        if not isinstance(registration.source, LSSVMModel)
+                        if not isinstance(registration.source, MODEL_TYPES)
                         else "<in-memory>"
                     ),
                 }

@@ -40,7 +40,10 @@ __all__ = [
 ]
 
 #: Version stamp written into every report; bump on breaking shape changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2: the solver object gained ``strategy`` / ``rank`` / ``setup_seconds``
+#: (the randomized-solver tier: which strategy ran, at what rank, and its
+#: factorization cost).
+REPORT_SCHEMA_VERSION = 2
 
 #: Declarative shape of the serialized report: required key -> type spec.
 #: A type spec is a Python type, a tuple of admissible types, or ``list``
@@ -71,6 +74,9 @@ _SOLVER_SCHEMA: Dict[str, object] = {
     "residual": (int, float),
     "status": str,
     "converged": bool,
+    "strategy": str,
+    "rank": int,
+    "setup_seconds": (int, float),
 }
 
 #: Counter keys every report must carry (the Fig. 2 / resilience story).
@@ -386,6 +392,9 @@ def build_report(
     num_features: int,
     timings=None,
     result=None,
+    solver_strategy: str = "cg",
+    solver_rank: int = 0,
+    solver_setup_seconds: float = 0.0,
 ) -> TrainingReport:
     """Assemble a :class:`TrainingReport` from a finished fit context.
 
@@ -402,6 +411,10 @@ def build_report(
     result:
         The fit's :class:`~repro.core.cg.CGResult` /
         :class:`~repro.core.cg.BlockCGResult` (solver outcome).
+    solver_strategy / solver_rank / solver_setup_seconds:
+        Which solver tier ran (``cg`` / ``nystrom`` / ``rff``), the
+        realized approximation rank (0 for exact CG), and the
+        randomized factorization's setup wall seconds.
     """
     phases = dict(timings.as_dict()) if timings is not None else {}
     if result is not None:
@@ -413,6 +426,9 @@ def build_report(
         }
     else:
         solver = {"iterations": 0, "residual": 0.0, "status": "NONE", "converged": False}
+    solver["strategy"] = str(solver_strategy)
+    solver["rank"] = int(solver_rank)
+    solver["setup_seconds"] = float(solver_setup_seconds)
     return TrainingReport(
         fit=ctx.name,
         estimator=estimator,

@@ -131,11 +131,17 @@ class TargetPlatform(enum.Enum):
 
 
 class SolverStatus(enum.Enum):
-    """Termination status of the iterative solver."""
+    """Termination status of the (iterative or direct) solver.
+
+    ``DIRECT`` marks a randomized direct solve (Nyström/Woodbury or the
+    random-feature primal): no iterations were run, the reported residual
+    is one honest post-hoc evaluation of ``||b - A x|| / ||b||``.
+    """
 
     CONVERGED = "converged"
     MAX_ITERATIONS = "max_iterations"
     STAGNATED = "stagnated"
+    DIRECT = "direct"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

@@ -1,0 +1,376 @@
+"""Tests for the solver-strategy layer (repro.core.solvers)."""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import LSSVC, LSSVR
+from repro.core.model import FeatureMapModel, LSSVMModel, load_model
+from repro.core.multiclass import OneVsAllLSSVC
+from repro.core.qmatrix import build_reduced_system
+from repro.core.solvers import (
+    SOLVER_STRATEGIES,
+    FourierFeatureMap,
+    default_solver_rank,
+    fit_reduced_set,
+    fit_rff_primal,
+    resolve_solver,
+    sample_fourier_features,
+    solve_nystrom,
+    solve_nystrom_block,
+)
+from repro.core.sparse_approx import SparseLSSVC
+from repro.data.synthetic import make_planes
+from repro.exceptions import InvalidParameterError
+from repro.model_selection import tune_solver_rank
+from repro.parameter import Parameter
+from repro.serve.engine import PredictionEngine
+from repro.serve.registry import ModelRegistry
+from repro.types import SolverStatus
+
+
+@pytest.fixture(scope="module")
+def planes():
+    return make_planes(400, 8, rng=9)
+
+
+def _rbf_system(X, y):
+    param = Parameter(kernel="rbf", cost=10.0)
+    qmat, rhs = build_reduced_system(
+        np.ascontiguousarray(X, dtype=np.float64),
+        np.where(y == y[0], 1.0, -1.0),
+        param,
+    )
+    return qmat, rhs
+
+
+class TestResolve:
+    def test_strategies(self):
+        assert SOLVER_STRATEGIES == ("cg", "nystrom", "rff")
+        assert resolve_solver(None) == "cg"
+        assert resolve_solver(" Nystrom ") == "nystrom"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_solver("lobpcg")
+
+    def test_default_rank(self):
+        assert default_solver_rank(4000) == 252
+        assert default_solver_rank(10) == 32  # floor; realized rank clamps to n
+        assert default_solver_rank(10**8) == 1024
+
+
+class TestNystromDirect:
+    def test_residual_decreases_with_rank(self, planes):
+        X, y = planes
+        qmat, rhs = _rbf_system(X, y)
+        residuals = []
+        for rank in (8, 32, 128, 390):
+            result, info = solve_nystrom(
+                qmat, rhs, rank=rank, rng=0, polish_iters=0
+            )
+            assert result.status is SolverStatus.DIRECT
+            assert result.iterations == 0
+            assert info.strategy == "nystrom"
+            residuals.append(result.residual)
+        # Monotone up to randomized-solver noise: each quadrupling of the
+        # rank must not make the residual worse.
+        for lo, hi in zip(residuals[1:], residuals[:-1]):
+            assert lo <= hi * 1.05
+
+    def test_full_rank_matches_exact_cg(self, planes):
+        X, y = planes
+        exact = LSSVC(kernel="rbf", C=10.0, epsilon=1e-10).fit(X, y)
+        direct = LSSVC(
+            kernel="rbf", C=10.0, solver="nystrom",
+            solver_rank=X.shape[0] - 1, solver_seed=0,
+        ).fit(X, y)
+        f_exact = exact.decision_function(X)
+        f_direct = direct.decision_function(X)
+        assert np.allclose(f_exact, f_direct, rtol=1e-5, atol=1e-6)
+
+    def test_polish_improves_residual(self, planes):
+        X, y = planes
+        qmat, rhs = _rbf_system(X, y)
+        base, _ = solve_nystrom(qmat, rhs, rank=48, rng=0, polish_iters=0)
+        polished, _ = solve_nystrom(qmat, rhs, rank=48, rng=0, polish_iters=8)
+        assert polished.residual < base.residual
+        assert polished.iterations > 0
+
+    def test_polish_converges(self, planes):
+        X, y = planes
+        qmat, rhs = _rbf_system(X, y)
+        result, _ = solve_nystrom(
+            qmat, rhs, rank=128, rng=0, polish_iters=400, epsilon=1e-6
+        )
+        assert result.status is SolverStatus.CONVERGED
+        assert result.residual <= 1e-6
+
+    def test_block_variant_matches_columnwise(self, planes):
+        X, y = planes
+        qmat, rhs = _rbf_system(X, y)
+        B = np.column_stack([rhs, 0.5 * rhs])
+        block, info = solve_nystrom_block(qmat, B, rank=64, rng=0)
+        single, _ = solve_nystrom(qmat, rhs, rank=64, rng=0)
+        assert info.rank == 64
+        assert np.allclose(block.X[:, 0], single.x)
+        assert np.allclose(block.X[:, 1], 0.5 * single.x)
+
+    def test_accuracy_improves_with_rank(self, planes):
+        X, y = planes
+        coarse = LSSVC(kernel="rbf", C=10.0, solver="nystrom",
+                       solver_rank=8, solver_seed=0).fit(X, y)
+        fine = LSSVC(kernel="rbf", C=10.0, solver="nystrom",
+                     solver_rank=256, solver_seed=0).fit(X, y)
+        assert fine.score(X, y) >= coarse.score(X, y) - 0.01
+
+
+class TestRFF:
+    def test_feature_map_shapes(self, rng):
+        fmap = sample_fourier_features(6, 40, 0.5, rng)
+        assert isinstance(fmap, FourierFeatureMap)
+        assert fmap.omega.shape == (6, 40)
+        assert fmap.offsets.shape == (40,)
+        Z = fmap.transform(rng.normal(size=(9, 6)))
+        assert Z.shape == (9, 40)
+        # cos is bounded: |z_ij| <= sqrt(2/r)
+        assert np.all(np.abs(Z) <= np.sqrt(2.0 / 40) + 1e-12)
+
+    def test_kernel_approximation_improves_with_rank(self, rng):
+        X = rng.normal(size=(60, 5))
+        gamma = 0.3
+        from repro.core.kernels import kernel_matrix
+        from repro.types import KernelType
+
+        K = kernel_matrix(X, X, KernelType.RBF, gamma=gamma)
+        errs = []
+        for rank in (16, 256, 4096):
+            fmap = sample_fourier_features(5, rank, gamma, np.random.default_rng(0))
+            Z = fmap.transform(X)
+            errs.append(np.abs(Z @ Z.T - K).max())
+        assert errs[2] < errs[0]
+
+    def test_high_rank_agrees_with_exact(self, planes):
+        X, y = planes
+        exact = LSSVC(kernel="rbf", C=10.0).fit(X, y)
+        rff = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                    solver_rank=1024, solver_seed=0).fit(X, y)
+        assert rff.score(X, y) >= exact.score(X, y) - 0.02
+
+    def test_compact_model_artifact(self, planes):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                    solver_rank=64, solver_seed=3).fit(X, y)
+        model = clf.model_
+        assert isinstance(model, FeatureMapModel)
+        assert model.rank == 64
+        assert model.num_support_vectors == 0
+        assert model.seed == 3
+        # O(r) artifact: far smaller than the full-support equivalent.
+        dense = LSSVC(kernel="rbf", C=10.0).fit(X, y).model_
+        dense_bytes = dense.support_vectors.nbytes + dense.alpha.nbytes
+        assert model.nbytes < dense_bytes / 4
+
+    def test_non_rbf_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LSSVC(kernel="linear", solver="rff")
+
+    def test_regression_rff(self, rng):
+        X = rng.uniform(-3, 3, size=(300, 1))
+        y = np.sin(X[:, 0])
+        reg = LSSVR(kernel="rbf", C=100.0, gamma=1.0, solver="rff",
+                    solver_rank=200, solver_seed=0).fit(X, y)
+        assert reg.score(X, y) > 0.99
+
+
+class TestReproducibility:
+    def test_same_seed_bit_identical(self, planes):
+        X, y = planes
+        a = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                  solver_rank=64, solver_seed=7).fit(X, y)
+        b = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                  solver_rank=64, solver_seed=7).fit(X, y)
+        assert np.array_equal(a.model_.omega, b.model_.omega)
+        assert np.array_equal(a.model_.weights, b.model_.weights)
+        assert a.model_.bias == b.model_.bias
+
+    def test_different_seed_differs(self, planes):
+        X, y = planes
+        a = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                  solver_rank=64, solver_seed=7).fit(X, y)
+        b = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                  solver_rank=64, solver_seed=8).fit(X, y)
+        assert not np.array_equal(a.model_.omega, b.model_.omega)
+
+    def test_nystrom_seed_reproducible(self, planes):
+        X, y = planes
+        a = LSSVC(kernel="rbf", C=10.0, solver="nystrom", solver_seed=5).fit(X, y)
+        b = LSSVC(kernel="rbf", C=10.0, solver="nystrom", solver_seed=5).fit(X, y)
+        assert np.array_equal(a.model_.alpha, b.model_.alpha)
+        assert a.model_.bias == b.model_.bias
+
+
+class TestCompactModelIO:
+    def test_save_load_roundtrip_bit_identical(self, planes, tmp_path):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                    solver_rank=96, solver_seed=1).fit(X, y)
+        path = os.fspath(tmp_path / "compact.model")
+        clf.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, FeatureMapModel)
+        assert np.array_equal(loaded.omega, clf.model_.omega)
+        assert np.array_equal(loaded.offsets, clf.model_.offsets)
+        assert np.array_equal(loaded.weights, clf.model_.weights)
+        assert loaded.bias == clf.model_.bias
+        assert loaded.labels == clf.model_.labels
+        f0 = clf.model_.decision_function(X[:32])
+        assert np.array_equal(loaded.decision_function(X[:32]), f0)
+
+    def test_libsvm_models_still_load(self, planes, tmp_path):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0).fit(X, y)
+        path = os.fspath(tmp_path / "full.model")
+        clf.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, LSSVMModel)
+
+
+class TestServeCompact:
+    def test_engine_bit_identical_to_model(self, planes):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                    solver_rank=80, solver_seed=2).fit(X, y)
+        model = clf.model_
+        engine = PredictionEngine(model)
+        assert engine.pipeline is None
+        f_model = model.decision_function(X[:64])
+        f_engine = engine.decision_function(X[:64])
+        assert np.array_equal(f_model, f_engine)
+        assert np.array_equal(engine.predict(X[:64]), model.predict(X[:64]))
+
+    def test_registry_serves_compact_from_file(self, planes, tmp_path):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0, solver="rff",
+                    solver_rank=80, solver_seed=2).fit(X, y)
+        path = os.fspath(tmp_path / "compact.model")
+        clf.save(path)
+        registry = ModelRegistry()
+        registry.register("compact", path)
+        engine = registry.get("compact")
+        assert np.array_equal(
+            engine.decision_function(X[:64]),
+            clf.model_.decision_function(X[:64]),
+        )
+        summary = engine.describe()
+        assert summary["kind"] == "compact"
+        assert summary["rank"] == 80
+
+    def test_registry_accepts_in_memory_compact(self, planes):
+        X, y = planes
+        clf = LSSVC(kernel="rbf", C=10.0, solver="rff", solver_rank=48).fit(X, y)
+        registry = ModelRegistry()
+        registry.register("mem", clf.model_)
+        assert registry.get("mem").num_features == X.shape[1]
+
+
+class TestTelemetryFields:
+    def test_report_carries_strategy(self, planes):
+        X, y = planes
+        for solver in SOLVER_STRATEGIES:
+            clf = LSSVC(kernel="rbf", C=10.0, solver=solver).fit(X, y)
+            info = clf.report_.as_dict()["solver"]
+            assert info["strategy"] == solver
+            if solver == "cg":
+                assert info["rank"] == 0
+            else:
+                assert info["rank"] > 0
+                assert info["setup_seconds"] >= 0.0
+
+    def test_multiclass_report(self):
+        X, y = make_planes(200, 6, rng=2)
+        y = np.where(X[:, 0] > 0.5, 2.0, y)
+        clf = OneVsAllLSSVC(kernel="rbf", C=10.0, solver="nystrom").fit(X, y)
+        info = clf.report_.as_dict()["solver"]
+        assert info["strategy"] == "nystrom"
+        assert info["rank"] > 0
+
+
+class TestValidation:
+    def test_polish_requires_nystrom(self):
+        with pytest.raises(InvalidParameterError):
+            LSSVC(solver="cg", polish_iters=3)
+        with pytest.raises(InvalidParameterError):
+            LSSVC(kernel="rbf", solver="rff", polish_iters=3)
+
+    def test_fault_plan_conflicts(self):
+        from repro.simgpu.faults import FaultPlan
+
+        with pytest.raises(InvalidParameterError):
+            LSSVC(solver="nystrom", fault_plan=FaultPlan(seed=0))
+
+    def test_precondition_conflicts(self):
+        with pytest.raises(InvalidParameterError):
+            LSSVC(solver="nystrom", precondition="jacobi")
+
+    def test_bad_rank(self):
+        with pytest.raises(InvalidParameterError):
+            LSSVC(solver="nystrom", solver_rank=0)
+
+
+class TestReducedSetAndShim:
+    def test_fit_reduced_set_classifies(self, planes):
+        X, y = planes
+        param = Parameter(kernel="rbf", cost=10.0)
+        y_enc = np.where(y == y[0], 1.0, -1.0)
+        beta, bias, pivots, info = fit_reduced_set(
+            np.asarray(X, dtype=np.float64), y_enc, param, rank=120, rng=0
+        )
+        assert info.strategy == "nystrom"
+        assert pivots.shape[0] == beta.shape[0] <= 120
+        model = LSSVMModel(
+            support_vectors=np.ascontiguousarray(np.asarray(X)[pivots]),
+            alpha=beta,
+            bias=bias,
+            param=param.with_gamma_for(X.shape[1]),
+            labels=(float(y[0]), float(np.unique(y[y != y[0]])[0])),
+        )
+        assert model.score(X, y) > 0.9
+
+    def test_sparse_shim_warns_and_points_at_nystrom(self):
+        with pytest.warns(DeprecationWarning, match="nystrom"):
+            SparseLSSVC()
+
+    def test_sparse_shim_still_compresses(self, planes):
+        X, y = planes
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            clf = SparseLSSVC(kernel="rbf", C=10.0, target_fraction=0.3).fit(X, y)
+        assert clf.compression > 2.0
+        assert clf.score(X, y) > 0.85
+
+
+class TestRankTuner:
+    def test_picks_small_rank_on_easy_data(self):
+        X, y = make_planes(240, 6, rng=4)
+        result = tune_solver_rank(
+            LSSVC(kernel="rbf", C=10.0),
+            X, y, solver="nystrom", ranks=[16, 64, 150], k=3,
+            max_accuracy_drop=0.05,
+        )
+        assert result.solver == "nystrom"
+        assert result.rank in (16, 64, 150)
+        assert result.baseline.solver == "cg"
+        assert len(result.trials) == 3
+        assert result.speedup > 0.0
+
+    def test_rejects_cg(self):
+        X, y = make_planes(60, 4, rng=5)
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            tune_solver_rank(LSSVC(), X, y, solver="cg")
