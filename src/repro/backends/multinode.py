@@ -16,10 +16,15 @@ possible:
   single ``d``-length allreduce across the nodes (the ``X_bar.T @ v``
   partial sums) — the only inter-node traffic per iteration.
 
-The non-linear kernels are not supported: their kernel matrix entries
-couple every row pair, so a row split would need to stream the whole data
-set through every node per iteration (the reason the paper's in-node split
-is feature-wise in the first place).
+The non-linear kernels distribute by *samples* (the out-of-core
+row-shard scheme): each node owns a row-shard of the data and its slice
+of ``v``, and per matvec streams every row tile of ``X_bar`` against its
+own columns, producing a full-length partial product. The partials
+genuinely overlap, so combining them is a true ``n``-length allreduce —
+the per-iteration streaming the linear Gram factorization avoids, now
+delivered with its modeled cost (every foreign tile is charged as
+inter-node traffic, every tile evaluation as GPU kernel time split
+feature-wise over the node's devices).
 
 Everything is functional (the arithmetic is exact, verified against the
 single-node operator); node-local GPU time comes from the simulated
@@ -59,16 +64,24 @@ def _gemv_cost(rows: int, cols: int) -> tuple:
 
 
 class MultiNodeQMatrix(QMatrixBase):
-    """Row-distributed Q_tilde for the linear kernel.
+    """Row-distributed Q_tilde across simulated nodes.
 
     Node ``k`` owns the row block ``rows_k`` of ``X_bar``; its GPUs hold
-    feature slices of that block in SoA layout. Per matvec:
+    feature slices of that block in SoA layout. Per linear-kernel matvec:
 
     1. each GPU computes its slice of ``w_k = X_bar[rows_k].T @ v[rows_k]``
        (disjoint feature segments — no intra-node reduction needed);
     2. the nodes allreduce ``w`` (one ``d``-vector);
     3. each GPU computes its contribution to ``out[rows_k] = X_bar[rows_k] @ w``
        from its feature slice; the host sums the per-GPU partials.
+
+    Non-linear kernels have no Gram factorization, so they run the
+    sample-sharded scheme instead: node ``k`` streams *every* row tile of
+    ``X_bar`` against its own columns ``X_bar[rows_k]``, producing the
+    full-length partial ``p_k[I] += K(X_I, X_bar[rows_k]) @ v[rows_k]``.
+    Foreign tiles are charged as inter-node broadcasts, tile kernels as
+    GPU launches split feature-wise over the node's devices, and the
+    overlapping partials combine in one ``n``-length allreduce.
     """
 
     def __init__(
@@ -82,13 +95,12 @@ class MultiNodeQMatrix(QMatrixBase):
         device: Union[str, DeviceSpec] = "nvidia_a100",
         network: NetworkSpec = NetworkSpec(),
         fault_plan=None,
+        tile_rows: int = 1024,
     ) -> None:
         super().__init__(X, y, param)
-        if self.param.kernel is not KernelType.LINEAR:
-            raise DeviceError(
-                "multi-node execution supports only the linear kernel "
-                "(row distribution needs the Gram factorization)"
-            )
+        if tile_rows < 1:
+            raise DeviceError("tile_rows must be positive")
+        self._tile_rows = int(tile_rows)
         if num_nodes < 1 or gpus_per_node < 1:
             raise DeviceError("need at least one node with one GPU")
         spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
@@ -168,6 +180,8 @@ class MultiNodeQMatrix(QMatrixBase):
     # -- distributed matvec -----------------------------------------------------------
 
     def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:
+        if self.param.kernel is not KernelType.LINEAR:
+            return self._row_shard_matvec(v)
         d = self.X_bar.shape[1]
         n = self.shape[0]
         # Phase 1: local X^T v partials per node (per GPU: its feature slice).
@@ -219,6 +233,68 @@ class MultiNodeQMatrix(QMatrixBase):
                 )
             out[rows.slice] = acc
         return out
+
+    def _row_shard_matvec(self, v: np.ndarray) -> np.ndarray:
+        """Sample-sharded matvec for the non-linear kernels.
+
+        Every node produces a *full-length* partial product from its own
+        columns; the partials overlap on every entry, so the combine is a
+        genuine ``n``-vector allreduce (unlike the linear path's
+        ``d``-vector Gram reduction).
+        """
+        from ..core.kernels import kernel_matrix
+
+        n, d = self.X_bar.shape
+        kw = self.param.kernel_kwargs()
+        partials = []
+        for node_id, (rows, devices, slabs) in enumerate(
+            zip(self.row_blocks, self.nodes, self._node_data)
+        ):
+            v_local = v[rows.slice]
+            cols = self.X_bar[rows.slice]
+            p = np.zeros(n)
+            for tstart in range(0, n, self._tile_rows):
+                tstop = min(tstart + self._tile_rows, n)
+                trows = tstop - tstart
+                # Foreign tiles reach the node over the fabric; the node's
+                # own rows are already resident.
+                owned = rows.start <= tstart and tstop <= rows.stop
+                tile_bytes = trows * d * _FP64_BYTES
+                if not owned and self.comm.num_ranks > 1:
+                    self.comm.broadcast(
+                        np.empty(0), root=self._owner_of(tstart)
+                    )
+                    self.comm.bytes_moved += tile_bytes
+                tile = kernel_matrix(
+                    self.X_bar[tstart:tstop], cols, self.param.kernel, **kw
+                )
+                p[tstart:tstop] += tile @ v_local
+                for dev, (_, frange) in zip(devices, slabs):
+                    # Feature-sliced distance/inner-product partials; the
+                    # kernel function itself is O(trows * |rows|).
+                    flops = 2.0 * trows * len(rows) * max(len(frange), 1)
+                    gbytes = (
+                        trows * len(frange)
+                        + len(rows) * len(frange)
+                        + trows * len(rows)
+                    ) * _FP64_BYTES
+                    dev.launch(
+                        "multinode_kernel_tile",
+                        flops=flops,
+                        global_bytes=gbytes,
+                        grid_blocks=max(trows // 256, 1),
+                        block_threads=256,
+                    )
+            for dev in devices:
+                dev.copy_from_device(n * _FP64_BYTES)
+            partials.append(p)
+        return self.comm.allreduce_sum(partials)[0]
+
+    def _owner_of(self, row: int) -> int:
+        for node_id, rows in enumerate(self.row_blocks):
+            if rows.start <= row < rows.stop:
+                return node_id
+        return 0
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -44,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--flip", type=float, default=0.01, help="label noise fraction (default 1%%)"
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--format",
+        choices=("libsvm", "binary"),
+        default="libsvm",
+        help="output format: libsvm text (default) or the PLSB binary "
+        "layout that plssvm-train streams out-of-core without a spill "
+        "pass (also ~10x smaller and faster to write at scale)",
+    )
     return parser
 
 
@@ -61,10 +69,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         X, y = make_sat6_like(args.num_points, rng=args.seed)
-    write_libsvm_file(args.output_file, X, y)
+    if args.format == "binary":
+        from ..io.binary_format import write_binary_file
+
+        write_binary_file(args.output_file, X, y)
+    else:
+        write_libsvm_file(args.output_file, X, y)
     print(
         f"wrote {X.shape[0]} points x {X.shape[1]} features "
-        f"({args.problem}) -> {args.output_file}"
+        f"({args.problem}, {args.format}) -> {args.output_file}"
     )
     return 0
 

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.model import load_model
+from ..io.binary_format import is_binary_file, read_binary_file
 from ..io.libsvm_format import read_libsvm_file
 from ..serve.engine import PredictionEngine
 
@@ -33,7 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="plssvm-predict",
         description="Predict labels with a trained LS-SVM model (LIBSVM-compatible).",
     )
-    parser.add_argument("test_file", help="LIBSVM-format test data")
+    parser.add_argument(
+        "test_file", help="test data (LIBSVM text or PLSB binary format)"
+    )
     parser.add_argument("model_file", help="model file written by plssvm-train")
     parser.add_argument(
         "output_file",
@@ -64,7 +67,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     output_path = args.output_file or f"{args.test_file}.predict"
 
     model = load_model(args.model_file)
-    X, y = read_libsvm_file(args.test_file, num_features=model.num_features)
+    if is_binary_file(args.test_file):
+        X, y = read_binary_file(args.test_file)
+    else:
+        X, y = read_libsvm_file(args.test_file, num_features=model.num_features)
     engine = PredictionEngine(
         model,
         solver_threads=args.solver_threads,

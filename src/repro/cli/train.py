@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..core.lssvm import LSSVC
+from ..io.binary_format import is_binary_file, read_binary_file
 from ..io.libsvm_format import read_libsvm_file
 
 __all__ = ["main", "build_parser"]
@@ -169,6 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
         "is treated as lost (default 3)",
     )
     parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="hard training-memory budget in MiB: the data is streamed in "
+        "row blocks from disk (text formats are spilled once to a PLSB "
+        "binary cache), the explicit reduced system refuses to "
+        "materialize past the budget, and the report's peak_rss_bytes "
+        "records the realized high-water mark",
+    )
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the reduced system into N sample row-shards and run "
+        "CG matvecs shard-by-shard (sample-parallel out-of-core "
+        "operator); implies the NumPy dense-free path",
+    )
+    parser.add_argument(
         "--telemetry-json",
         default=None,
         metavar="PATH",
@@ -225,6 +246,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    # Budgeted / sharded training streams row blocks through the NumPy
+    # dense-free operator: no backend, no dense X.
+    out_of_core = args.memory_budget_mb is not None or args.shard_rows is not None
+    if out_of_core:
+        if args.cross_validation is not None:
+            print(
+                "error: --cross_validation resamples the data in memory; "
+                "it does not combine with --memory-budget-mb/--shard-rows",
+                file=sys.stderr,
+            )
+            return 2
+        if fault_plan is not None:
+            print(
+                "error: --fault-plan drives device backends; the out-of-core "
+                "path is host-side (drop --memory-budget-mb/--shard-rows)",
+                file=sys.stderr,
+            )
+            return 2
     clf = LSSVC(
         kernel=_parse_kernel(args.kernel_type),
         C=args.cost,
@@ -233,7 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         coef0=args.coef0,
         epsilon=args.epsilon,
         max_iter=args.max_iter,
-        backend=None if randomized else args.backend,
+        backend=None if randomized or out_of_core else args.backend,
         target=args.target_platform,
         n_devices=args.num_devices,
         dtype=np.float32 if args.float32 else np.float64,
@@ -249,9 +288,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         solver_rank=args.solver_rank,
         solver_seed=args.solver_seed,
         polish_iters=args.polish_iters,
+        memory_budget_mb=args.memory_budget_mb,
+        shard_rows=args.shard_rows,
     )
+    dataset = None
     with clf.timings_.section("read"):
-        X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
+        if out_of_core:
+            from ..io.chunked import open_chunked
+
+            dataset = open_chunked(
+                args.training_file, memory_budget_mb=args.memory_budget_mb
+            )
+            X, y = dataset, dataset.y
+        elif is_binary_file(args.training_file):
+            X, y = read_binary_file(args.training_file)
+        else:
+            X, y = read_libsvm_file(args.training_file, dtype=clf.param.dtype)
     read_timer = clf.timings_["read"]
 
     if args.cross_validation is not None:
@@ -310,9 +362,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"({rec.device_name}) during {rec.op} #{rec.op_index}"
                 )
 
+    if out_of_core:
+        from ..membudget import format_bytes
+
+        budget_txt = (
+            f"{args.memory_budget_mb:g} MiB"
+            if args.memory_budget_mb is not None
+            else "none"
+        )
+        shards = args.shard_rows if args.shard_rows is not None else 1
+        print(
+            f"out-of-core: peak RSS {format_bytes(report.peak_rss_bytes)} "
+            f"(budget {budget_txt}, {shards} row shard(s), "
+            f"dense data would be {format_bytes(X.nbytes_dense)})"
+        )
     if args.verbose:
         print(f"backend: {clf._resolve_backend().describe() if clf.backend else 'numpy reference'}")
         print(f"parameters: {clf.param.describe()}")
+        if report.peak_rss_bytes:
+            print(f"peak RSS: {report.peak_rss_bytes} bytes")
         solver_info = report.as_dict()["solver"]
         if solver_info["strategy"] != "cg":
             print(
@@ -349,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"trained on {X.shape[0]} points x {X.shape[1]} features "
             f"-> {Path(model_path).name} ({clf.iterations_} CG iterations)"
         )
+    if dataset is not None:
+        dataset.close()
     return 0
 
 

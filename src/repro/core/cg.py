@@ -37,6 +37,7 @@ from ..exceptions import (
     InvalidParameterError,
     TransientDeviceError,
 )
+from ..membudget import sample_peak_rss
 from ..telemetry.context import current_context
 from ..types import SolverStatus
 
@@ -396,6 +397,7 @@ def conjugate_gradient(
                     and iteration % checkpoint_interval == 0
                 ):
                     last_ckpt = take_checkpoint(iteration)
+                    sample_peak_rss(ctx)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(
@@ -729,6 +731,7 @@ def conjugate_gradient_block(
                     and iteration % checkpoint_interval == 0
                 ):
                     last_ckpt = take_checkpoint(iteration)
+                    sample_peak_rss(ctx)
 
     if status is not SolverStatus.CONVERGED and warn_on_no_convergence:
         warnings.warn(

@@ -25,6 +25,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
+from ..membudget import memory_budget, reset_peak_rss, sample_peak_rss
 from ..parameter import Parameter
 from ..profiling import ComponentTimer
 from ..telemetry import TrainingReport, build_report, fit_scope
@@ -175,6 +176,19 @@ class LSSVC(ParamsMixin):
     max_retries:
         Transient-fault retry budget of the resilient driver (see
         :func:`repro.core.resilience.resilient_solve`).
+    memory_budget_mb:
+        Hard training-memory budget in MiB. Activates the budget for the
+        duration of :meth:`fit`: the explicit reduced system refuses to
+        materialize past it, operator selection turns matrix-free, and
+        chunked row sources size their streaming blocks against it. The
+        realized peak RSS lands in ``report_.peak_rss_bytes``.
+    shard_rows:
+        Split the reduced system into this many sample row-shards and run
+        CG matvecs shard-by-shard through the out-of-core operator
+        (:class:`repro.core.rowsharded.RowShardedQMatrix`) — partial
+        products are combined by deterministic allreduce. ``X`` may then
+        be a row source (e.g. :class:`repro.io.ChunkedDataset`) so dense
+        data never enters memory. Requires ``backend=None``.
     """
 
     def __init__(
@@ -207,6 +221,8 @@ class LSSVC(ParamsMixin):
         fault_plan=None,
         checkpoint_interval: Optional[int] = None,
         max_retries: int = 3,
+        memory_budget_mb: Optional[float] = None,
+        shard_rows: Optional[int] = None,
     ) -> None:
         # Every constructor argument lands under its own attribute name
         # (the ParamsMixin/get_params contract); derived state is built in
@@ -238,6 +254,8 @@ class LSSVC(ParamsMixin):
         self.fault_plan = fault_plan
         self.checkpoint_interval = checkpoint_interval
         self.max_retries = max_retries
+        self.memory_budget_mb = memory_budget_mb
+        self.shard_rows = shard_rows
         self._sync_params()
         self.model_: Union[None, LSSVMModel, FeatureMapModel] = None
         self.result_: Optional[CGResult] = None
@@ -331,6 +349,25 @@ class LSSVC(ParamsMixin):
                 raise InvalidParameterError(
                     "solver='rff' is a host-side primal solve; use backend=None"
                 )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise InvalidParameterError(
+                f"memory_budget_mb must be positive, got {self.memory_budget_mb}"
+            )
+        if self.shard_rows is not None:
+            if self.shard_rows < 1:
+                raise InvalidParameterError(
+                    f"shard_rows must be positive, got {self.shard_rows}"
+                )
+            self.shard_rows = int(self.shard_rows)
+            if self.backend is not None:
+                raise InvalidParameterError(
+                    "shard_rows runs the row-sharded NumPy operator; "
+                    "use backend=None"
+                )
+            if self.sparse:
+                raise InvalidParameterError(
+                    "shard_rows and the sparse CG path are exclusive"
+                )
         self._backend_instance = None
 
     # -- backend plumbing ---------------------------------------------------
@@ -378,6 +415,7 @@ class LSSVC(ParamsMixin):
                 solver_threads=self.solver_threads,
                 tile_cache_mb=self.tile_cache_mb,
                 compute_dtype=self.compute_dtype,
+                shard_rows=self.shard_rows,
             )
         qmat = backend.create_qmatrix(X, y, self.param)
         return qmat, qmat.rhs()
@@ -391,11 +429,31 @@ class LSSVC(ParamsMixin):
         return backend.describe()
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVC":
-        """Train on ``(X, y)``; ``y`` may use any two distinct labels."""
+        """Train on ``(X, y)``; ``y`` may use any two distinct labels.
+
+        ``X`` may also be a row source (:class:`repro.io.ChunkedDataset`
+        or anything :func:`repro.io.is_row_source` accepts) — it is then
+        streamed block-by-block and never densified. The whole fit runs
+        under :func:`repro.membudget.memory_budget` when
+        ``memory_budget_mb`` is set.
+        """
+        from ..io.chunked import is_row_source  # deferred: io imports core
+
         self.timings_ = ComponentTimer()
+        # Reset the kernel RSS high-water mark before the wall clock
+        # starts: the /proc write is a syscall (and GIL-switch point)
+        # that should not count against the fit's phase accounting.
+        reset_peak_rss()
         with fit_scope("LSSVC.fit", estimator="LSSVC") as ctx:
-            with self.timings_.section("total"):
-                X = np.asarray(X, dtype=self.param.dtype)
+            with memory_budget(self.memory_budget_mb), self.timings_.section("total"):
+                if is_row_source(X):
+                    if self.backend is not None or self.sparse:
+                        raise InvalidParameterError(
+                            "chunked/row-source training data requires the "
+                            "NumPy dense-free path (backend=None, sparse=False)"
+                        )
+                else:
+                    X = np.asarray(X, dtype=self.param.dtype)
                 y_enc, labels = encode_labels(y)
                 if self.solver == "rff":
                     result, info = self._fit_rff(ctx, X, y_enc, labels)
@@ -430,6 +488,10 @@ class LSSVC(ParamsMixin):
                 rank=self.solver_rank,
                 rng=self.solver_seed,
             )
+            # ru_maxrss is monotone within the fit, so the one sample at
+            # the end of the dominant phase captures the fit's peak; it
+            # sits inside the section so the syscall stays accounted.
+            sample_peak_rss(ctx)
         self.result_ = result
         self.model_ = FeatureMapModel(
             omega=fmap.omega,
@@ -450,6 +512,7 @@ class LSSVC(ParamsMixin):
         setup_section = "transform" if self.backend is not None else "assembly"
         with self.timings_.section(setup_section), ctx.span(setup_section):
             qmat, rhs = self._build_operator(X, y_enc)
+            sample_peak_rss(ctx)
         # Solver setup (preconditioner / randomized factorization) is
         # solver work — it trades setup time for iterations — so it is
         # accounted inside the paper's cg section.
@@ -499,6 +562,7 @@ class LSSVC(ParamsMixin):
                         max_iter=self.param.max_iter,
                         preconditioner=precond,
                     )
+            sample_peak_rss(ctx)
         alpha, bias = recover_bias_and_alpha(qmat, result.x)
         self.result_ = result
         self.model_ = LSSVMModel(

@@ -23,7 +23,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import DataError, NotFittedError
+from ..exceptions import DataError, InvalidParameterError, NotFittedError
+from ..membudget import memory_budget, reset_peak_rss, sample_peak_rss
 from ..parameter import Parameter
 from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import KernelType
@@ -89,6 +90,8 @@ class _MulticlassBase(ParamsMixin):
         solver_seed: Union[None, int, np.random.Generator] = 0,
         polish_iters: int = 0,
         estimator_factory: Optional[Callable[[], object]] = None,
+        memory_budget_mb: Optional[float] = None,
+        shard_rows: Optional[int] = None,
     ) -> None:
         self.kernel = kernel
         self.C = C
@@ -107,6 +110,8 @@ class _MulticlassBase(ParamsMixin):
         self.solver_seed = solver_seed
         self.polish_iters = polish_iters
         self.estimator_factory = estimator_factory
+        self.memory_budget_mb = memory_budget_mb
+        self.shard_rows = shard_rows
         self.classes_: Optional[np.ndarray] = None
 
     @property
@@ -142,6 +147,8 @@ class _MulticlassBase(ParamsMixin):
             solver_rank=self.solver_rank,
             solver_seed=self.solver_seed,
             polish_iters=self.polish_iters,
+            memory_budget_mb=self.memory_budget_mb,
+            shard_rows=self.shard_rows,
         )
 
     def _require_fitted(self) -> None:
@@ -195,6 +202,8 @@ class OneVsAllLSSVC(_MulticlassBase):
         polish_iters: int = 0,
         estimator_factory: Optional[Callable[[], object]] = None,
         shared_solve: bool = True,
+        memory_budget_mb: Optional[float] = None,
+        shard_rows: Optional[int] = None,
     ) -> None:
         # The signature is spelled out (no *args/**kwargs passthrough) so
         # the ParamsMixin introspection sees every parameter.
@@ -216,15 +225,25 @@ class OneVsAllLSSVC(_MulticlassBase):
             solver_seed=solver_seed,
             polish_iters=polish_iters,
             estimator_factory=estimator_factory,
+            memory_budget_mb=memory_budget_mb,
+            shard_rows=shard_rows,
         )
         self.shared_solve = bool(shared_solve)
         self.report_: Optional[TrainingReport] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
+        from ..io.chunked import is_row_source  # deferred: io imports core
+
         y = np.asarray(y).ravel()
         self.classes_ = _unique_labels(y)
         self.machines_: List[object] = []
-        X = np.asarray(X)
+        if not is_row_source(X):
+            X = np.asarray(X)
+        elif not (self.shared_solve and self._default_factory):
+            raise InvalidParameterError(
+                "chunked/row-source training data requires the shared block "
+                "solve (shared_solve=True with the default estimator factory)"
+            )
         if self.shared_solve and self._default_factory:
             return self._fit_shared(X, y)
         for label in self.classes_:
@@ -248,6 +267,8 @@ class OneVsAllLSSVC(_MulticlassBase):
         orientation is pinned by constructing the targets as +1 for the
         class itself.
         """
+        from ..io.chunked import is_row_source  # deferred: io imports core
+
         param = Parameter(
             kernel=self.kernel,
             cost=self.C,
@@ -256,15 +277,19 @@ class OneVsAllLSSVC(_MulticlassBase):
             coef0=self.coef0,
             epsilon=self.epsilon,
         )
-        X = np.ascontiguousarray(X, dtype=param.dtype)
+        if not is_row_source(X):
+            X = np.ascontiguousarray(X, dtype=param.dtype)
         # (m, K) matrix of per-class +1/-1 targets.
         Y = np.stack(
             [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
         )
         solver = resolve_solver(self.solver)
+        # Reset the kernel RSS high-water mark before the wall clock
+        # starts so the /proc write does not count against the fit.
+        reset_peak_rss()
         with fit_scope(
             "OneVsAllLSSVC.fit", estimator="OneVsAllLSSVC", classes=len(self.classes_)
-        ) as ctx:
+        ) as ctx, memory_budget(self.memory_budget_mb):
             if solver == "rff":
                 # The random-feature primal shares even more than the
                 # reduced system: one feature map, one Gram accumulation,
@@ -297,7 +322,9 @@ class OneVsAllLSSVC(_MulticlassBase):
                         solver_threads=self.solver_threads,
                         tile_cache_mb=self.tile_cache_mb,
                         compute_dtype=self.compute_dtype,
+                        shard_rows=self.shard_rows,
                     )
+                sample_peak_rss(ctx)
                 B = Y[:-1, :] - Y[-1:, :]  # per-class rhs of Eq. 14
                 if solver == "nystrom":
                     result, info = solve_nystrom_block(
@@ -340,6 +367,7 @@ class OneVsAllLSSVC(_MulticlassBase):
                     )
                     clf.result_ = result.column(j)
                     self.machines_.append(clf)
+            sample_peak_rss(ctx)
         self.report_ = build_report(
             ctx,
             estimator="OneVsAllLSSVC",
@@ -452,7 +480,13 @@ class OneVsOneLSSVC(_MulticlassBase):
     """
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneLSSVC":
-        X = np.asarray(X)
+        from ..io.chunked import is_row_source  # deferred: io imports core
+
+        # Row sources are supported by gathering each pair's (smaller)
+        # subset — pairwise machines need reordered dense subsets anyway.
+        source = X if is_row_source(X) else None
+        if source is None:
+            X = np.asarray(X)
         y = np.asarray(y).ravel()
         self.classes_ = _unique_labels(y)
         self.pairs_: List[Tuple[float, float]] = []
@@ -462,7 +496,12 @@ class OneVsOneLSSVC(_MulticlassBase):
             if np.all(y[mask] == y[mask][0]):
                 raise DataError(f"classes {a} and {b} are not both present")
             binary = np.where(y[mask] == a, 1.0, -1.0)
-            X_ord, binary_ord = _positive_first(X[mask], binary)
+            X_pair = (
+                source.gather_rows(np.nonzero(mask)[0])
+                if source is not None
+                else X[mask]
+            )
+            X_ord, binary_ord = _positive_first(X_pair, binary)
             clf = self._make_estimator()
             clf.fit(X_ord, binary_ord)
             self.pairs_.append((float(a), float(b)))

@@ -315,23 +315,22 @@ class NystromPrecond:
         """Build the preconditioner for a reduced system operator.
 
         Runs the oracle RPCholesky on the operator's corrected kernel
-        ``G = Q_tilde - diag(ridge)`` (see class docstring) — each pivot
-        costs one :func:`~repro.core.kernels.kernel_row` over ``X_bar``
-        plus O(m) corrections, so the kernel matrix is never formed.
+        ``G = Q_tilde - diag(ridge)`` (see class docstring). Pivot columns
+        go through the operator's row-block protocol
+        (:meth:`~repro.core.qmatrix.QMatrixBase.kernel_column`) plus O(m)
+        corrections, so neither the kernel matrix nor dense ``X`` is ever
+        formed — out-of-core row-sharded operators stream each column.
         ``rank=None`` picks :func:`default_nystrom_rank`.
         """
         n = qmat.shape[0]
         r = default_nystrom_rank(n) if rank is None else int(rank)
         if r < 1:
             raise InvalidParameterError(f"precond_rank must be positive, got {rank}")
-        kw = qmat.param.kernel_kwargs()
-        kernel = qmat.param.kernel
-        X_bar = qmat.X_bar
         q_bar = np.asarray(qmat.q_bar, dtype=np.float64)
         q_mm = float(qmat.q_mm)
 
         def corrected_column(s: int) -> np.ndarray:
-            col = kernel_row(X_bar[s], X_bar, kernel, **kw).astype(np.float64)
+            col = np.asarray(qmat.kernel_column(s), dtype=np.float64)
             col -= q_bar[s]
             col -= q_bar
             col += q_mm

@@ -38,7 +38,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import DataError
+from ..exceptions import DataError, InvalidParameterError
+from ..membudget import active_memory_budget, format_bytes
 from ..parameter import Parameter
 from ..types import KernelType
 from .kernels import kernel_diagonal, kernel_matrix, kernel_row, kernel_scalar
@@ -56,6 +57,10 @@ __all__ = [
 #: :func:`build_reduced_system`'s automatic mode (the matrix would need
 #: ``(m-1)^2 * 8`` bytes).
 EXPLICIT_LIMIT = 4096
+
+#: Default row-block height of the streaming protocol
+#: (:meth:`QMatrixBase.iter_row_blocks`).
+DEFAULT_ROW_BLOCK = 4096
 
 
 def _validate_training_data(
@@ -114,29 +119,49 @@ class QMatrixBase(abc.ABC):
     ) -> None:
         X, y = _validate_training_data(X, y, param.dtype, binary_labels=binary_labels)
         param = param.with_gamma_for(X.shape[1])
-        self.param = param
         self.X = X
-        self.y = y
         self.X_bar = X[:-1]
         self.x_m = X[-1]
-        self.y_bar = y[:-1]
-        self.y_m = float(y[-1])
         kw = param.kernel_kwargs()
         # q_bar[i] = k(x_i, x_m) for i < m (no delta term since i != m).
-        self.q_bar = kernel_row(self.x_m, self.X_bar, param.kernel, **kw).astype(
+        q_bar = kernel_row(self.x_m, self.X_bar, param.kernel, **kw).astype(
             param.dtype, copy=False
         )
-        self.k_mm = kernel_scalar(self.x_m, self.x_m, param.kernel, **kw)
+        k_mm = kernel_scalar(self.x_m, self.x_m, param.kernel, **kw)
+        self._finish_init(y, param, q_bar, k_mm, ridge=ridge)
+
+    def _finish_init(
+        self,
+        y: np.ndarray,
+        param: Parameter,
+        q_bar: np.ndarray,
+        k_mm: float,
+        *,
+        ridge: Optional[np.ndarray] = None,
+    ) -> None:
+        """Shared tail of construction once ``q_bar``/``k_mm`` are known.
+
+        Subclasses that never hold dense ``X`` (the row-sharded operator)
+        compute ``q_bar`` by streaming and then call this directly instead
+        of ``QMatrixBase.__init__``.
+        """
+        m = q_bar.shape[0] + 1
+        self.param = param
+        self.y = y
+        self.y_bar = y[:-1]
+        self.y_m = float(y[-1])
+        self.q_bar = q_bar
+        self.k_mm = float(k_mm)
         self.inv_cost = 1.0 / param.cost
         if ridge is None:
-            self.ridge_bar = np.full(X.shape[0] - 1, self.inv_cost, dtype=param.dtype)
+            self.ridge_bar = np.full(m - 1, self.inv_cost, dtype=param.dtype)
             self.ridge_m = self.inv_cost
         else:
             ridge = np.asarray(ridge, dtype=param.dtype).ravel()
-            if ridge.shape[0] != X.shape[0]:
+            if ridge.shape[0] != m:
                 raise DataError(
                     f"ridge vector length {ridge.shape[0]} does not match "
-                    f"{X.shape[0]} data points"
+                    f"{m} data points"
                 )
             if np.any(ridge <= 0) or not np.all(np.isfinite(ridge)):
                 raise DataError("ridge entries must be positive and finite")
@@ -149,7 +174,7 @@ class QMatrixBase(abc.ABC):
 
     @property
     def shape(self) -> Tuple[int, int]:
-        n = self.X.shape[0] - 1
+        n = self.q_bar.shape[0]
         return (n, n)
 
     @property
@@ -222,17 +247,64 @@ class QMatrixBase(abc.ABC):
     def __matmul__(self, v: np.ndarray) -> np.ndarray:
         return self.matvec(v)
 
+    # -- row-block iterator protocol --------------------------------------
+    #
+    # Consumers that need training rows (preconditioner pivot gathers, the
+    # rff/nystrom solver fits, the streaming diagonal) go through these
+    # three methods instead of reading dense ``X`` directly, so operators
+    # backed by an out-of-core ChunkedDataset work without ever
+    # materializing the matrix. The base implementations slice the
+    # in-memory ``X_bar``; RowShardedQMatrix overrides them to stream.
+
+    def iter_row_blocks(self, block_rows: Optional[int] = None):
+        """Yield ``(start, stop, block)`` over the first ``m-1`` points.
+
+        Blocks arrive in order and cover ``[0, m-1)`` exactly once. The
+        in-memory default yields views (no copies); streaming operators
+        yield freshly-read arrays bounded by their byte budget.
+        """
+        n = self.shape[0]
+        step = int(block_rows) if block_rows else max(n, 1)
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            yield start, stop, self.X_bar[start:stop]
+
+    def gather_rows(self, indices) -> np.ndarray:
+        """Training rows (of the first ``m-1``) at ``indices``, dense.
+
+        RPCholesky preconditioner setup gathers its pivot rows through
+        this — O(rank) rows, never the full matrix.
+        """
+        return np.asarray(self.X_bar[np.asarray(indices, dtype=np.intp)])
+
+    def kernel_column(self, s: int) -> np.ndarray:
+        """Column ``s`` of ``K_bar`` (``k(x_i, x_s)`` for ``i < m-1``).
+
+        Streams through :meth:`iter_row_blocks`, so a preconditioner can
+        factor rank-``r`` columns against an out-of-core operator in
+        O(block) memory.
+        """
+        x_s = self.gather_rows([int(s)])[0]
+        kw = self.param.kernel_kwargs()
+        out = np.empty(self.shape[0], dtype=self.dtype)
+        for start, stop, block in self.iter_row_blocks():
+            out[start:stop] = kernel_row(x_s, block, self.param.kernel, **kw)
+        return out
+
     def diagonal(self) -> np.ndarray:
         """``diag(Q_tilde)`` without forming the matrix (Eq. 16 at i = j).
 
         ``Q_tilde[i, i] = k(x_i, x_i) + ridge_i - 2 q_bar_i + q_mm`` — the
         single source of truth shared by Jacobi/Nyström preconditioner
         setup, the classifier's legacy ``jacobi=True`` path, and the
-        multi-class block solve.
+        multi-class block solve. Computed block-wise via the row-block
+        protocol so it holds for streaming operators too.
         """
         kw = self.param.kernel_kwargs()
-        diag = kernel_diagonal(self.X_bar, self.param.kernel, **kw)
-        return diag.astype(self.dtype, copy=False) + self.ridge_bar - 2.0 * self.q_bar + self.q_mm
+        diag = np.empty(self.shape[0], dtype=self.dtype)
+        for start, stop, block in self.iter_row_blocks():
+            diag[start:stop] = kernel_diagonal(block, self.param.kernel, **kw)
+        return diag + self.ridge_bar - 2.0 * self.q_bar + self.q_mm
 
     def rhs(self) -> np.ndarray:
         """Right-hand side of Eq. 14: ``y_bar - y_m * 1``."""
@@ -264,6 +336,18 @@ class ExplicitQMatrix(QMatrixBase):
         binary_labels: bool = True,
     ) -> None:
         super().__init__(X, y, param, ridge=ridge, binary_labels=binary_labels)
+        n = self.shape[0]
+        budget = active_memory_budget()
+        estimate = n * n * np.dtype(self.dtype).itemsize
+        if budget is not None and estimate > budget:
+            raise InvalidParameterError(
+                f"ExplicitQMatrix would materialize the dense "
+                f"{n}x{n} reduced system: {estimate} bytes "
+                f"({format_bytes(estimate)}) for m={n + 1} training points "
+                f"exceeds the active memory budget of {format_bytes(budget)}. "
+                f"Use the implicit or row-sharded operator "
+                f"(implicit=True / shard_rows), or raise --memory-budget-mb."
+            )
         kw = self.param.kernel_kwargs()
         K = kernel_matrix(self.X_bar, self.X_bar, self.param.kernel, **kw)
         K = K.astype(self.dtype, copy=False)
@@ -407,6 +491,8 @@ def build_reduced_system(
     solver_threads: Optional[int] = None,
     tile_cache_mb: Optional[float] = None,
     compute_dtype=None,
+    shard_rows: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> Tuple[QMatrixBase, np.ndarray]:
     """Assemble ``(Q_tilde, rhs)`` for the given training data.
 
@@ -414,13 +500,44 @@ def build_reduced_system(
     :data:`EXPLICIT_LIMIT` points (a dense solve's memory is then harmless
     and matvecs are fastest), matrix-free beyond that — the same trade-off
     that forces the paper's GPU kernels to recompute entries on the fly.
-    ``solver_threads`` / ``tile_cache_mb`` / ``compute_dtype`` configure
-    the implicit operator's tile pipeline (ignored for the explicit path).
+    When an active memory budget (see :mod:`repro.membudget`) is too small
+    for the dense system, the automatic mode also picks the matrix-free
+    path. ``solver_threads`` / ``tile_cache_mb`` / ``compute_dtype``
+    configure the implicit operator's tile pipeline (ignored for the
+    explicit path).
+
+    ``X`` may be a row source (:class:`repro.io.chunked.ChunkedDataset` /
+    ``ArrayRowSource``) instead of an array; that, or a ``shard_rows`` /
+    ``shard_size`` sharding request, routes to the out-of-core
+    :class:`repro.core.rowsharded.RowShardedQMatrix`.
     """
+    from ..io.chunked import is_row_source
+
+    if is_row_source(X) or shard_rows is not None or shard_size is not None:
+        from .rowsharded import RowShardedQMatrix
+
+        q: QMatrixBase = RowShardedQMatrix(
+            X,
+            y,
+            param,
+            num_shards=shard_rows,
+            shard_size=shard_size,
+            tile_rows=tile_rows,
+            solver_threads=solver_threads,
+            tile_cache_mb=tile_cache_mb,
+            compute_dtype=compute_dtype,
+        )
+        return q, q.rhs()
     if implicit is None:
-        implicit = np.asarray(X).shape[0] > EXPLICIT_LIMIT
+        m = np.asarray(X).shape[0]
+        implicit = m > EXPLICIT_LIMIT
+        if not implicit:
+            budget = active_memory_budget()
+            dense_bytes = (m - 1) * (m - 1) * np.dtype(param.dtype).itemsize
+            if budget is not None and dense_bytes > budget:
+                implicit = True
     if implicit:
-        q: QMatrixBase = ImplicitQMatrix(
+        q = ImplicitQMatrix(
             X,
             y,
             param,

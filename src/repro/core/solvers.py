@@ -333,19 +333,30 @@ def _rff_normal_equations(
         [1^T Z         m    ] [b] = [1^T Y]
 
     Blocked accumulation keeps peak memory at ``block_rows * r`` feature
-    entries — the same bounded-tile idiom as the kernel pipeline.
+    entries — the same bounded-tile idiom as the kernel pipeline. ``X``
+    may be a row source (:func:`repro.io.chunked.is_row_source`), in
+    which case blocks stream straight from disk and dense ``X`` is never
+    materialized.
     """
-    m = X.shape[0]
+    from ..io.chunked import is_row_source
+
+    m = X.shape[0] if not is_row_source(X) else X.num_rows
     r = fmap.rank
     k = Y.shape[1]
     G = np.zeros((r + 1, r + 1), dtype=np.float64)
     rhs = np.zeros((r + 1, k), dtype=np.float64)
-    for start in range(0, m, block_rows):
-        rows = slice(start, min(start + block_rows, m))
-        Z = fmap.transform(X[rows])
+    if is_row_source(X):
+        blocks = X.iter_blocks(block_rows)
+    else:
+        blocks = (
+            (start, min(start + block_rows, m), X[start : min(start + block_rows, m)])
+            for start in range(0, m, block_rows)
+        )
+    for start, stop, block in blocks:
+        Z = fmap.transform(block)
         G[:r, :r] += Z.T @ Z
         G[:r, r] += Z.sum(axis=0)
-        rhs[:r] += Z.T @ Y[rows]
+        rhs[:r] += Z.T @ Y[start:stop]
     G[r, :r] = G[:r, r]
     G[r, r] = float(m)
     G[:r, :r] += np.eye(r) / float(cost)
@@ -382,9 +393,12 @@ def fit_rff_primal_multi(
         raise InvalidParameterError(
             f"solver='rff' maps the RBF kernel only, not {param.kernel}"
         )
-    X = np.asarray(X, dtype=np.float64)
-    if X.ndim != 2:
-        raise InvalidParameterError("training data must be 2-D")
+    from ..io.chunked import is_row_source
+
+    if not is_row_source(X):
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise InvalidParameterError("training data must be 2-D")
     Y = np.asarray(Y, dtype=np.float64)
     single = Y.ndim == 1
     if single:

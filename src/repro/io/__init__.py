@@ -9,23 +9,48 @@ LIBSVM:
 * model files live in :mod:`repro.core.model` (re-exported here);
 * :mod:`repro.io.scaling` — the ``svm-scale`` workflow: linear feature
   scaling to ``[-1, 1]`` with scale-factor files that can be saved and
-  re-applied to test data.
+  re-applied to test data;
+* :mod:`repro.io.chunked` — out-of-core row-block streaming under a byte
+  budget (``ChunkedDataset``), with one-time spill of text formats into
+  the PLSB binary layout.
 """
 
 from ..core.model import load_model, save_model
-from .binary_format import read_binary_file, write_binary_file
+from .binary_format import (
+    is_binary_file,
+    read_binary_file,
+    read_binary_header,
+    write_binary_file,
+)
+from .chunked import (
+    ArrayRowSource,
+    ChunkedDataset,
+    as_row_source,
+    is_row_source,
+    open_chunked,
+    spill_to_binary,
+)
 from .csv_format import csv_to_libsvm, read_csv_file, write_csv_file
-from .libsvm_format import read_libsvm_file, write_libsvm_file
+from .libsvm_format import read_libsvm_file, scan_libsvm_file, write_libsvm_file
 from .scaling import FeatureScaler, load_scaling, save_scaling
 
 __all__ = [
     "read_libsvm_file",
     "write_libsvm_file",
+    "scan_libsvm_file",
     "read_binary_file",
     "write_binary_file",
+    "read_binary_header",
+    "is_binary_file",
     "read_csv_file",
     "write_csv_file",
     "csv_to_libsvm",
+    "ChunkedDataset",
+    "ArrayRowSource",
+    "open_chunked",
+    "as_row_source",
+    "is_row_source",
+    "spill_to_binary",
     "load_model",
     "save_model",
     "FeatureScaler",

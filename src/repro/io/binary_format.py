@@ -25,7 +25,15 @@ import numpy as np
 
 from ..exceptions import FileFormatError
 
-__all__ = ["read_binary_file", "write_binary_file", "MAGIC"]
+__all__ = [
+    "read_binary_file",
+    "write_binary_file",
+    "read_binary_header",
+    "is_binary_file",
+    "BinaryHeader",
+    "BinaryRowWriter",
+    "MAGIC",
+]
 
 MAGIC = b"PLSB"
 _VERSION = 1
@@ -97,3 +105,133 @@ def read_binary_file(
     y = flat[:rows].astype(dtype, copy=True)
     X = flat[rows:].reshape(rows, cols).astype(dtype, copy=True)
     return X, y
+
+
+class BinaryHeader:
+    """Parsed PLSB header: shape, dtype, and byte offsets into the file.
+
+    ``labels_offset``/``data_offset`` let out-of-core readers seek straight
+    to a row block with plain buffered reads (no memory map — mapped pages
+    that get touched count toward RSS, which would defeat a memory budget).
+    """
+
+    __slots__ = ("dtype", "rows", "cols", "labels_offset", "data_offset")
+
+    def __init__(self, dtype: np.dtype, rows: int, cols: int) -> None:
+        self.dtype = np.dtype(dtype)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.labels_offset = _HEADER.size
+        self.data_offset = _HEADER.size + self.rows * self.dtype.itemsize
+
+    @property
+    def row_bytes(self) -> int:
+        return self.cols * self.dtype.itemsize
+
+    @property
+    def le_dtype(self) -> np.dtype:
+        return np.dtype("<" + self.dtype.str[1:])
+
+
+def read_binary_header(path: Union[str, Path]) -> BinaryHeader:
+    """Validate a PLSB file's header and size; returns a :class:`BinaryHeader`."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size < _HEADER.size:
+        raise FileFormatError(f"{path}: too small to be a PLSB file")
+    with path.open("rb") as f:
+        magic, version, dtype_code, rows, cols, _ = _HEADER.unpack(
+            f.read(_HEADER.size)
+        )
+    if magic != MAGIC:
+        raise FileFormatError(f"{path}: bad magic {magic!r} (not a PLSB file)")
+    if version != _VERSION:
+        raise FileFormatError(f"{path}: unsupported format version {version}")
+    try:
+        dtype = _CODE_DTYPES[dtype_code]
+    except KeyError:
+        raise FileFormatError(f"{path}: unknown dtype code {dtype_code}") from None
+    expected = _HEADER.size + (rows + rows * cols) * dtype.itemsize
+    if size != expected:
+        raise FileFormatError(
+            f"{path}: truncated or padded file ({size} bytes, expected {expected})"
+        )
+    return BinaryHeader(dtype, rows, cols)
+
+
+def is_binary_file(path: Union[str, Path]) -> bool:
+    """True when ``path`` starts with the PLSB magic (cheap format sniff)."""
+    try:
+        with Path(path).open("rb") as f:
+            return f.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+class BinaryRowWriter:
+    """Incremental PLSB writer: header + labels up front, rows appended.
+
+    The out-of-core spill converter knows ``(rows, cols, y)`` after its
+    counting pass but streams the data matrix block by block; this writer
+    keeps the peak footprint at one block. Use as a context manager —
+    closing validates that exactly ``rows`` rows were appended.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], y: np.ndarray, cols: int, dtype=np.float64
+    ) -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in _DTYPE_CODES:
+            raise FileFormatError(f"unsupported dtype {dtype}; use float32/float64")
+        y = np.asarray(y).ravel().astype(dtype, copy=False)
+        self.path = Path(path)
+        self.dtype = dtype
+        self.rows = int(y.shape[0])
+        self.cols = int(cols)
+        self._written = 0
+        self._file = self.path.open("wb")
+        self._file.write(
+            _HEADER.pack(MAGIC, _VERSION, _DTYPE_CODES[dtype], self.rows, self.cols, 0)
+        )
+        self._file.write(y.astype("<" + dtype.str[1:], copy=False).tobytes())
+
+    def append(self, block: np.ndarray) -> None:
+        """Append a ``(k, cols)`` row block (also accepts a single row)."""
+        block = np.ascontiguousarray(block, dtype=self.dtype)
+        if block.ndim == 1:
+            block = block.reshape(1, -1)
+        if block.ndim != 2 or block.shape[1] != self.cols:
+            raise FileFormatError(
+                f"row block shape {block.shape} does not match {self.cols} columns"
+            )
+        if self._written + block.shape[0] > self.rows:
+            raise FileFormatError(
+                f"attempted to write more than the declared {self.rows} rows"
+            )
+        self._file.write(
+            block.astype("<" + self.dtype.str[1:], copy=False).tobytes()
+        )
+        self._written += block.shape[0]
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.close()
+        if self._written != self.rows:
+            raise FileFormatError(
+                f"{self.path}: wrote {self._written} rows, declared {self.rows}"
+            )
+
+    def abort(self) -> None:
+        """Close without the row-count check (error-path cleanup)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "BinaryRowWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()

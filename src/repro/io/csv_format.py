@@ -38,30 +38,27 @@ def read_csv_file(
         it is treated as a header.
     """
     path = Path(path)
-    rows: List[List[str]] = []
-    with path.open("r", newline="", encoding="utf-8") as f:
-        for record in csv.reader(f, delimiter=delimiter):
-            if record and any(cell.strip() for cell in record):
-                rows.append([cell.strip() for cell in record])
-    if not rows:
+
+    # Pass 1: count rows and capture the first one (header sniff + width),
+    # never materializing the file. The earlier single-pass variant stored
+    # every record as a Python list of strings, peaking at a large multiple
+    # of the final array size.
+    total_rows = 0
+    first_row: Optional[List[str]] = None
+    for row in _iter_csv_rows(path, delimiter):
+        if first_row is None:
+            first_row = row
+        total_rows += 1
+    if first_row is None:
         raise FileFormatError(f"{path}: file contains no data rows")
 
-    def _is_numeric_row(row: List[str]) -> bool:
-        try:
-            for cell in row:
-                float(cell)
-            return True
-        except ValueError:
-            return False
-
     if has_header is None:
-        has_header = not _is_numeric_row(rows[0])
-    if has_header:
-        rows = rows[1:]
-        if not rows:
-            raise FileFormatError(f"{path}: only a header line, no data")
+        has_header = not _is_numeric_row(first_row)
+    num_rows = total_rows - 1 if has_header else total_rows
+    if num_rows == 0:
+        raise FileFormatError(f"{path}: only a header line, no data")
 
-    width = len(rows[0])
+    width = len(first_row)
     if width < 2:
         raise FileFormatError(f"{path}: need a label column plus features")
     label_idx = label_column if label_column >= 0 else width + label_column
@@ -70,20 +67,62 @@ def read_csv_file(
             f"{path}: label column {label_column} out of range for {width} columns"
         )
 
-    labels = np.empty(len(rows), dtype=dtype)
-    X = np.empty((len(rows), width - 1), dtype=dtype)
-    for i, row in enumerate(rows):
-        if len(row) != width:
-            raise FileFormatError(
-                f"{path}: row {i + 1} has {len(row)} cells, expected {width}"
-            )
-        try:
-            values = [float(cell) for cell in row]
-        except ValueError as exc:
-            raise FileFormatError(f"{path}: row {i + 1}: {exc}") from None
-        labels[i] = values[label_idx]
-        X[i] = values[:label_idx] + values[label_idx + 1 :]
+    # Pass 2: fill the preallocated arrays row by row.
+    labels = np.empty(num_rows, dtype=dtype)
+    X = np.empty((num_rows, width - 1), dtype=dtype)
+    i = 0
+    for row in _iter_csv_rows(path, delimiter, skip_first=has_header):
+        if i >= num_rows:
+            raise FileFormatError(f"{path}: file changed between parsing passes")
+        _fill_csv_row(path, i, row, width, label_idx, labels, X)
+        i += 1
+    if i != num_rows:
+        raise FileFormatError(f"{path}: file changed between parsing passes")
     return X, labels
+
+
+def _iter_csv_rows(path: Path, delimiter: str, *, skip_first: bool = False):
+    """Stream non-empty, cell-stripped CSV records one at a time."""
+    with path.open("r", newline="", encoding="utf-8") as f:
+        seen = False
+        for record in csv.reader(f, delimiter=delimiter):
+            if record and any(cell.strip() for cell in record):
+                if skip_first and not seen:
+                    seen = True
+                    continue
+                seen = True
+                yield [cell.strip() for cell in record]
+
+
+def _is_numeric_row(row: List[str]) -> bool:
+    try:
+        for cell in row:
+            float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def _fill_csv_row(
+    path: Path,
+    i: int,
+    row: List[str],
+    width: int,
+    label_idx: int,
+    labels: np.ndarray,
+    X: np.ndarray,
+) -> None:
+    """Validate data row ``i`` (0-based) and write it into ``labels``/``X``."""
+    if len(row) != width:
+        raise FileFormatError(
+            f"{path}: row {i + 1} has {len(row)} cells, expected {width}"
+        )
+    try:
+        values = [float(cell) for cell in row]
+    except ValueError as exc:
+        raise FileFormatError(f"{path}: row {i + 1}: {exc}") from None
+    labels[i] = values[label_idx]
+    X[i] = values[:label_idx] + values[label_idx + 1 :]
 
 
 def write_csv_file(

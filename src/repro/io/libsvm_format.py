@@ -6,18 +6,141 @@ sparse files but computes on dense data — "when parsing sparse data, we
 allocate memory for all features including those that are zero" (§IV-H) —
 so :func:`read_libsvm_file` returns a dense array. The reader is the
 ``read`` component of the paper's runtime breakdown.
+
+The parser is two-pass: :func:`scan_libsvm_file` first counts rows and the
+maximum feature index (collecting labels into a geometrically-grown array),
+then the second pass writes values straight into the preallocated dense
+matrix. Peak memory is therefore the output array plus one row of tokens —
+the earlier single-pass variant accumulated every row as a Python list of
+tuples, peaking at a large multiple of the final array size
+(``tests/test_out_of_core.py`` guards the regression with ``tracemalloc``).
+The same passes back the out-of-core spill converter in
+:mod:`repro.io.chunked`, which never holds more than one row block.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import FileFormatError
 
-__all__ = ["read_libsvm_file", "write_libsvm_file"]
+__all__ = [
+    "read_libsvm_file",
+    "write_libsvm_file",
+    "scan_libsvm_file",
+    "iter_libsvm_rows",
+]
+
+
+def _parse_entry(
+    path: Path,
+    lineno: int,
+    token: str,
+    last_index: int,
+    *,
+    with_value: bool = True,
+) -> Tuple[int, float]:
+    """Validate one ``index:value`` token; returns ``(index, value)``.
+
+    ``with_value=False`` skips the float conversion (the scanning pass only
+    needs indices); the value is then reported as 0.0.
+    """
+    idx_str, sep, val_str = token.partition(":")
+    if not sep:
+        raise FileFormatError(f"{path}:{lineno}: malformed feature entry {token!r}")
+    try:
+        idx = int(idx_str)
+        val = float(val_str) if with_value else 0.0
+    except ValueError:
+        raise FileFormatError(
+            f"{path}:{lineno}: malformed feature entry {token!r}"
+        ) from None
+    if idx < 1:
+        raise FileFormatError(
+            f"{path}:{lineno}: feature indices are 1-based, got {idx}"
+        )
+    if idx <= last_index:
+        raise FileFormatError(
+            f"{path}:{lineno}: feature indices must increase, "
+            f"got {idx} after {last_index}"
+        )
+    return idx, val
+
+
+def iter_libsvm_rows(
+    path: Union[str, Path]
+) -> Iterator[Tuple[int, float, List[str]]]:
+    """Yield ``(lineno, label, feature_tokens)`` per data row, streaming.
+
+    Comments and blank lines are skipped. Unlabeled rows — lines that start
+    directly with an ``index:value`` entry, the common shape of real-world
+    *test* files — yield ``NaN`` labels so prediction tooling can
+    distinguish "no ground truth" from any real label value. Feature tokens
+    are returned raw (validated by the caller via the parsing helpers), so
+    iterating holds at most one row in memory.
+    """
+    path = Path(path)
+    with path.open("r", encoding="ascii") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if ":" in tokens[0]:
+                # No leading label: the whole line is features (an
+                # unlabeled test row, mirroring svm-predict's tolerance).
+                yield lineno, float("nan"), tokens
+                continue
+            try:
+                label = float(tokens[0])
+            except ValueError:
+                raise FileFormatError(
+                    f"{path}:{lineno}: malformed label {tokens[0]!r}"
+                ) from None
+            yield lineno, label, tokens[1:]
+
+
+def scan_libsvm_file(
+    path: Union[str, Path]
+) -> Tuple[int, int, np.ndarray]:
+    """Counting pass: ``(num_rows, max_index, labels)`` without feature values.
+
+    Labels are collected into a float64 array grown geometrically (never a
+    per-row Python list), so the scan's footprint is O(num_rows) floats.
+    """
+    path = Path(path)
+    labels = np.empty(1024, dtype=np.float64)
+    count = 0
+    max_index = 0
+    for lineno, label, tokens in iter_libsvm_rows(path):
+        last_index = 0
+        for token in tokens:
+            last_index, _ = _parse_entry(
+                path, lineno, token, last_index, with_value=False
+            )
+        max_index = max(max_index, last_index)
+        if count == labels.shape[0]:
+            grown = np.empty(labels.shape[0] * 2, dtype=np.float64)
+            grown[:count] = labels
+            labels = grown
+        labels[count] = label
+        count += 1
+    return count, max_index, labels[:count].copy()
+
+
+def _resolve_width(
+    path: Path, max_index: int, num_features: Optional[int]
+) -> int:
+    width = num_features if num_features is not None else max_index
+    if width < max_index:
+        raise FileFormatError(
+            f"{path}: file has feature index {max_index}, "
+            f"but only {width} features were requested"
+        )
+    return max(width, 1)
 
 
 def read_libsvm_file(
@@ -44,69 +167,24 @@ def read_libsvm_file(
     entry points reject NaN labels downstream.
     """
     path = Path(path)
-    labels: List[float] = []
-    rows: List[List[Tuple[int, float]]] = []
-    max_index = 0
-    with path.open("r", encoding="ascii") as f:
-        for lineno, raw in enumerate(f, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if not line:
-                continue
-            tokens = line.split()
-            if ":" in tokens[0]:
-                # No leading label: the whole line is features (an
-                # unlabeled test row, mirroring svm-predict's tolerance).
-                label = float("nan")
-            else:
-                try:
-                    label = float(tokens[0])
-                except ValueError:
-                    raise FileFormatError(
-                        f"{path}:{lineno}: malformed label {tokens[0]!r}"
-                    ) from None
-                tokens = tokens[1:]
-            entries: List[Tuple[int, float]] = []
-            last_index = 0
-            for token in tokens:
-                idx_str, sep, val_str = token.partition(":")
-                if not sep:
-                    raise FileFormatError(
-                        f"{path}:{lineno}: malformed feature entry {token!r}"
-                    )
-                try:
-                    idx, val = int(idx_str), float(val_str)
-                except ValueError:
-                    raise FileFormatError(
-                        f"{path}:{lineno}: malformed feature entry {token!r}"
-                    ) from None
-                if idx < 1:
-                    raise FileFormatError(
-                        f"{path}:{lineno}: feature indices are 1-based, got {idx}"
-                    )
-                if idx <= last_index:
-                    raise FileFormatError(
-                        f"{path}:{lineno}: feature indices must increase, "
-                        f"got {idx} after {last_index}"
-                    )
-                last_index = idx
-                entries.append((idx, val))
-            max_index = max(max_index, last_index)
-            labels.append(label)
-            rows.append(entries)
-
-    if not rows:
+    num_rows, max_index, labels = scan_libsvm_file(path)
+    if num_rows == 0:
         raise FileFormatError(f"{path}: file contains no data points")
-    width = num_features if num_features is not None else max_index
-    if width < max_index:
-        raise FileFormatError(
-            f"{path}: file has feature index {max_index}, "
-            f"but only {width} features were requested"
-        )
-    X = np.zeros((len(rows), max(width, 1)), dtype=dtype)
-    for i, entries in enumerate(rows):
-        for idx, val in entries:
-            X[i, idx - 1] = val
-    return X, np.asarray(labels, dtype=dtype)
+    width = _resolve_width(path, max_index, num_features)
+    X = np.zeros((num_rows, width), dtype=dtype)
+    i = 0
+    for lineno, _, tokens in iter_libsvm_rows(path):
+        if i >= num_rows:
+            raise FileFormatError(f"{path}: file changed between parsing passes")
+        row = X[i]
+        last_index = 0
+        for token in tokens:
+            last_index, val = _parse_entry(path, lineno, token, last_index)
+            row[last_index - 1] = val
+        i += 1
+    if i != num_rows:
+        raise FileFormatError(f"{path}: file changed between parsing passes")
+    return X, labels.astype(dtype, copy=False)
 
 
 def write_libsvm_file(

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..exceptions import TelemetryError
+from ..membudget import sample_peak_rss
 
 __all__ = [
     "TrainingReport",
@@ -43,7 +44,10 @@ __all__ = [
 #: v2: the solver object gained ``strategy`` / ``rank`` / ``setup_seconds``
 #: (the randomized-solver tier: which strategy ran, at what rank, and its
 #: factorization cost).
-REPORT_SCHEMA_VERSION = 2
+#: v3: top-level ``peak_rss_bytes`` — the process resident-set high-water
+#: mark sampled at phase boundaries and CG checkpoints (the out-of-core
+#: training proof: peak RSS stayed under the ``--memory-budget-mb`` cap).
+REPORT_SCHEMA_VERSION = 3
 
 #: Declarative shape of the serialized report: required key -> type spec.
 #: A type spec is a Python type, a tuple of admissible types, or ``list``
@@ -66,6 +70,7 @@ REPORT_SCHEMA: Dict[str, object] = {
     "events": list,
     "device_event_count": int,
     "dropped_spans": int,
+    "peak_rss_bytes": int,
 }
 
 #: Required keys inside the nested "solver" object.
@@ -205,6 +210,13 @@ class TrainingReport:
         Raw simulated-device events (kernel launches, transfers) kept
         out of :meth:`as_dict` for compactness; they feed the merged
         chrome trace.
+    peak_rss_bytes:
+        Resident-set high-water mark (``ru_maxrss``) sampled at phase
+        boundaries and CG checkpoints during the fit. On Linux the
+        kernel counter is reset at fit entry
+        (:func:`repro.membudget.reset_peak_rss`), so the value is the
+        fit's own peak and proves an out-of-core run stayed under its
+        memory budget; elsewhere it is a process-lifetime maximum.
     """
 
     fit: str
@@ -222,6 +234,7 @@ class TrainingReport:
     events: List[dict]
     device_events: List[dict] = dataclasses.field(default_factory=list, repr=False)
     dropped_spans: int = 0
+    peak_rss_bytes: int = 0
     schema_version: int = REPORT_SCHEMA_VERSION
 
     # -- convenience views ----------------------------------------------------
@@ -268,6 +281,7 @@ class TrainingReport:
             "events": list(self.events),
             "device_event_count": self.device_event_count,
             "dropped_spans": self.dropped_spans,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -429,6 +443,7 @@ def build_report(
     solver["strategy"] = str(solver_strategy)
     solver["rank"] = int(solver_rank)
     solver["setup_seconds"] = float(solver_setup_seconds)
+    sample_peak_rss(ctx)
     return TrainingReport(
         fit=ctx.name,
         estimator=estimator,
@@ -445,4 +460,5 @@ def build_report(
         events=list(ctx.fault_events),
         device_events=list(ctx.device_events),
         dropped_spans=ctx.dropped_spans,
+        peak_rss_bytes=int(ctx.metrics.value("peak_rss_bytes")),
     )

@@ -107,10 +107,20 @@ class TestMultiNodeQMatrix:
         v = np.random.default_rng(0).standard_normal(X.shape[0] - 1)
         assert np.allclose(ref.matvec(v), dist.matvec(v), atol=1e-9)
 
-    def test_rejects_nonlinear(self, planes_small, rbf_param):
+    def test_nonlinear_row_shard_matches_reference(self, planes_small, rbf_param):
+        from repro.core.qmatrix import ImplicitQMatrix
+
         X, y = planes_small
-        with pytest.raises(DeviceError, match="linear"):
-            MultiNodeQMatrix(X, y, rbf_param, num_nodes=2, gpus_per_node=1)
+        ref = ImplicitQMatrix(X, y, rbf_param)
+        dist = MultiNodeQMatrix(
+            X, y, rbf_param, num_nodes=3, gpus_per_node=2, tile_rows=7
+        )
+        v = np.random.default_rng(1).standard_normal(X.shape[0] - 1)
+        assert np.allclose(ref.matvec(v), dist.matvec(v), atol=1e-9)
+        # The overlapping sample-shard partials combine via allreduce and
+        # foreign tiles are charged as inter-node traffic.
+        assert dist.comm.counters["allreduce"] == 1
+        assert dist.comm.bytes_moved > 0
 
     def test_more_nodes_than_points_shrinks_cluster(self, linear_param):
         X, y = make_planes(10, 4, rng=0)
