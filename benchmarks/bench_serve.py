@@ -1,22 +1,14 @@
-"""Perf harness for the ``repro.serve`` micro-batching inference stack.
+"""Thin CLI wrapper over the ``serve`` benchmark campaign.
 
-Runs closed-loop in-process load tests against a warm
-:class:`~repro.serve.PredictionEngine` and writes the numbers to
-``BENCH_serve.json`` at the repository root:
-
-* ``warm_engine`` — repeated single-row prediction through
-  ``LSSVMModel.decision_function`` (re-deriving norms every call) vs the
-  warm engine (norms, casts, and pool hoisted to load time).
-* ``batching`` — a sweep of client concurrency x batch policy: K closed-
-  loop clients each submitting single rows through one
-  :class:`~repro.serve.MicroBatcher`, with batching disabled
-  (``max_batch_rows=1``) and enabled. Reports p50/p99 request latency,
-  throughput, and the measured coalescing factor (requests per batch).
-* ``compact_serving`` — single-row latency of an exact RBF model (kernel
-  rows against every support vector) vs a compact ``solver="rff"``
-  feature-map model served through the same engine, plus a bit-identity
-  check that the engine path (``plssvm-serve``/``plssvm-predict``) and
-  the direct model path agree exactly on the compact artifact.
+The three serving scenarios (cold model vs warm engine, batching off vs
+on across a concurrency sweep, exact RBF vs compact RFF serving) now
+live in :mod:`repro.campaign.serve_scenarios`; the campaign definition —
+sizes, ``--quick`` clamps, gate rules — is
+:func:`repro.campaign.presets.serve_campaign`. This script keeps the
+historical flags and ``BENCH_serve{,.quick}.json`` output so existing
+invocations and the committed artifacts stay valid; prefer
+``plssvm-bench run serve`` (resumable, gated via ``plssvm-bench check``)
+for new workflows.
 
 Run from the repository root::
 
@@ -30,241 +22,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
-import threading
-import time
+import tempfile
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.lssvm import LSSVC
-from repro.data.synthetic import make_planes
-from repro.serve import BatchPolicy, MicroBatcher, PredictionEngine
-from repro.telemetry import TelemetryContext, activate
+from repro.campaign import CampaignRunner, ResultsStore, serve_campaign
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
-
-
-def _train_model(points: int, features: int, seed: int):
-    X, y = make_planes(points, features, rng=seed)
-    clf = LSSVC(kernel="rbf", C=10.0, gamma=1.0 / features).fit(X, y)
-    return clf.model_, X
-
-
-def bench_warm_engine(model, X, requests: int) -> dict:
-    """Cold per-call model prediction vs the warm engine, single rows."""
-    rows = X[np.arange(requests) % X.shape[0]]
-
-    start = time.perf_counter()
-    for i in range(requests):
-        model.decision_function(rows[i])
-    cold_seconds = time.perf_counter() - start
-
-    engine = PredictionEngine(model)
-    engine.decision_function(rows[0])  # touch everything once
-    start = time.perf_counter()
-    for i in range(requests):
-        engine.decision_function(rows[i])
-    warm_seconds = time.perf_counter() - start
-
-    return {
-        "requests": requests,
-        "support_vectors": model.num_support_vectors,
-        "cold_seconds": cold_seconds,
-        "warm_seconds": warm_seconds,
-        "speedup": cold_seconds / max(warm_seconds, 1e-9),
-    }
-
-
-def _closed_loop(
-    engine,
-    X,
-    *,
-    clients: int,
-    requests_per_client: int,
-    policy: BatchPolicy,
-) -> dict:
-    """K closed-loop clients, each firing single-row requests back to back."""
-    ctx = TelemetryContext(f"bench-serve-c{clients}")
-    latencies = [[] for _ in range(clients)]
-    errors = []
-    gate = threading.Barrier(clients + 1)
-
-    def client(k):
-        rng = np.random.default_rng(k)
-        idx = rng.integers(0, X.shape[0], size=requests_per_client)
-        try:
-            gate.wait(timeout=30.0)
-            with activate(ctx):
-                for i in idx:
-                    t0 = time.perf_counter()
-                    batcher.submit(X[i], timeout=60.0)
-                    latencies[k].append(time.perf_counter() - t0)
-        except BaseException as exc:  # pragma: no cover - surfaced below
-            errors.append(exc)
-
-    with MicroBatcher(engine, policy=policy, context=ctx) as batcher:
-        threads = [
-            threading.Thread(target=client, args=(k,), daemon=True)
-            for k in range(clients)
-        ]
-        for t in threads:
-            t.start()
-        gate.wait(timeout=30.0)
-        start = time.perf_counter()
-        for t in threads:
-            t.join()
-        elapsed = time.perf_counter() - start
-        batches = batcher.batches
-    if errors:
-        raise errors[0]
-
-    lat = np.array([v for per_client in latencies for v in per_client])
-    total = clients * requests_per_client
-    return {
-        "clients": clients,
-        "requests": total,
-        "seconds": elapsed,
-        "throughput_rps": total / elapsed,
-        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
-        "latency_p99_ms": float(np.percentile(lat, 99) * 1e3),
-        "latency_mean_ms": float(lat.mean() * 1e3),
-        "batches": batches,
-        "requests_per_batch": total / max(batches, 1),
-        "tile_sweeps": ctx.metrics.value("tile_sweeps"),
-        "batched_requests": ctx.metrics.value("serve_batched_requests"),
-    }
-
-
-def bench_batching(
-    model,
-    X,
-    *,
-    concurrency: list,
-    requests_per_client: int,
-    max_batch_rows: int,
-    max_wait_ms: float,
-) -> dict:
-    engine = PredictionEngine(model)
-    engine.decision_function(X[:1])  # warm once, outside the clock
-    grid = {}
-    for clients in concurrency:
-        off = _closed_loop(
-            engine,
-            X,
-            clients=clients,
-            requests_per_client=requests_per_client,
-            policy=BatchPolicy(max_batch_rows=1, max_wait_ms=0.0,
-                               max_queue_rows=max(4096, clients * 4)),
-        )
-        on = _closed_loop(
-            engine,
-            X,
-            clients=clients,
-            requests_per_client=requests_per_client,
-            policy=BatchPolicy(max_batch_rows=max_batch_rows,
-                               max_wait_ms=max_wait_ms,
-                               max_queue_rows=max(4096, clients * 4)),
-        )
-        grid[str(clients)] = {
-            "unbatched": off,
-            "batched": on,
-            "throughput_gain": on["throughput_rps"] / off["throughput_rps"],
-            "p99_ratio": on["latency_p99_ms"] / max(off["latency_p99_ms"], 1e-9),
-        }
-    return {
-        "policy": {"max_batch_rows": max_batch_rows, "max_wait_ms": max_wait_ms},
-        "requests_per_client": requests_per_client,
-        "grid": grid,
-    }
-
-
-def _single_row_latencies(engine, rows) -> np.ndarray:
-    engine.decision_function(rows[0])  # touch everything once
-    lat = np.empty(len(rows))
-    for i, row in enumerate(rows):
-        t0 = time.perf_counter()
-        engine.decision_function(row)
-        lat[i] = time.perf_counter() - t0
-    return lat
-
-
-def bench_compact_serving(points: int, features: int, seed: int,
-                          requests: int) -> dict:
-    """Exact RBF serving vs a compact RFF feature-map model."""
-    X, y = make_planes(points, features, rng=seed)
-    hyper = dict(kernel="rbf", C=10.0, gamma=1.0 / features)
-    exact = LSSVC(**hyper).fit(X, y)
-    compact = LSSVC(solver="rff", solver_seed=seed, **hyper).fit(X, y)
-    rows = [X[i % X.shape[0]] for i in range(requests)]
-
-    exact_engine = PredictionEngine(exact.model_)
-    compact_engine = PredictionEngine(compact.model_)
-    lat_exact = _single_row_latencies(exact_engine, rows)
-    lat_compact = _single_row_latencies(compact_engine, rows)
-
-    # plssvm-predict and plssvm-serve both route through the engine; the
-    # claim worth checking is that the engine's primal fast path is
-    # bit-identical to the model's own evaluation of the same artifact.
-    engine_preds = compact_engine.predict(X)
-    model_preds = compact.model_.predict(X)
-    exact_bytes = (exact.model_.support_vectors.nbytes
-                   + exact.model_.alpha.nbytes)
-    return {
-        "requests": requests,
-        "support_vectors": exact.model_.num_support_vectors,
-        "compact_rank": compact.model_.rank,
-        "exact_p50_ms": float(np.percentile(lat_exact, 50) * 1e3),
-        "exact_p99_ms": float(np.percentile(lat_exact, 99) * 1e3),
-        "compact_p50_ms": float(np.percentile(lat_compact, 50) * 1e3),
-        "compact_p99_ms": float(np.percentile(lat_compact, 99) * 1e3),
-        "p50_speedup": float(np.percentile(lat_exact, 50)
-                             / max(np.percentile(lat_compact, 50), 1e-9)),
-        "exact_model_bytes": int(exact_bytes),
-        "compact_model_bytes": int(compact.model_.nbytes),
-        "exact_accuracy": float(exact.score(X, y)),
-        "compact_accuracy": float(compact.score(X, y)),
-        "bit_identical_serve": bool(np.array_equal(engine_preds, model_preds)),
-    }
-
-
-def run(args: argparse.Namespace) -> dict:
-    report = {
-        "harness": "benchmarks/bench_serve.py",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "config": {
-            "points": args.points,
-            "features": args.features,
-            "requests": args.requests,
-            "requests_per_client": args.requests_per_client,
-            "concurrency": args.concurrency,
-            "max_batch_rows": args.max_batch_rows,
-            "max_wait_ms": args.max_wait_ms,
-            "seed": args.seed,
-            "quick": args.quick,
-        },
-        "scenarios": {},
-    }
-    print(f"training RBF model (m={args.points}, d={args.features}) ...")
-    model, X = _train_model(args.points, args.features, args.seed)
-    print(f"[1/3] cold model vs warm engine ({args.requests} single rows) ...")
-    report["scenarios"]["warm_engine"] = bench_warm_engine(model, X, args.requests)
-    print(f"[2/3] batching off vs on, concurrency {args.concurrency} ...")
-    report["scenarios"]["batching"] = bench_batching(
-        model,
-        X,
-        concurrency=args.concurrency,
-        requests_per_client=args.requests_per_client,
-        max_batch_rows=args.max_batch_rows,
-        max_wait_ms=args.max_wait_ms,
-    )
-    print(f"[3/3] exact RBF vs compact RFF serving "
-          f"({args.requests} single rows) ...")
-    report["scenarios"]["compact_serving"] = bench_compact_serving(
-        args.points, args.features, args.seed, args.requests
-    )
-    return report
 
 
 def main(argv=None) -> dict:
@@ -284,17 +47,36 @@ def main(argv=None) -> dict:
                         "BENCH_serve.quick.json unless --output is given")
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
-    if args.quick:
-        args.points = min(args.points, 500)
-        args.requests = min(args.requests, 40)
-        args.requests_per_client = min(args.requests_per_client, 10)
-        args.concurrency = [c for c in args.concurrency if c <= 8] or [1, 8]
     if args.output is None:
         args.output = (
             DEFAULT_OUTPUT.with_suffix(".quick.json") if args.quick else DEFAULT_OUTPUT
         )
 
-    report = run(args)
+    spec = serve_campaign(
+        points=args.points,
+        features=args.features,
+        requests=args.requests,
+        requests_per_client=args.requests_per_client,
+        concurrency=args.concurrency,
+        max_batch_rows=args.max_batch_rows,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        quick=args.quick,
+    )
+
+    def progress(cell, done, total, status):
+        if status == "start":
+            print(f"[{done + 1}/{total}] {cell} ...", flush=True)
+
+    # One-shot measurement, exactly like the pre-campaign script: the
+    # store is throwaway. plssvm-bench run is the resumable path.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultsStore(Path(tmp) / f"{spec.name}.jsonl")
+        run = CampaignRunner(spec, store, progress=progress).run(resume=False)
+    if run.failed:
+        cell, error = next(iter(run.failed.items()))
+        raise RuntimeError(f"benchmark cell {cell} failed: {error}")
+    report = run.report(harness="benchmarks/bench_serve.py", config=spec.config)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     we = report["scenarios"]["warm_engine"]

@@ -1,32 +1,15 @@
-"""Perf harness for the shared kernel-tile pipeline / block-CG solver stack.
+"""Thin CLI wrapper over the ``solver`` benchmark campaign.
 
-Times three before/after comparisons on synthetic data and writes the
-numbers to ``BENCH_solver.json`` at the repository root:
-
-* ``single_vs_block`` — k one-RHS CG solves against one block-CG solve on
-  the same implicit RBF operator: the block solve pays one kernel-tile
-  sweep per iteration for all k systems.
-* ``tile_cache`` — the same implicit solve with the cross-iteration tile
-  cache disabled vs enabled: every sweep after the first replays cached
-  GEMMs instead of recomputing kernel entries.
-* ``multiclass`` — 4-class one-vs-all RBF training: the legacy path
-  (``shared_solve=False``, one operator assembly + one CG solve per
-  class, exactly the pre-block-solver behaviour) against the shared path
-  (one assembly, one block solve for the whole ensemble).
-* ``preconditioning`` — plain vs Jacobi vs Nyström CG on an
-  ill-conditioned RBF system (large C, small gamma): per-config iteration
-  counts, preconditioner setup seconds, and total solve wallclock.
-* ``mixed_precision`` — the same implicit solve with float64 vs float32
-  kernel tiles: solution agreement against the float64 run, tile-cache
-  bytes, and sweep wallclock per precision mode.
-* ``randomized_solvers`` — exact CG vs the direct randomized strategies
-  (``solver="nystrom"`` / ``solver="rff"``) over a rank x polish grid:
-  train wallclock, training accuracy, and accuracy drop per cell, plus
-  the headline speedup of the best cell within a 1% accuracy budget.
-* ``out_of_core`` — matvec throughput of the in-memory implicit
-  operator vs the row-sharded operator streaming the same data from a
-  PLSB file under a memory budget, at several m (linear kernel): the
-  out-of-core pipeline must stay within 1.5x of the in-memory one.
+The seven solver-stack scenarios (single-RHS vs block CG, tile cache,
+one-vs-all vs shared solve, preconditioning, mixed precision, randomized
+solvers, out-of-core) now live in
+:mod:`repro.campaign.solver_scenarios`; the campaign definition —
+problem sizes, ``--quick`` clamps, gate rules — is
+:func:`repro.campaign.presets.solver_campaign`. This script keeps the
+historical flags and ``BENCH_solver{,.quick}.json`` output so existing
+invocations and the committed artifacts stay valid; prefer
+``plssvm-bench run solver`` (resumable, gated via ``plssvm-bench
+check``) for new workflows.
 
 Run from the repository root::
 
@@ -34,456 +17,18 @@ Run from the repository root::
 
 ``--quick`` shrinks every scenario to CI-smoke size (a few seconds
 total); the numbers are then only a plumbing check, not a measurement.
-
-Not a pytest-benchmark module on purpose: the scenarios time *pairs* of
-code paths against each other rather than regenerating a paper figure.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import platform
 import tempfile
-import time
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.cg import conjugate_gradient, conjugate_gradient_block
-from repro.core.lssvm import LSSVC
-from repro.core.multiclass import OneVsAllLSSVC
-from repro.core.precond import make_preconditioner
-from repro.core.qmatrix import build_reduced_system
-from repro.core.solvers import default_solver_rank
-from repro.data.synthetic import make_multiclass
-from repro.io.binary_format import write_binary_file
-from repro.io.chunked import open_chunked
-from repro.membudget import memory_budget
-from repro.parameter import Parameter
-from repro.profiling.stats import reset_solver_counters, solver_counters
+from repro.campaign import CampaignRunner, ResultsStore, solver_campaign
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_solver.json"
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    out = fn()
-    return time.perf_counter() - start, out
-
-
-def _class_targets(y: np.ndarray) -> np.ndarray:
-    classes = np.unique(y)
-    return np.stack([np.where(y == c, 1.0, -1.0) for c in classes], axis=1)
-
-
-def bench_single_vs_block(
-    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
-) -> dict:
-    """k independent CG solves vs one block solve on one implicit operator."""
-    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
-    Y = _class_targets(y)
-    param = Parameter(kernel="rbf", cost=10.0)
-    qmat, _ = build_reduced_system(X, Y[:, 0], param, implicit=True)
-    B = Y[:-1, :] - Y[-1:, :]
-
-    reset_solver_counters()
-    single_seconds, singles = _timed(
-        lambda: [
-            conjugate_gradient(qmat, B[:, j], epsilon=epsilon)
-            for j in range(B.shape[1])
-        ]
-    )
-    single_sweeps = solver_counters().tile_sweeps
-
-    reset_solver_counters()
-    block_seconds, block = _timed(
-        lambda: conjugate_gradient_block(qmat, B, epsilon=epsilon)
-    )
-    block_sweeps = solver_counters().tile_sweeps
-
-    return {
-        "points": m,
-        "rhs_columns": int(B.shape[1]),
-        "single_seconds": single_seconds,
-        "block_seconds": block_seconds,
-        "speedup": single_seconds / block_seconds,
-        "single_iterations": [r.iterations for r in singles],
-        "block_iterations": block.iterations,
-        "single_tile_sweeps": single_sweeps,
-        "block_tile_sweeps": block_sweeps,
-        "block_status": block.status.name,
-    }
-
-
-def bench_tile_cache(
-    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
-) -> dict:
-    """The same block solve with the cross-iteration tile cache off vs on."""
-    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
-    Y = _class_targets(y)
-    param = Parameter(kernel="rbf", cost=10.0)
-    B = Y[:-1, :] - Y[-1:, :]
-
-    def solve(cache_mb):
-        qmat, _ = build_reduced_system(
-            X, Y[:, 0], param, implicit=True, tile_cache_mb=cache_mb
-        )
-        return conjugate_gradient_block(qmat, B, epsilon=epsilon)
-
-    reset_solver_counters()
-    uncached_seconds, _ = _timed(lambda: solve(0.0))
-    uncached = solver_counters().as_dict()
-
-    reset_solver_counters()
-    cached_seconds, _ = _timed(lambda: solve(None))
-    cached = solver_counters().as_dict()
-
-    return {
-        "points": m,
-        "uncached_seconds": uncached_seconds,
-        "cached_seconds": cached_seconds,
-        "speedup": uncached_seconds / cached_seconds,
-        "uncached_counters": uncached,
-        "cached_counters": cached,
-        "cache_hit_rate": solver_counters().cache_hit_rate,
-    }
-
-
-def bench_multiclass(
-    m: int, num_features: int, num_classes: int, epsilon: float, seed: int
-) -> dict:
-    """Pre-PR per-class one-vs-all training vs the shared block solve."""
-    X, y = make_multiclass(m, num_features, num_classes=num_classes, rng=seed)
-
-    def fit(shared: bool, **kwargs) -> OneVsAllLSSVC:
-        clf = OneVsAllLSSVC(
-            kernel="rbf", C=10.0, epsilon=epsilon, shared_solve=shared, **kwargs
-        )
-        clf.fit(X, y)
-        return clf
-
-    legacy_seconds, legacy = _timed(lambda: fit(False))
-    shared_seconds, shared = _timed(lambda: fit(True))
-
-    # A third run on the implicit path surfaces the tile-cache counters for
-    # a problem of this size (the explicit path has no tiles to cache).
-    reset_solver_counters()
-    implicit_seconds, _ = _timed(lambda: fit(True, implicit=True))
-    implicit_counters = solver_counters().as_dict()
-
-    return {
-        "points": m,
-        "num_classes": num_classes,
-        "legacy_seconds": legacy_seconds,
-        "shared_seconds": shared_seconds,
-        "speedup": legacy_seconds / shared_seconds,
-        "legacy_accuracy": legacy.score(X, y),
-        "shared_accuracy": shared.score(X, y),
-        "shared_implicit": {
-            "seconds": implicit_seconds,
-            "counters": implicit_counters,
-            "cache_hit_rate": solver_counters().cache_hit_rate,
-        },
-    }
-
-
-def bench_preconditioning(
-    m: int, num_features: int, epsilon: float, seed: int
-) -> dict:
-    """Plain vs Jacobi vs Nyström CG on an ill-conditioned RBF system.
-
-    Large C and a small gamma flatten the kernel's spectrum tail, which is
-    exactly where plain CG grinds: the iteration count — and with it the
-    number of kernel-tile sweeps, the dominant cost at this size — is what
-    the preconditioners are meant to collapse. C is kept at the largest
-    value where *plain* CG still converges legitimately at this size
-    (harder systems trip its stall heuristic, which would make the
-    baseline iteration count meaningless).
-    """
-    X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
-    targets = np.where(y == y[0], 1.0, -1.0)
-    param = Parameter(kernel="rbf", cost=300.0, gamma=0.5 / num_features)
-    qmat, rhs = build_reduced_system(X, targets, param, implicit=True)
-
-    configs = {}
-    for kind in (None, "jacobi", "nystrom"):
-        reset_solver_counters()
-        seconds, result = _timed(
-            lambda kind=kind: conjugate_gradient(
-                qmat,
-                rhs,
-                epsilon=epsilon,
-                preconditioner=make_preconditioner(qmat, kind, rng=seed),
-            )
-        )
-        counters = solver_counters()
-        configs[kind or "none"] = {
-            "iterations": result.iterations,
-            "seconds": seconds,
-            "setup_seconds": counters.precond_setup_seconds,
-            "rank": counters.precond_rank,
-            "residual": result.residual,
-            "status": result.status.name,
-            "tile_sweeps": counters.tile_sweeps,
-            "precision": "float64",
-        }
-
-    none_it = configs["none"]["iterations"]
-    nys = configs["nystrom"]
-    return {
-        "points": m,
-        "cost": param.cost,
-        "gamma": param.gamma,
-        "configs": configs,
-        "nystrom_iteration_ratio": nys["iterations"] / max(none_it, 1),
-        "nystrom_speedup": configs["none"]["seconds"] / nys["seconds"],
-    }
-
-
-def bench_mixed_precision(
-    m: int, num_features: int, epsilon: float, seed: int
-) -> dict:
-    """float64 vs float32 kernel tiles on the same implicit block solve."""
-    X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
-    targets = np.where(y == y[0], 1.0, -1.0)
-    param = Parameter(kernel="rbf", cost=100.0)
-
-    def solve(compute_dtype):
-        qmat, rhs = build_reduced_system(
-            X, targets, param, implicit=True, compute_dtype=compute_dtype
-        )
-        result = conjugate_gradient(qmat, rhs, epsilon=epsilon)
-        return result, qmat.pipeline.stats()
-
-    configs = {}
-    for compute_dtype in (None, "float32"):
-        reset_solver_counters()
-        seconds, (result, stats) = _timed(lambda cd=compute_dtype: solve(cd))
-        configs[stats["compute_dtype"]] = {
-            "iterations": result.iterations,
-            "seconds": seconds,
-            "residual": result.residual,
-            "status": result.status.name,
-            "cache_bytes": stats.get("cache_bytes", 0),
-            "precision": stats["compute_dtype"],
-            "x": result.x,
-        }
-
-    f64, f32 = configs["float64"], configs["float32"]
-    x64, x32 = f64.pop("x"), f32.pop("x")
-    rel_diff = float(np.linalg.norm(x32 - x64) / np.linalg.norm(x64))
-    return {
-        "points": m,
-        "configs": configs,
-        "solution_rel_diff": rel_diff,
-        "cache_bytes_ratio": f64["cache_bytes"] / max(f32["cache_bytes"], 1),
-        "speedup": f64["seconds"] / f32["seconds"],
-    }
-
-
-def bench_randomized_solvers(
-    m: int, num_features: int, epsilon: float, seed: int, quick: bool
-) -> dict:
-    """Exact CG vs the direct randomized strategies over a rank x polish grid.
-
-    The exact fit costs O(m²) kernel work per CG sweep times the iteration
-    count; the randomized strategies cost O(m·r) setup plus an
-    r-dimensional solve. The grid sweeps solver x rank x polish and records
-    train wallclock and training accuracy per cell; the headline number is
-    the best speedup among cells within 1% of the exact accuracy.
-    """
-    X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
-
-    baseline_seconds, baseline = _timed(
-        lambda: LSSVC(kernel="rbf", C=10.0, epsilon=epsilon).fit(X, y)
-    )
-    baseline_accuracy = baseline.score(X, y)
-
-    default_rank = default_solver_rank(m)
-    if quick:
-        grid = [("nystrom", default_rank, 0), ("rff", default_rank, 0)]
-    else:
-        ranks = sorted({default_rank // 2, default_rank, 2 * default_rank})
-        grid = [("nystrom", r, p) for r in ranks for p in (0, 2)]
-        grid += [("rff", r, 0) for r in ranks]
-
-    cells = []
-    for solver, rank, polish in grid:
-        seconds, clf = _timed(
-            lambda solver=solver, rank=rank, polish=polish: LSSVC(
-                kernel="rbf",
-                C=10.0,
-                epsilon=epsilon,
-                solver=solver,
-                solver_rank=rank,
-                solver_seed=seed,
-                polish_iters=polish,
-            ).fit(X, y)
-        )
-        accuracy = clf.score(X, y)
-        info = clf.report_.as_dict()["solver"]
-        cells.append(
-            {
-                "solver": solver,
-                "rank": rank,
-                "realized_rank": info["rank"],
-                "polish_iters": polish,
-                "train_seconds": seconds,
-                "setup_seconds": info["setup_seconds"],
-                "accuracy": accuracy,
-                "accuracy_drop": baseline_accuracy - accuracy,
-                "speedup": baseline_seconds / seconds,
-            }
-        )
-
-    within_budget = [c for c in cells if c["accuracy_drop"] <= 0.01]
-    best = max(within_budget or cells, key=lambda c: c["speedup"])
-    return {
-        "points": m,
-        "baseline_seconds": baseline_seconds,
-        "baseline_accuracy": baseline_accuracy,
-        "baseline_iterations": baseline.iterations_,
-        "default_rank": default_rank,
-        "cells": cells,
-        "best_within_1pct": best,
-        "best_speedup_within_1pct": (
-            best["speedup"] if within_budget else None
-        ),
-    }
-
-
-def bench_out_of_core(
-    m_values: list, num_features: int, budget_mb: float, shards: int, seed: int
-) -> dict:
-    """In-memory implicit matvecs vs the row-sharded operator on a PLSB file.
-
-    For each m the same planes data is applied once through the in-memory
-    implicit pipeline and once through ``RowShardedQMatrix`` streaming a
-    PLSB spill under a ``--ooc-budget-mb`` byte budget (linear kernel, so
-    the sweeps are GEMM-bound and the comparison isolates the streaming
-    overhead: chunked reads, per-shard partials, the allreduce fold).
-    The acceptance bar is throughput within 1.5x of in-memory at equal m.
-    """
-    reps, rounds = 20, 5
-    points = []
-    for m in m_values:
-        X, y = make_multiclass(m, num_features, num_classes=2, rng=seed)
-        targets = np.where(y == y[0], 1.0, -1.0)
-        param = Parameter(kernel="linear", cost=10.0)
-        v = np.random.default_rng(seed).standard_normal(m - 1)
-
-        with tempfile.TemporaryDirectory() as tmp:
-            path = Path(tmp) / "train.plsb"
-            write_binary_file(path, X, y)
-            with memory_budget(budget_mb):
-                dataset = open_chunked(path, memory_budget_mb=budget_mb)
-                try:
-                    qmat_mem, _ = build_reduced_system(
-                        X, targets, param, implicit=True
-                    )
-                    qmat_ooc, _ = build_reduced_system(
-                        dataset, targets, param, shard_rows=shards
-                    )
-                    reference = qmat_mem.matvec(v)  # warm-up sweeps,
-                    streamed = qmat_ooc.matvec(v)   # reused for parity
-                    # Alternate measurement rounds and keep the fastest so
-                    # machine-load drift hits both pipelines alike.
-                    mem_seconds = ooc_seconds = float("inf")
-                    for _ in range(rounds):
-                        sec, _ = _timed(
-                            lambda: [qmat_mem.matvec(v) for _ in range(reps)]
-                        )
-                        mem_seconds = min(mem_seconds, sec)
-                        sec, _ = _timed(
-                            lambda: [qmat_ooc.matvec(v) for _ in range(reps)]
-                        )
-                        ooc_seconds = min(ooc_seconds, sec)
-                finally:
-                    dataset.close()
-        max_abs_diff = float(np.max(np.abs(streamed - reference)))
-
-        points.append(
-            {
-                "points": m,
-                "dense_bytes": int(X.nbytes),
-                "in_memory_seconds": mem_seconds,
-                "out_of_core_seconds": ooc_seconds,
-                "in_memory_matvecs_per_s": reps / mem_seconds,
-                "out_of_core_matvecs_per_s": reps / ooc_seconds,
-                "slowdown": ooc_seconds / mem_seconds,
-                "max_abs_diff": max_abs_diff,
-            }
-        )
-
-    worst = max(p["slowdown"] for p in points)
-    return {
-        "budget_mb": budget_mb,
-        "shards": shards,
-        "matvec_reps": reps,
-        "timing_rounds": rounds,
-        "points": points,
-        "worst_slowdown": worst,
-        "largest_m_slowdown": points[-1]["slowdown"],
-        "within_1p5x": points[-1]["slowdown"] <= 1.5,
-    }
-
-
-def run(args: argparse.Namespace) -> dict:
-    report = {
-        "harness": "benchmarks/bench_solver.py",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "config": {
-            "points": args.points,
-            "solver_points": args.solver_points,
-            "precond_points": args.precond_points,
-            "rand_points": args.rand_points,
-            "ooc_points": args.ooc_points,
-            "ooc_budget_mb": args.ooc_budget_mb,
-            "ooc_shards": args.ooc_shards,
-            "features": args.features,
-            "classes": args.classes,
-            "epsilon": args.epsilon,
-            "seed": args.seed,
-            "quick": args.quick,
-        },
-        "scenarios": {},
-    }
-    print(f"[1/7] single-RHS CG x{args.classes} vs block CG "
-          f"(implicit RBF, m={args.solver_points}) ...")
-    report["scenarios"]["single_vs_block"] = bench_single_vs_block(
-        args.solver_points, args.features, args.classes, args.epsilon, args.seed
-    )
-    print(f"[2/7] tile cache off vs on (implicit RBF, m={args.solver_points}) ...")
-    report["scenarios"]["tile_cache"] = bench_tile_cache(
-        args.solver_points, args.features, args.classes, args.epsilon, args.seed
-    )
-    print(f"[3/7] one-vs-all legacy vs shared block solve (m={args.points}) ...")
-    report["scenarios"]["multiclass"] = bench_multiclass(
-        args.points, args.features, args.classes, args.epsilon, args.seed
-    )
-    print(f"[4/7] none vs jacobi vs nystrom CG "
-          f"(ill-conditioned RBF, m={args.precond_points}) ...")
-    report["scenarios"]["preconditioning"] = bench_preconditioning(
-        args.precond_points, args.features, args.epsilon, args.seed
-    )
-    print(f"[5/7] float64 vs float32 kernel tiles (m={args.solver_points}) ...")
-    report["scenarios"]["mixed_precision"] = bench_mixed_precision(
-        args.solver_points, args.features, args.epsilon, args.seed
-    )
-    print(f"[6/7] exact CG vs randomized direct solvers "
-          f"(m={args.rand_points}) ...")
-    report["scenarios"]["randomized_solvers"] = bench_randomized_solvers(
-        args.rand_points, args.features, args.epsilon, args.seed, args.quick
-    )
-    print(f"[7/7] in-memory vs out-of-core row-sharded matvecs "
-          f"(linear, m={args.ooc_points}) ...")
-    report["scenarios"]["out_of_core"] = bench_out_of_core(
-        args.ooc_points, args.features, args.ooc_budget_mb,
-        args.ooc_shards, args.seed
-    )
-    return report
 
 
 def main(argv=None) -> dict:
@@ -512,23 +57,39 @@ def main(argv=None) -> dict:
                         "BENCH_solver.quick.json unless --output is given")
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
-    if args.quick:
-        args.points = min(args.points, 600)
-        args.solver_points = min(args.solver_points, 500)
-        args.precond_points = min(args.precond_points, 800)
-        # Deliberately NOT shrunk: the CI gate asserts the nystrom direct
-        # solve beats exact CG at m >= 2000, and below m=4000 the margin
-        # sits within timing noise. Costs ~2s of wall clock in quick mode.
-        args.rand_points = min(args.rand_points, 4000)
-        # Also deliberately NOT shrunk: the out-of-core 1.5x bar is judged
-        # at the largest m, where the streaming pipeline's fixed per-sweep
-        # overhead has amortized; the full curve costs a few seconds.
     if args.output is None:
         args.output = (
             DEFAULT_OUTPUT.with_suffix(".quick.json") if args.quick else DEFAULT_OUTPUT
         )
 
-    report = run(args)
+    spec = solver_campaign(
+        points=args.points,
+        solver_points=args.solver_points,
+        precond_points=args.precond_points,
+        rand_points=args.rand_points,
+        ooc_points=args.ooc_points,
+        ooc_budget_mb=args.ooc_budget_mb,
+        ooc_shards=args.ooc_shards,
+        features=args.features,
+        classes=args.classes,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        quick=args.quick,
+    )
+
+    def progress(cell, done, total, status):
+        if status == "start":
+            print(f"[{done + 1}/{total}] {cell} ...", flush=True)
+
+    # One-shot measurement, exactly like the pre-campaign script: the
+    # store is throwaway. plssvm-bench run is the resumable path.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultsStore(Path(tmp) / f"{spec.name}.jsonl")
+        run = CampaignRunner(spec, store, progress=progress).run(resume=False)
+    if run.failed:
+        cell, error = next(iter(run.failed.items()))
+        raise RuntimeError(f"benchmark cell {cell} failed: {error}")
+    report = run.report(harness="benchmarks/bench_solver.py", config=spec.config)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     sv = report["scenarios"]["single_vs_block"]

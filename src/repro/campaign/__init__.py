@@ -1,0 +1,70 @@
+"""Declarative benchmark campaigns with resume and regression gating.
+
+The subsystem behind ``plssvm-bench``:
+
+* :mod:`~repro.campaign.spec` — JSON campaign specs expanded into cells
+  (cartesian ``grid`` axes over registered scenarios), validated eagerly
+  with typed errors;
+* :mod:`~repro.campaign.scenarios` — the open scenario registry; the
+  built-in solver and serving scenarios self-register on package import;
+* :mod:`~repro.campaign.runner` — the resumable cell runner over an
+  append-only JSONL :mod:`~repro.campaign.store`;
+* :mod:`~repro.campaign.gate` — per-metric regression rules checked
+  against a stored baseline report (``plssvm-bench check``);
+* :mod:`~repro.campaign.presets` — the standard ``solver`` / ``serve``
+  campaigns the committed ``BENCH_*.json`` artifacts correspond to;
+* :mod:`~repro.campaign.exporter` — the read-only ``/campaigns`` +
+  ``/metrics`` HTTP view over a results directory.
+"""
+
+from .gate import (
+    GateResult,
+    GateRule,
+    GateViolation,
+    check_cell,
+    check_report,
+    lookup_metric,
+)
+from .scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    rules_for_cell,
+    scenario_for_cell,
+    unregister_scenario,
+)
+from .spec import CampaignSpec, CellSpec
+from .store import ResultsStore
+from .runner import CampaignRun, CampaignRunner, build_campaign_report
+from .presets import PRESETS, preset_campaign, serve_campaign, solver_campaign
+from .exporter import CampaignExporter, export_forever, flatten_metrics
+
+__all__ = [
+    "GateResult",
+    "GateRule",
+    "GateViolation",
+    "check_cell",
+    "check_report",
+    "lookup_metric",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "rules_for_cell",
+    "scenario_for_cell",
+    "unregister_scenario",
+    "CampaignSpec",
+    "CellSpec",
+    "ResultsStore",
+    "CampaignRun",
+    "CampaignRunner",
+    "build_campaign_report",
+    "PRESETS",
+    "preset_campaign",
+    "serve_campaign",
+    "solver_campaign",
+    "CampaignExporter",
+    "export_forever",
+    "flatten_metrics",
+]

@@ -1,0 +1,173 @@
+"""Read-only HTTP view over the campaign results store.
+
+The same stdlib ``ThreadingHTTPServer`` idiom as ``repro.serve.server``
+— no web framework, JSON responses — pointed at a results *directory*
+(``benchmarks/results/`` by convention, one ``<campaign>.jsonl`` per
+campaign):
+
+* ``GET /campaigns`` — per-campaign summaries (cell counts, ok/error
+  split, last finish time).
+* ``GET /campaigns/<name>`` — the latest record per cell for one
+  campaign, i.e. exactly the state the runner would resume from.
+* ``GET /metrics`` — every *numeric* metric leaf across all campaigns,
+  flattened to ``campaign/cell/dotted.path`` keys — one scrapeable
+  namespace for dashboards.
+
+Stores are re-read per request: the exporter can watch a campaign that
+is still running (appends are line-atomic, and the reader tolerates a
+truncated final line).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..exceptions import CampaignError
+from .store import ResultsStore
+
+__all__ = ["CampaignExporter", "flatten_metrics", "export_forever"]
+
+
+def flatten_metrics(metrics: dict, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested metrics dict as ``dotted.path`` keys.
+
+    Lists index as ``path.N``; bools count as numeric (0/1), strings and
+    nulls are dropped — the result is a flat, scrape-ready namespace.
+    """
+    flat: Dict[str, float] = {}
+
+    def walk(node, path):
+        if isinstance(node, bool):
+            flat[path] = float(node)
+        elif isinstance(node, (int, float)):
+            flat[path] = float(node)
+        elif isinstance(node, dict):
+            for key in sorted(node):
+                walk(node[key], f"{path}.{key}" if path else str(key))
+        elif isinstance(node, (list, tuple)):
+            for i, item in enumerate(node):
+                walk(item, f"{path}.{i}" if path else str(i))
+
+    walk(metrics, prefix)
+    return flat
+
+
+class CampaignExporter:
+    """Protocol-independent view state over one results directory."""
+
+    def __init__(self, results_dir: Union[str, Path]) -> None:
+        self.results_dir = Path(results_dir)
+
+    def stores(self) -> List[ResultsStore]:
+        if not self.results_dir.is_dir():
+            return []
+        return [
+            ResultsStore(path)
+            for path in sorted(self.results_dir.glob("*.jsonl"))
+        ]
+
+    def store(self, campaign: str) -> ResultsStore:
+        path = self.results_dir / f"{campaign}.jsonl"
+        if not path.exists():
+            known = ", ".join(s.campaign for s in self.stores()) or "<none>"
+            raise CampaignError(
+                f"no results for campaign {campaign!r}; known: {known}"
+            )
+        return ResultsStore(path)
+
+    def campaigns(self) -> dict:
+        return {"campaigns": [store.stats() for store in self.stores()]}
+
+    def campaign(self, name: str) -> dict:
+        store = self.store(name)
+        latest = store.latest()
+        return {
+            "campaign": store.campaign,
+            "path": str(store.path),
+            "cells": {key: latest[key] for key in sorted(latest)},
+        }
+
+    def metrics(self) -> dict:
+        flat: Dict[str, float] = {}
+        for store in self.stores():
+            for cell, record in store.latest().items():
+                if record.get("status") != "ok":
+                    continue
+                prefix = f"{store.campaign}/{cell}"
+                for path, value in flatten_metrics(
+                    record.get("metrics", {})
+                ).items():
+                    flat[f"{prefix}/{path}"] = value
+        return {"metrics": flat, "count": len(flat)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "plssvm-bench-export/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def exporter(self) -> CampaignExporter:
+        return self.server.exporter  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr spam
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/campaigns":
+                self._send_json(200, self.exporter.campaigns())
+            elif path.startswith("/campaigns/"):
+                name = path[len("/campaigns/"):]
+                self._send_json(200, self.exporter.campaign(name))
+            elif path == "/metrics":
+                self._send_json(200, self.exporter.metrics())
+            elif path == "/healthz":
+                self._send_json(
+                    200,
+                    {"status": "ok", "campaigns": len(self.exporter.stores())},
+                )
+            else:
+                self._send_json(
+                    404, {"error": f"unknown path {self.path!r}", "status": 404}
+                )
+        except CampaignError as exc:
+            self._send_json(404, {"error": str(exc), "status": 404})
+
+
+class ExporterServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to a :class:`CampaignExporter`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, exporter: CampaignExporter, *, verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.exporter = exporter
+        self.verbose = verbose
+
+
+def export_forever(
+    results_dir: Union[str, Path],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    verbose: bool = False,
+) -> None:
+    """Blocking convenience entry point (the CLI's ``export`` core)."""
+    server = ExporterServer((host, port), CampaignExporter(results_dir), verbose=verbose)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -1,0 +1,258 @@
+"""The regression gate: compare a fresh campaign report to a baseline.
+
+A gate is a set of per-metric rules attached to each registered scenario
+(:mod:`repro.campaign.scenarios`). Every rule names one metric by a
+dotted path into the scenario's result dict — list indexing included,
+e.g. ``points[-1].slowdown`` — and constrains it three ways, any subset
+of which may be active:
+
+* **relative to the baseline** (``max_regression``): a higher-is-better
+  metric must stay within ``baseline * (1 - max_regression)``; a
+  lower-is-better one within ``baseline * (1 + max_regression)``. This
+  is the machine-checkable version of "no future PR quietly gives back
+  the speedup this number documents", with tolerances wide enough for
+  shared CI runners.
+* **absolute** (``floor`` / ``ceiling``): invariants that hold no matter
+  what the baseline says — "the preconditioner must not *increase*
+  iterations", "out-of-core matvecs must agree to 1e-8".
+* **exact** (``expect``): boolean/equality invariants such as
+  "compact serving stays bit-identical".
+
+Missing a metric in the *fresh* report is always a violation (the number
+a baseline documents cannot silently disappear); missing it in the
+baseline merely skips the relative check, so new metrics can be added
+without invalidating committed artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import CampaignError
+
+__all__ = ["GateRule", "GateViolation", "GateResult", "lookup_metric", "check_cell", "check_report"]
+
+_PATH_TOKEN = re.compile(r"([^.\[\]]+)|\[(-?\d+)\]")
+
+
+def lookup_metric(result: dict, path: str):
+    """Resolve a dotted path (with ``[i]`` list indices) into ``result``.
+
+    Raises :class:`KeyError` when any step is missing — callers decide
+    whether that is a violation (fresh report) or a skip (baseline).
+    """
+    node = result
+    pos = 0
+    for match in _PATH_TOKEN.finditer(path):
+        if match.start() != pos and path[pos] not in ".[":
+            raise CampaignError(f"malformed metric path {path!r}")
+        pos = match.end()
+        key, index = match.group(1), match.group(2)
+        try:
+            if index is not None:
+                node = node[int(index)]
+            else:
+                node = node[key]
+        except (KeyError, IndexError, TypeError):
+            raise KeyError(path) from None
+    return node
+
+
+@dataclasses.dataclass(frozen=True)
+class GateRule:
+    """One gated metric of one scenario."""
+
+    metric: str
+    path: str
+    direction: str = "higher"  # "higher" | "lower" | "equal"
+    max_regression: Optional[float] = None
+    floor: Optional[float] = None
+    ceiling: Optional[float] = None
+    expect: object = None
+
+    def __post_init__(self):
+        if self.direction not in ("higher", "lower", "equal"):
+            raise CampaignError(
+                f"gate rule {self.metric!r}: direction must be 'higher', "
+                f"'lower', or 'equal', got {self.direction!r}"
+            )
+        if self.direction == "equal" and self.expect is None:
+            raise CampaignError(
+                f"gate rule {self.metric!r}: direction 'equal' needs 'expect'"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class GateViolation:
+    """One failed gate rule, with everything a CI log needs."""
+
+    cell: str
+    metric: str
+    kind: str  # "missing" | "regression" | "floor" | "ceiling" | "mismatch"
+    message: str
+    fresh: object = None
+    baseline: object = None
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class GateResult:
+    """Outcome of gating one report against one baseline."""
+
+    checked: int
+    skipped_relative: int
+    violations: List[GateViolation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"gate {state}: {self.checked} metric check(s), "
+            f"{self.skipped_relative} baseline-relative check(s) skipped"
+        )
+
+
+def check_cell(
+    cell: str,
+    rules: Sequence[GateRule],
+    fresh: dict,
+    baseline: Optional[dict],
+) -> Tuple[int, int, List[GateViolation]]:
+    """Apply one scenario's rules to one cell; returns (checked, skipped,
+    violations)."""
+    checked = skipped = 0
+    violations: List[GateViolation] = []
+    for rule in rules:
+        try:
+            value = lookup_metric(fresh, rule.path)
+        except KeyError:
+            violations.append(
+                GateViolation(
+                    cell=cell,
+                    metric=rule.metric,
+                    kind="missing",
+                    message=f"{cell}: metric {rule.path!r} missing from the fresh report",
+                )
+            )
+            continue
+        checked += 1
+        if rule.direction == "equal":
+            if value != rule.expect:
+                violations.append(
+                    GateViolation(
+                        cell=cell,
+                        metric=rule.metric,
+                        kind="mismatch",
+                        message=(
+                            f"{cell}: {rule.metric} = {value!r}, expected {rule.expect!r}"
+                        ),
+                        fresh=value,
+                        baseline=rule.expect,
+                    )
+                )
+            continue
+        if rule.floor is not None and value < rule.floor:
+            violations.append(
+                GateViolation(
+                    cell=cell,
+                    metric=rule.metric,
+                    kind="floor",
+                    message=(
+                        f"{cell}: {rule.metric} = {value:.4g} below the "
+                        f"absolute floor {rule.floor:.4g}"
+                    ),
+                    fresh=value,
+                )
+            )
+        if rule.ceiling is not None and value > rule.ceiling:
+            violations.append(
+                GateViolation(
+                    cell=cell,
+                    metric=rule.metric,
+                    kind="ceiling",
+                    message=(
+                        f"{cell}: {rule.metric} = {value:.4g} above the "
+                        f"absolute ceiling {rule.ceiling:.4g}"
+                    ),
+                    fresh=value,
+                )
+            )
+        if rule.max_regression is None:
+            continue
+        base_value = None
+        if baseline is not None:
+            try:
+                base_value = lookup_metric(baseline, rule.path)
+            except KeyError:
+                base_value = None
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            skipped += 1
+            continue
+        if rule.direction == "higher":
+            allowed = base_value * (1.0 - rule.max_regression)
+            bad = value < allowed
+        else:
+            allowed = base_value * (1.0 + rule.max_regression)
+            bad = value > allowed
+        if bad:
+            violations.append(
+                GateViolation(
+                    cell=cell,
+                    metric=rule.metric,
+                    kind="regression",
+                    message=(
+                        f"{cell}: {rule.metric} regressed to {value:.4g} "
+                        f"(baseline {base_value:.4g}, {rule.direction}-is-better "
+                        f"tolerance {rule.max_regression:.0%} -> "
+                        f"allowed {allowed:.4g})"
+                    ),
+                    fresh=value,
+                    baseline=base_value,
+                )
+            )
+    return checked, skipped, violations
+
+
+def check_report(
+    fresh_scenarios: Dict[str, dict],
+    baseline_scenarios: Dict[str, dict],
+    *,
+    rules_for,
+) -> GateResult:
+    """Gate every cell of a fresh report against the baseline.
+
+    ``rules_for`` maps a cell key to its scenario's gate rules (the
+    runner passes :func:`repro.campaign.scenarios.rules_for_cell`). Cells
+    present only in the baseline are violations — a gated number cannot
+    disappear from the campaign without touching the baseline.
+    """
+    checked = skipped = 0
+    violations: List[GateViolation] = []
+    for cell, fresh in fresh_scenarios.items():
+        rules = rules_for(cell)
+        base = baseline_scenarios.get(cell)
+        c, s, v = check_cell(cell, rules, fresh, base)
+        checked += c
+        skipped += s
+        violations.extend(v)
+    for cell in baseline_scenarios:
+        if cell not in fresh_scenarios:
+            violations.append(
+                GateViolation(
+                    cell=cell,
+                    metric="<cell>",
+                    kind="missing",
+                    message=(
+                        f"{cell}: present in the baseline but missing from "
+                        f"the fresh report"
+                    ),
+                )
+            )
+    return GateResult(checked=checked, skipped_relative=skipped, violations=violations)

@@ -1,0 +1,234 @@
+"""The resumable, parallel campaign cell runner.
+
+The runner walks a :class:`~repro.campaign.spec.CampaignSpec`, skips
+every cell whose latest store record is ``ok`` *with identical resolved
+parameters* (a spec edit invalidates exactly the cells it touches), and
+executes the rest — inline by default, or across a thread pool when
+``workers > 1``. Timing fidelity note: parallel cells contend for cores,
+so measurement campaigns default to ``workers=1``; parallelism is for
+functional sweeps and large grids where wall-clock beats isolation.
+
+Every finished cell is appended to the store *before* the next one
+starts, so a SIGKILL mid-campaign loses at most the in-flight cells;
+scenario errors are recorded (``status="error"``) and do not abort the
+remaining cells. ``KeyboardInterrupt``/``SystemExit`` abort immediately
+— that is the "killed mid-campaign" path the resume contract covers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import CampaignError
+from .scenarios import get_scenario
+from .spec import CampaignSpec, CellSpec
+from .store import ResultsStore
+
+__all__ = ["CampaignRunner", "CampaignRun", "build_campaign_report"]
+
+ProgressFn = Callable[[str, int, int, str], None]
+
+
+@dataclasses.dataclass
+class CampaignRun:
+    """Outcome of one :meth:`CampaignRunner.run`."""
+
+    spec: CampaignSpec
+    executed: List[str]
+    reused: List[str]
+    failed: Dict[str, str]
+    scenarios: Dict[str, dict]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def report(self, *, harness: str = "plssvm-bench", config: Optional[dict] = None) -> dict:
+        return build_campaign_report(
+            self.spec, self.scenarios, harness=harness, config=config
+        )
+
+
+def build_campaign_report(
+    spec: CampaignSpec,
+    scenarios: Dict[str, dict],
+    *,
+    harness: str = "plssvm-bench",
+    config: Optional[dict] = None,
+) -> dict:
+    """The BENCH_*.json artifact shape: env stamp + per-cell metrics.
+
+    Identical to what the old monolithic bench scripts wrote, which is
+    what lets the committed ``BENCH_solver{,.quick}.json`` /
+    ``BENCH_serve{,.quick}.json`` files serve as campaign baselines
+    unchanged.
+    """
+    return {
+        "harness": harness,
+        "campaign": spec.name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": dict(config if config is not None else spec.config),
+        "scenarios": dict(scenarios),
+    }
+
+
+class CampaignRunner:
+    """Runs a campaign against a results store.
+
+    Parameters
+    ----------
+    spec:
+        The expanded campaign.
+    store:
+        The campaign's :class:`~repro.campaign.store.ResultsStore`.
+    workers:
+        Concurrent cell executions. ``1`` (default) preserves timing
+        isolation between cells.
+    progress:
+        Optional ``fn(cell_key, index, total, status)`` callback, called
+        with status ``"reused"``, ``"start"``, ``"ok"``, or ``"error"``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultsStore,
+        *,
+        workers: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("workers must be at least 1")
+        self.spec = spec
+        self.store = store
+        self.workers = int(workers)
+        self.progress = progress
+        self._progress_lock = threading.Lock()
+        self._done = 0
+
+    def run(self, *, resume: bool = True) -> CampaignRun:
+        """Execute missing cells (all cells when ``resume=False``)."""
+        start = time.perf_counter()
+        self._done = 0
+        completed = self.store.completed() if resume else {}
+        todo: List[CellSpec] = []
+        reused: List[str] = []
+        scenarios: Dict[str, dict] = {}
+        for cell in self.spec.cells:
+            record = completed.get(cell.key)
+            if (
+                record is not None
+                and record.get("params") == _jsonable_params(cell)
+                and "metrics" in record
+            ):
+                reused.append(cell.key)
+                scenarios[cell.key] = record["metrics"]
+            else:
+                todo.append(cell)
+
+        total = len(self.spec.cells)
+        for key in reused:
+            self._notify(key, total, "reused")
+
+        executed: List[str] = []
+        failed: Dict[str, str] = {}
+        if self.workers == 1 or len(todo) <= 1:
+            for cell in todo:
+                self._execute(cell, total, executed, failed, scenarios)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="plssvm-bench"
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        self._execute, cell, total, executed, failed, scenarios
+                    ): cell
+                    for cell in todo
+                }
+                pending = set(futures)
+                try:
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    for future in pending:
+                        future.cancel()
+                    raise
+        return CampaignRun(
+            spec=self.spec,
+            executed=executed,
+            reused=reused,
+            failed=failed,
+            scenarios=scenarios,
+            seconds=time.perf_counter() - start,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _execute(
+        self,
+        cell: CellSpec,
+        total: int,
+        executed: List[str],
+        failed: Dict[str, str],
+        scenarios: Dict[str, dict],
+    ) -> None:
+        scenario = get_scenario(cell.scenario)
+        params = scenario.resolve_params(cell.params)
+        self._notify(cell.key, total, "start")
+        t0 = time.perf_counter()
+        try:
+            metrics = scenario.fn(**params)
+        except (KeyboardInterrupt, SystemExit):
+            raise  # the kill path: nothing recorded, the cell re-runs
+        except Exception as exc:
+            self.store.append(
+                cell=cell.key,
+                scenario=cell.scenario,
+                params=cell.params,
+                status="error",
+                seconds=time.perf_counter() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            failed[cell.key] = f"{type(exc).__name__}: {exc}"
+            self._notify(cell.key, total, "error")
+            return
+        if not isinstance(metrics, dict):
+            raise CampaignError(
+                f"scenario {cell.scenario!r} returned "
+                f"{type(metrics).__name__}, expected a metrics dict"
+            )
+        self.store.append(
+            cell=cell.key,
+            scenario=cell.scenario,
+            params=cell.params,
+            status="ok",
+            metrics=metrics,
+            seconds=time.perf_counter() - t0,
+        )
+        executed.append(cell.key)
+        scenarios[cell.key] = metrics
+        self._notify(cell.key, total, "ok")
+
+    def _notify(self, key: str, total: int, status: str) -> None:
+        if self.progress is None:
+            return
+        with self._progress_lock:
+            if status in ("reused", "ok", "error"):
+                self._done += 1
+            done = self._done
+        self.progress(key, done, total, status)
+
+
+def _jsonable_params(cell: CellSpec) -> dict:
+    """Params as they round-trip through the JSONL store."""
+    return json.loads(cell.fingerprint())

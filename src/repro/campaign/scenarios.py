@@ -1,0 +1,133 @@
+"""The scenario registry: named, parameterized benchmark cells.
+
+A *scenario* is one timed comparison — the unit a campaign grid expands
+into cells over. Each registration carries:
+
+* ``fn(**params) -> dict`` — the measurement itself, returning a JSON-
+  ready metrics dict (exactly what the old monolithic bench scripts
+  appended under ``report["scenarios"]``);
+* ``defaults`` — the parameter values a spec may override per cell;
+* ``gate`` — the :class:`~repro.campaign.gate.GateRule` tuple
+  ``plssvm-bench check`` applies to this scenario's cells.
+
+Registration is open on purpose: tests (and future PRs) register their
+own scenarios with :func:`register_scenario`; the built-in solver and
+serving scenarios live in :mod:`repro.campaign.solver_scenarios` and
+:mod:`repro.campaign.serve_scenarios` and self-register on package
+import. Parameters are validated against the function signature at spec
+time, so a typo fails with a typed error before any cell runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import CampaignError
+from .gate import GateRule
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenario_for_cell",
+    "rules_for_cell",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    fn: Callable[..., dict]
+    defaults: Dict[str, object]
+    gate: Tuple[GateRule, ...] = ()
+    description: str = ""
+
+    def resolve_params(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Defaults overlaid with ``params``, rejecting unknown names."""
+        accepted = set(inspect.signature(self.fn).parameters)
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise CampaignError(
+                f"scenario {self.name!r} does not accept parameter(s) "
+                f"{', '.join(map(repr, unknown))}; accepted: "
+                f"{', '.join(sorted(accepted))}"
+            )
+        resolved = dict(self.defaults)
+        resolved.update(params)
+        return resolved
+
+    def run(self, params: Dict[str, object]) -> dict:
+        return self.fn(**self.resolve_params(params))
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str,
+    fn: Callable[..., dict],
+    *,
+    defaults: Optional[Dict[str, object]] = None,
+    gate: Sequence[GateRule] = (),
+    description: str = "",
+    replace: bool = False,
+) -> Scenario:
+    """Register a scenario; re-registering a name needs ``replace=True``."""
+    if not name or not isinstance(name, str):
+        raise CampaignError("scenario name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise CampaignError(f"scenario {name!r} is already registered")
+    if not description:
+        doc = (fn.__doc__ or "").strip()
+        description = doc.splitlines()[0] if doc else ""
+    scenario = Scenario(
+        name=name,
+        fn=fn,
+        defaults=dict(defaults or {}),
+        gate=tuple(gate),
+        description=description,
+    )
+    # Fail registration-time, not run-time, on defaults the fn rejects.
+    scenario.resolve_params({})
+    _REGISTRY[name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(available_scenarios()) or '<none>'}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def scenario_for_cell(cell_key: str) -> Scenario:
+    """Resolve a cell key (``scenario`` or ``scenario[axis=v,...]``)."""
+    return get_scenario(cell_key.split("[", 1)[0])
+
+
+def rules_for_cell(cell_key: str) -> Tuple[GateRule, ...]:
+    """Gate rules for a cell key; unknown scenarios gate nothing (a
+    baseline may carry cells from scenarios this build no longer
+    registers — the missing-cell check in :func:`~repro.campaign.gate.
+    check_report` still flags them)."""
+    try:
+        return scenario_for_cell(cell_key).gate
+    except CampaignError:
+        return ()

@@ -1,0 +1,179 @@
+"""Declarative campaign specs and their expansion into cells.
+
+A campaign spec is a plain JSON-able dict (or the :class:`CampaignSpec`
+built from one)::
+
+    {
+      "name": "solver",
+      "cells": [
+        {"scenario": "preconditioning", "params": {"epsilon": 1e-3}},
+        {"scenario": "single_vs_block",
+         "grid": {"m": [2000, 4000], "features": [16, 64]}}
+      ]
+    }
+
+Each entry contributes one cell per point of the cartesian product of
+its ``grid`` axes (an entry without a grid is a single cell). ``params``
+are fixed overrides shared by every cell of the entry; grid axis values
+are merged on top. Cell keys are deterministic —
+``scenario[axis=value,...]`` in sorted-axis order — and double as the
+resume keys in the results store, so the same spec re-run against the
+same store re-executes only cells that have no matching completed
+record.
+
+Validation is eager and typed (:class:`~repro.exceptions.CampaignError`):
+unknown scenarios, parameters the scenario function does not accept,
+empty grid axes, and colliding cell keys all fail before anything runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import CampaignError
+from .scenarios import get_scenario
+
+__all__ = ["CellSpec", "CampaignSpec"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One expanded cell: a scenario name, resolved params, stable key."""
+
+    key: str
+    scenario: str
+    params: Dict[str, object]
+
+    def fingerprint(self) -> str:
+        """Canonical params encoding — the store's resume-match token."""
+        try:
+            return json.dumps(self.params, sort_keys=True, default=str)
+        except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+            raise CampaignError(
+                f"cell {self.key!r}: params are not JSON-serializable: {exc}"
+            ) from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """A named, validated, fully expanded campaign."""
+
+    name: str
+    cells: tuple
+    config: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, key: str) -> CellSpec:
+        for cell in self.cells:
+            if cell.key == key:
+                return cell
+        raise CampaignError(f"campaign {self.name!r} has no cell {key!r}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        name = data.get("name")
+        if not name or not isinstance(name, str):
+            raise CampaignError('campaign spec needs a non-empty string "name"')
+        entries = data.get("cells")
+        if not isinstance(entries, list) or not entries:
+            raise CampaignError(
+                f'campaign {name!r} needs a non-empty "cells" list'
+            )
+        cells: List[CellSpec] = []
+        seen: Dict[str, int] = {}
+        for i, entry in enumerate(entries):
+            cells.extend(_expand_entry(name, i, entry))
+        for cell in cells:
+            if cell.key in seen:
+                raise CampaignError(
+                    f"campaign {name!r}: cell key {cell.key!r} expands from "
+                    f"two entries; add a distinguishing grid axis or rename"
+                )
+            seen[cell.key] = 1
+        config = data.get("config", {})
+        if not isinstance(config, dict):
+            raise CampaignError(f'campaign {name!r}: "config" must be an object')
+        return cls(name=name, cells=tuple(cells), config=dict(config))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise CampaignError(f"cannot read campaign spec {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"campaign spec {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "cells": [
+                {"key": c.key, "scenario": c.scenario, "params": dict(c.params)}
+                for c in self.cells
+            ],
+        }
+
+
+def _expand_entry(campaign: str, index: int, entry) -> List[CellSpec]:
+    where = f"campaign {campaign!r} cells[{index}]"
+    if not isinstance(entry, dict):
+        raise CampaignError(f"{where} must be an object")
+    scenario_name = entry.get("scenario")
+    if not scenario_name or not isinstance(scenario_name, str):
+        raise CampaignError(f'{where} needs a "scenario" name')
+    scenario = get_scenario(scenario_name)
+
+    params = entry.get("params", {})
+    if not isinstance(params, dict):
+        raise CampaignError(f'{where}: "params" must be an object')
+    grid = entry.get("grid", {})
+    if not isinstance(grid, dict):
+        raise CampaignError(f'{where}: "grid" must be an object')
+    for axis, values in grid.items():
+        if not isinstance(values, list) or not values:
+            raise CampaignError(
+                f"{where}: grid axis {axis!r} must be a non-empty list"
+            )
+        if axis in params:
+            raise CampaignError(
+                f"{where}: {axis!r} appears in both params and grid"
+            )
+    extra = set(entry) - {"scenario", "params", "grid"}
+    if extra:
+        raise CampaignError(
+            f"{where}: unknown field(s) {', '.join(sorted(map(repr, extra)))}"
+        )
+
+    cells = []
+    axes = sorted(grid)
+    for point in itertools.product(*(grid[a] for a in axes)) if axes else [()]:
+        cell_params = dict(params)
+        cell_params.update(zip(axes, point))
+        # Validates unknown parameter names with a typed error.
+        scenario.resolve_params(cell_params)
+        if axes:
+            suffix = ",".join(
+                f"{a}={_format_value(v)}" for a, v in zip(axes, point)
+            )
+            key = f"{scenario_name}[{suffix}]"
+        else:
+            key = scenario_name
+        cells.append(CellSpec(key=key, scenario=scenario_name, params=cell_params))
+    return cells

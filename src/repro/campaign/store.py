@@ -1,0 +1,139 @@
+"""The append-only JSONL results store behind campaign resume.
+
+One file per campaign (``benchmarks/results/<campaign>.jsonl`` by
+convention), one JSON object per completed cell attempt. Append-and-
+flush per record is the whole durability story: a campaign killed
+mid-run loses at most the cell it was executing, and the next run with
+the same spec replays the file, keeps the *latest* record per cell key,
+and re-executes only cells without a matching ``ok`` record — the same
+idiom as CG checkpointing, at campaign granularity.
+
+Reads are tolerant of a truncated final line (the kill can land mid-
+write); any other malformed line raises a typed
+:class:`~repro.exceptions.CampaignError` naming the line number rather
+than silently dropping history.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import CampaignError
+
+__all__ = ["ResultsStore"]
+
+
+class ResultsStore:
+    """Append-only JSONL record store for one campaign."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.campaign = self.path.stem
+        self._lock = threading.Lock()
+
+    # -- writing --------------------------------------------------------------
+
+    def append(
+        self,
+        *,
+        cell: str,
+        scenario: str,
+        params: Dict[str, object],
+        status: str,
+        metrics: Optional[dict] = None,
+        seconds: float = 0.0,
+        error: Optional[str] = None,
+    ) -> dict:
+        """Durably append one cell attempt; returns the record written."""
+        if status not in ("ok", "error"):
+            raise CampaignError(f"record status must be 'ok' or 'error', got {status!r}")
+        record = {
+            "campaign": self.campaign,
+            "cell": cell,
+            "scenario": scenario,
+            "params": dict(params),
+            "status": status,
+            "seconds": float(seconds),
+            "finished_at": time.time(),
+        }
+        if metrics is not None:
+            record["metrics"] = metrics
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record, default=_jsonify)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+        return record
+
+    # -- reading --------------------------------------------------------------
+
+    def records(self) -> List[dict]:
+        """Every well-formed record, in append order."""
+        if not self.path.exists():
+            return []
+        out = []
+        with self._lock:
+            lines = self.path.read_text().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # Interrupted mid-append; the cell will simply re-run.
+                    continue
+                raise CampaignError(
+                    f"{self.path}:{lineno}: corrupt results record: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "cell" not in record:
+                raise CampaignError(
+                    f"{self.path}:{lineno}: results record has no 'cell' key"
+                )
+            out.append(record)
+        return out
+
+    def latest(self) -> Dict[str, dict]:
+        """The newest record per cell key."""
+        latest: Dict[str, dict] = {}
+        for record in self.records():
+            latest[record["cell"]] = record
+        return latest
+
+    def completed(self) -> Dict[str, dict]:
+        """The newest record per cell key, restricted to ``status == ok``."""
+        return {
+            cell: record
+            for cell, record in self.latest().items()
+            if record.get("status") == "ok"
+        }
+
+    def stats(self) -> dict:
+        """Summary for the exporter's ``/campaigns`` listing."""
+        latest = self.latest()
+        ok = sum(1 for r in latest.values() if r.get("status") == "ok")
+        return {
+            "campaign": self.campaign,
+            "path": str(self.path),
+            "cells": len(latest),
+            "ok": ok,
+            "errors": len(latest) - ok,
+            "last_finished_at": max(
+                (r.get("finished_at", 0.0) for r in latest.values()), default=None
+            ),
+        }
+
+
+def _jsonify(value):
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

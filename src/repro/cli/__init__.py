@@ -6,7 +6,10 @@
   HTTP inference server over :mod:`repro.serve`;
 * ``plssvm-scale`` — :mod:`repro.cli.scale`;
 * ``plssvm-generate-data`` — :mod:`repro.cli.generate_data`, the Python
-  port of PLSSVM's ``generate_data.py`` utility script.
+  port of PLSSVM's ``generate_data.py`` utility script;
+* ``plssvm-bench`` — :mod:`repro.cli.bench`, the benchmark-campaign
+  runner / regression gate / results exporter over
+  :mod:`repro.campaign`.
 """
 
-__all__ = ["train", "predict", "serve", "scale", "generate_data"]
+__all__ = ["train", "predict", "serve", "scale", "generate_data", "bench"]

@@ -1,0 +1,313 @@
+"""``plssvm-bench``: run, gate, and export benchmark campaigns.
+
+Subcommands::
+
+    plssvm-bench run solver [--quick] [--workers N] [--no-resume]
+    plssvm-bench run path/to/campaign.json
+    plssvm-bench check solver --quick [--baseline BENCH_solver.quick.json]
+    plssvm-bench check --report fresh.json --baseline BENCH_solver.json
+    plssvm-bench export [--results-dir benchmarks/results] [--port 8100]
+    plssvm-bench list
+
+``run`` executes a campaign — a preset name (``solver`` / ``serve``) or
+a JSON spec file — cell by cell, appending every finished cell to the
+per-campaign JSONL store under ``--results-dir``. A re-run of an
+interrupted campaign reuses completed cells (``--no-resume`` forces a
+full re-measure) and writes the merged report.
+
+``check`` is the CI regression gate: it measures the campaign fresh
+(or gates an existing ``--report`` file without running anything) and
+compares every gated metric against the baseline report —
+``BENCH_<campaign>{.quick}.json`` by default, i.e. the committed
+artifacts. Exit status: **0** gate passed, **1** gate violations,
+**2** usage or campaign errors.
+
+``export`` serves the read-only ``/campaigns`` + ``/metrics`` JSON view
+over the results directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    PRESETS,
+    ResultsStore,
+    available_scenarios,
+    build_campaign_report,
+    check_report,
+    export_forever,
+    get_scenario,
+    preset_campaign,
+    rules_for_cell,
+)
+from ..exceptions import CampaignError
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plssvm-bench",
+        description="Benchmark-campaign runner with resumable cells and a "
+        "baseline regression gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a campaign, resuming completed cells"
+    )
+    _add_campaign_args(run)
+    run.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-measure every cell even when the store already has it",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="measure (or load) a report and gate it against a baseline; "
+        "exits 1 on regression",
+    )
+    _add_campaign_args(check, campaign_optional=True)
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report (default: BENCH_<campaign>{.quick}.json)",
+    )
+    check.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="gate this existing report file instead of running the campaign",
+    )
+    check.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed store cells instead of measuring fresh",
+    )
+
+    export = sub.add_parser(
+        "export", help="serve /campaigns and /metrics over the results store"
+    )
+    export.add_argument(
+        "--results-dir", type=Path, default=DEFAULT_RESULTS_DIR
+    )
+    export.add_argument("--host", default="127.0.0.1")
+    export.add_argument("--port", type=int, default=8100)
+    export.add_argument("--verbose", action="store_true")
+
+    sub.add_parser("list", help="list campaign presets and scenarios")
+    return parser
+
+
+def _add_campaign_args(sub: argparse.ArgumentParser, *, campaign_optional: bool = False) -> None:
+    sub.add_argument(
+        "campaign",
+        nargs="?" if campaign_optional else None,
+        help="preset name (%s) or a campaign spec JSON file"
+        % ", ".join(sorted(PRESETS)),
+    )
+    sub.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes (presets only); reports default to "
+        "BENCH_<campaign>.quick.json",
+    )
+    sub.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="per-campaign JSONL stores live here (default: %(default)s)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent cells; 1 (default) keeps timing isolation",
+    )
+    sub.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="report path (default: BENCH_<campaign>{.quick}.json)",
+    )
+
+
+def _load_spec(name: Optional[str], quick: bool) -> CampaignSpec:
+    if not name:
+        raise CampaignError(
+            "a campaign is required unless --report is given; presets: "
+            + ", ".join(sorted(PRESETS))
+        )
+    if name in PRESETS:
+        return preset_campaign(name, quick=quick)
+    path = Path(name)
+    if path.suffix == ".json" or path.exists():
+        if quick:
+            raise CampaignError(
+                "--quick only applies to preset campaigns; encode sizes in "
+                f"the spec file {path} instead"
+            )
+        return CampaignSpec.from_file(path)
+    raise CampaignError(
+        f"unknown campaign {name!r}: not a preset "
+        f"({', '.join(sorted(PRESETS))}) and no such spec file"
+    )
+
+
+def _default_report_path(spec_name: str, quick: bool) -> Path:
+    return Path(f"BENCH_{spec_name}.quick.json" if quick else f"BENCH_{spec_name}.json")
+
+
+def _progress(cell: str, done: int, total: int, status: str) -> None:
+    if status == "start":
+        print(f"[{done + 1}/{total}] {cell} ...", flush=True)
+    elif status != "ok":  # reused / error; ok already announced via start
+        print(f"[{done}/{total}] {cell}: {status}", flush=True)
+
+
+def _run_campaign(args, *, resume: bool, spec: Optional[CampaignSpec] = None):
+    if spec is None:
+        spec = _load_spec(args.campaign, args.quick)
+    store = ResultsStore(args.results_dir / f"{spec.name}.jsonl")
+    runner = CampaignRunner(
+        spec, store, workers=args.workers, progress=_progress
+    )
+    run = runner.run(resume=resume)
+    if run.reused:
+        print(f"reused {len(run.reused)} completed cell(s) from {store.path}")
+    for cell, error in run.failed.items():
+        print(f"FAILED {cell}: {error}", file=sys.stderr)
+    report = run.report(config=spec.config)
+    return spec, run, report
+
+
+def _write_report(report: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print(f"[saved to {path}]")
+
+
+def _cmd_run(args) -> int:
+    spec, run, report = _run_campaign(args, resume=not args.no_resume)
+    output = args.output or _default_report_path(spec.name, args.quick)
+    _write_report(report, output)
+    print(
+        f"campaign {spec.name}: {len(run.executed)} executed, "
+        f"{len(run.reused)} reused, {len(run.failed)} failed "
+        f"in {run.seconds:.1f}s"
+    )
+    return 0 if run.ok else 1
+
+
+def _cmd_check(args) -> int:
+    if args.report is not None:
+        fresh = _read_report(args.report, "report")
+        campaign = fresh.get("campaign") or args.campaign
+        if args.baseline is None and not campaign:
+            raise CampaignError(
+                "--baseline is required when the report names no campaign"
+            )
+        baseline_path = args.baseline or _default_report_path(campaign, args.quick)
+        baseline = _read_report(baseline_path, "baseline")
+        failed = {}
+    else:
+        spec = _load_spec(args.campaign, args.quick)
+        # Resolve and read the baseline *before* measuring: fail fast on
+        # a missing file, and never overwrite it with the fresh report —
+        # the fresh numbers default into the results dir instead.
+        baseline_path = args.baseline or _default_report_path(spec.name, args.quick)
+        baseline = _read_report(baseline_path, "baseline")
+        spec, run, fresh = _run_campaign(args, resume=args.resume, spec=spec)
+        campaign = spec.name
+        failed = run.failed
+        suffix = ".quick.fresh.json" if args.quick else ".fresh.json"
+        output = args.output or args.results_dir / f"{campaign}{suffix}"
+        _write_report(fresh, output)
+
+    result = check_report(
+        fresh.get("scenarios", {}),
+        baseline.get("scenarios", {}),
+        rules_for=rules_for_cell,
+    )
+    for violation in result.violations:
+        print(f"GATE: {violation.message}", file=sys.stderr)
+    for cell, error in failed.items():
+        print(f"GATE: {cell}: cell failed to run: {error}", file=sys.stderr)
+    print(f"{result.summary()} (baseline {baseline_path})")
+    return 0 if result.ok and not failed else 1
+
+
+def _read_report(path: Path, what: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise CampaignError(f"cannot read {what} {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"{what} {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "scenarios" not in data:
+        raise CampaignError(f'{what} {path} has no "scenarios" section')
+    return data
+
+
+def _cmd_export(args) -> int:
+    print(
+        f"exporting {args.results_dir} on http://{args.host}:{args.port} "
+        f"(/campaigns, /metrics) ..."
+    )
+    try:
+        export_forever(
+            args.results_dir, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("presets:")
+    for name in sorted(PRESETS):
+        cells = [c.key for c in preset_campaign(name, quick=True).cells]
+        print(f"  {name:<8} {len(cells)} cells: {', '.join(cells)}")
+    print("scenarios:")
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        gated = ", ".join(rule.metric for rule in scenario.gate) or "-"
+        print(f"  {name:<20} gates: {gated}")
+        if scenario.description:
+            print(f"  {'':<20} {scenario.description}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "check": _cmd_check,
+    "export": _cmd_export,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        code = _COMMANDS[args.command](args)
+    except CampaignError as exc:
+        print(f"plssvm-bench: error: {exc}", file=sys.stderr)
+        code = 2
+    if argv is None:  # console-script entry point
+        sys.exit(code)
+    return code
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ __all__ = [
     "ServingError",
     "ServerOverloadedError",
     "ModelNotFoundError",
+    "CampaignError",
+    "RegressionGateError",
 ]
 
 
@@ -158,3 +160,26 @@ class ServerOverloadedError(ServingError):
 
 class ModelNotFoundError(ServingError, KeyError):
     """The requested model name is not registered with the serving registry."""
+
+
+class CampaignError(PLSSVMError, ValueError):
+    """A benchmark-campaign spec or results store is malformed.
+
+    Raised by :mod:`repro.campaign` for unknown scenario names, parameter
+    names a scenario does not accept, colliding cell keys, empty grid
+    axes, and unreadable baseline/report artifacts — always naming the
+    offending cell or field.
+    """
+
+
+class RegressionGateError(CampaignError):
+    """A benchmark run regressed past a gate tolerance vs the baseline.
+
+    Carries the list of :class:`repro.campaign.gate.GateViolation`
+    records in ``violations``; ``plssvm-bench check`` maps this to a
+    non-zero exit code so CI fails on perf/accuracy regressions.
+    """
+
+    def __init__(self, message: str, *, violations=None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])

@@ -27,6 +27,13 @@ sweep is an independent dot product, the batched decision values are
 bit-identical to evaluating the same stacked rows in one offline
 ``model.predict`` call.
 
+A timed-out ``submit`` *cancels* its request: if the request is still
+queued it is removed and its rows stop counting against the
+``max_queue_rows`` admission budget immediately; if the flush worker has
+already collected it, the late result is discarded (the caller is gone
+either way). ``serve_timeouts`` counts both flavours, so a dead client
+can never wedge admission control.
+
 Telemetry: ``submit`` runs on the caller's context (the server's
 per-request scope), recording a ``batch_wait`` span — with a
 ``tile_sweep`` child carrying the batch's measured sweep seconds — plus
@@ -202,6 +209,8 @@ class MicroBatcher:
         ctx.set_gauge("serve_queue_rows", depth)
         with ctx.span("batch_wait", rows=X.shape[0]) as wait_span:
             if not pending.event.wait(timeout):
+                self._cancel(pending)
+                ctx.inc("serve_timeouts")
                 raise ServingError(
                     f"request timed out after {timeout}s waiting for its batch"
                 )
@@ -235,6 +244,22 @@ class MicroBatcher:
     def predict(self, X: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
         """Labels only — the drop-in for ``model.predict`` under batching."""
         return self.submit(X, timeout)[0]
+
+    def _cancel(self, pending: _Pending) -> bool:
+        """Withdraw a timed-out request from the queue.
+
+        Returns ``True`` when the request was still queued (its rows are
+        released back to the admission budget); ``False`` when the flush
+        worker had already collected it — the worker released the budget
+        at collection time and the late result dies with the ``_Pending``.
+        """
+        with self._cond:
+            try:
+                self._queue.remove(pending)
+            except ValueError:
+                return False
+            self._queued_rows -= pending.rows.shape[0]
+            return True
 
     # -- worker side ----------------------------------------------------------
 
@@ -318,6 +343,7 @@ class MicroBatcher:
                 start = stop
         except BaseException as exc:  # noqa: BLE001 - handed to the submitters
             sweep_seconds = 0.0
+            ctx.inc("serve_batch_errors")
             for pending in batch:
                 pending.error = exc
         for pending in batch:

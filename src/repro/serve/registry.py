@@ -46,6 +46,25 @@ class _Registration:
         self.generation = generation
 
 
+class _InFlight:
+    """Singleflight ticket for one cold load in progress.
+
+    The loader builds the engine *outside* the registry lock and then
+    publishes it here; concurrent misses for the same (name, generation)
+    wait on ``event`` instead of duplicating the load — and, crucially,
+    instead of serializing every *other* model's warm hits behind the
+    disk read.
+    """
+
+    __slots__ = ("generation", "event", "engine", "error")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self.event = threading.Event()
+        self.engine: Optional[PredictionEngine] = None
+        self.error: Optional[BaseException] = None
+
+
 class ModelRegistry:
     """Named models with a byte-budgeted LRU of warm engines.
 
@@ -79,6 +98,7 @@ class ModelRegistry:
         self._registrations: Dict[str, _Registration] = {}
         self._warm: "OrderedDict[str, PredictionEngine]" = OrderedDict()
         self._warm_bytes = 0
+        self._loading: Dict[str, _InFlight] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -134,29 +154,79 @@ class ModelRegistry:
         The returned engine always carries the *current* generation: a
         warm engine left over from before a :meth:`reload` can never be
         handed out.
+
+        Cold loads run *outside* the registry lock with per-name
+        singleflight: one cold ``get`` never stalls warm hits for other
+        models, and concurrent misses for the same (name, generation)
+        still load the model exactly once — the extra callers wait on the
+        loader's ticket and share its engine.
         """
-        with self._lock:
-            registration = self._registrations.get(name)
-            if registration is None:
-                raise ModelNotFoundError(name)
-            warm = self._warm.get(name)
-            if warm is not None and warm.generation == registration.generation:
-                self.hits += 1
-                self._warm.move_to_end(name)
-                return warm
-            self.misses += 1
-            # Build under the lock: concurrent misses for the same model
-            # would otherwise race to load it twice. Registries front
-            # few, rarely-cold models, so the simplicity wins.
-            source = registration.source
-            model = source if isinstance(source, MODEL_TYPES) else load_model(source)
-            engine = PredictionEngine(
-                model,
-                name=name,
-                generation=registration.generation,
-                **self._engine_kwargs,
-            )
-            self._admit(name, engine)
+        while True:
+            with self._lock:
+                registration = self._registrations.get(name)
+                if registration is None:
+                    raise ModelNotFoundError(name)
+                warm = self._warm.get(name)
+                if warm is not None and warm.generation == registration.generation:
+                    self.hits += 1
+                    self._warm.move_to_end(name)
+                    return warm
+                inflight = self._loading.get(name)
+                if inflight is not None and inflight.generation == registration.generation:
+                    ticket, loader = inflight, False
+                else:
+                    self.misses += 1
+                    ticket = _InFlight(registration.generation)
+                    self._loading[name] = ticket
+                    source = registration.source
+                    loader = True
+            if not loader:
+                ticket.event.wait()
+                if ticket.error is not None:
+                    raise ticket.error
+                with self._lock:
+                    registration = self._registrations.get(name)
+                    if (
+                        registration is not None
+                        and ticket.engine is not None
+                        and ticket.engine.generation == registration.generation
+                    ):
+                        self.hits += 1
+                        return ticket.engine
+                continue  # reloaded (or gone) while loading: start over
+            try:
+                model = (
+                    source if isinstance(source, MODEL_TYPES) else load_model(source)
+                )
+                engine = PredictionEngine(
+                    model,
+                    name=name,
+                    generation=ticket.generation,
+                    **self._engine_kwargs,
+                )
+            except BaseException as exc:
+                ticket.error = exc
+                with self._lock:
+                    if self._loading.get(name) is ticket:
+                        del self._loading[name]
+                ticket.event.set()
+                raise
+            with self._lock:
+                if self._loading.get(name) is ticket:
+                    del self._loading[name]
+                registration = self._registrations.get(name)
+                if registration is None:
+                    stale = True
+                else:
+                    stale = registration.generation != ticket.generation
+                    if not stale:
+                        self._admit(name, engine)
+            ticket.engine = engine
+            ticket.event.set()
+            if stale:
+                # A reload (or unregister) raced the build; never hand out
+                # a stale generation — re-resolve from the top.
+                continue
             return engine
 
     def _admit(self, name: str, engine: PredictionEngine) -> None:

@@ -29,7 +29,8 @@ __all__ = [
 ]
 
 #: Version stamp written into every serving report.
-SERVING_REPORT_SCHEMA_VERSION = 1
+#: v2 added the serve_timeouts / serve_batch_errors counters.
+SERVING_REPORT_SCHEMA_VERSION = 2
 
 #: Required top-level keys -> type spec (same conventions as REPORT_SCHEMA).
 SERVING_REPORT_SCHEMA: Dict[str, object] = {
@@ -52,6 +53,8 @@ _REQUIRED_COUNTERS = (
     "serve_batches",
     "serve_batched_requests",
     "serve_rejected",
+    "serve_timeouts",
+    "serve_batch_errors",
     "tile_sweeps",
 )
 
@@ -144,7 +147,8 @@ class ServingReport:
         The active :class:`~repro.serve.batcher.BatchPolicy` knobs.
     counters:
         Serving counters scoped to this server (requests, rows, batches,
-        coalesced requests, rejections, tile sweeps).
+        coalesced requests, rejections, timed-out requests, failed
+        batches, tile sweeps).
     latency:
         Histogram snapshots (count/total/mean/min/max) of request wall
         time, batch wait, batch size, and sweep seconds.
@@ -228,6 +232,8 @@ def build_serving_report(
         "serve_batches": ctx.metrics.value("serve_batches"),
         "serve_batched_requests": ctx.metrics.value("serve_batched_requests"),
         "serve_rejected": ctx.metrics.value("serve_rejected"),
+        "serve_timeouts": ctx.metrics.value("serve_timeouts"),
+        "serve_batch_errors": ctx.metrics.value("serve_batch_errors"),
         "serve_errors": ctx.metrics.value("serve_errors"),
         "tile_sweeps": ctx.metrics.value("tile_sweeps"),
         "tiles_computed": ctx.metrics.value("tiles_computed"),

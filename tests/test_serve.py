@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -484,3 +485,204 @@ class TestRewiredPredictPaths:
                 clf.predict(X[:17]),
                 clf.classes_[np.argmax(reference, axis=1)],
             )
+
+
+class _StallingEngine:
+    """Engine supplier whose first resolution blocks on an event.
+
+    Holding the flush worker inside the supplier keeps later submissions
+    *queued* — exactly the state the timeout-cancellation and batch-error
+    regression tests need to pin down.
+    """
+
+    def __init__(self, engine, stall):
+        self.engine = engine
+        self.stall = stall
+        self.entered = threading.Event()
+
+    def __call__(self):
+        self.entered.set()
+        assert self.stall.wait(timeout=10.0)
+        return self.engine
+
+
+class TestServingRegressions:
+    """Regression tests for the serving-path bug sweep.
+
+    Each of these fails on the pre-fix code: the timed-out request used
+    to stay queued (leaking admission budget), a cold registry load used
+    to hold the global lock (blocking warm hits for other models), and a
+    failed flush used to increment no counter at all.
+    """
+
+    def test_timed_out_submit_releases_queue_budget(self, fitted_model, ctx):
+        """A timed-out submit must cancel its queued request: the rows
+        stop counting against max_queue_rows and serve_timeouts ticks."""
+        engine = PredictionEngine(fitted_model)
+        stall = threading.Event()
+        supplier = _StallingEngine(engine, stall)
+        policy = BatchPolicy(max_batch_rows=1, max_wait_ms=0.0, max_queue_rows=1)
+        row = fitted_model.support_vectors[0]
+        results = {}
+        errors = []
+
+        def keeper(key):
+            with activate(ctx):
+                try:
+                    results[key] = batcher.submit(row, timeout=10.0)
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+        from repro.exceptions import ServingError
+
+        batcher = MicroBatcher(supplier, policy=policy, context=ctx)
+        try:
+            # Request 1 is collected into a batch whose flush stalls in
+            # the engine supplier; the queue (budget 1) is empty again.
+            t1 = threading.Thread(target=keeper, args=("first",))
+            t1.start()
+            assert supplier.entered.wait(timeout=10.0)
+            # Request 2 occupies the whole admission budget, then times
+            # out while still queued (the worker is stalled).
+            with pytest.raises(ServingError, match="timed out"):
+                batcher.submit(row, timeout=0.05)
+            assert ctx.metrics.value("serve_timeouts") == 1
+            assert batcher.queued_rows == 0  # pre-fix: 1, leaked forever
+            # The freed budget must admit request 3 (pre-fix this raised
+            # ServerOverloadedError because the dead request pinned it).
+            t3 = threading.Thread(target=keeper, args=("third",))
+            t3.start()
+            deadline = time.perf_counter() + 10.0
+            while batcher.queued_rows == 0 and time.perf_counter() < deadline:
+                time.sleep(0.005)
+            assert batcher.queued_rows == 1
+            stall.set()
+            t1.join(timeout=10.0)
+            t3.join(timeout=10.0)
+            assert not errors
+            labels, _ = results["third"]
+            assert labels[0] == fitted_model.predict(row[None, :])[0]
+        finally:
+            stall.set()
+            batcher.close()
+
+    def test_cold_load_does_not_block_other_models(self, planes_small, tmp_path, monkeypatch):
+        """A slow cold load must not serialize warm hits for other
+        models behind the registry lock."""
+        import repro.serve.registry as registry_mod
+
+        X, y = planes_small
+        model = LSSVC(kernel="rbf", C=10.0, gamma=0.25).fit(X, y).model_
+        path = tmp_path / "slow.model"
+        model.save(path)
+        registry = ModelRegistry()
+        registry.register("slow", path)
+        registry.register("fast", model)
+        registry.get("fast")  # warm it before the slow load starts
+
+        loading = threading.Event()
+        release = threading.Event()
+        real_load = registry_mod.load_model
+
+        def slow_load(source):
+            loading.set()
+            assert release.wait(timeout=10.0)
+            return real_load(source)
+
+        monkeypatch.setattr(registry_mod, "load_model", slow_load)
+        slow_result = {}
+        t = threading.Thread(
+            target=lambda: slow_result.update(engine=registry.get("slow"))
+        )
+        t.start()
+        try:
+            assert loading.wait(timeout=10.0)
+            # The cold load is parked inside slow_load; a warm hit for the
+            # other model must complete while it is still in flight
+            # (pre-fix get() held the global lock across the build, so
+            # this probe would hang until the load finished).
+            probe = {}
+            p = threading.Thread(
+                target=lambda: probe.update(engine=registry.get("fast"))
+            )
+            p.start()
+            p.join(timeout=2.0)
+            assert not p.is_alive(), "warm hit blocked behind the cold load"
+            assert probe["engine"].generation == 0
+            assert not release.is_set()
+        finally:
+            release.set()
+            t.join(timeout=10.0)
+        assert slow_result["engine"].name == "slow"
+
+    def test_concurrent_misses_singleflight(self, planes_small, tmp_path, monkeypatch):
+        """K concurrent first-time gets for one model load it exactly once."""
+        import repro.serve.registry as registry_mod
+
+        X, y = planes_small
+        model = LSSVC(kernel="rbf", C=10.0, gamma=0.25).fit(X, y).model_
+        path = tmp_path / "m.model"
+        model.save(path)
+        registry = ModelRegistry()
+        registry.register("m", path)
+
+        loads = []
+        gate = threading.Barrier(6)
+        real_load = registry_mod.load_model
+
+        def counting_load(source):
+            loads.append(source)
+            time.sleep(0.05)  # widen the window the waiters pile into
+            return real_load(source)
+
+        monkeypatch.setattr(registry_mod, "load_model", counting_load)
+        engines = [None] * 5
+        errors = []
+
+        def work(i):
+            try:
+                gate.wait(timeout=10.0)
+                engines[i] = registry.get("m")
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(5)]
+        for t in threads:
+            t.start()
+        gate.wait(timeout=10.0)
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        assert len(loads) == 1  # singleflight: one disk read for 5 misses
+        assert all(e is engines[0] for e in engines)
+        stats = registry.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 4
+
+    def test_failed_load_propagates_to_waiters(self, tmp_path):
+        """Every caller piled on a failing load sees the error; a later
+        get retries instead of serving a poisoned ticket."""
+        registry = ModelRegistry()
+        registry.register("broken", tmp_path / "missing.model")
+        for _ in range(2):  # the ticket must not stay poisoned
+            with pytest.raises(Exception):
+                registry.get("broken")
+
+    def test_flush_failure_counts_serve_batch_errors(self, fitted_model, ctx):
+        """An evaluation error inside a flush must be visible in the
+        serve_batch_errors counter (and the ServingReport), not just in
+        the submitter's exception."""
+        engine = PredictionEngine(fitted_model)
+        with MicroBatcher(engine, context=ctx) as batcher:
+            with pytest.raises(DataError):
+                batcher.submit(
+                    np.ones((2, fitted_model.num_features + 1)), timeout=5.0
+                )
+        assert ctx.metrics.value("serve_batch_errors") == 1  # pre-fix: 0
+        registry = ModelRegistry()
+        report = build_serving_report(
+            ctx, server="t", policy=BatchPolicy(), registry=registry
+        )
+        validate_serving_report(report.as_dict())
+        assert report.as_dict()["counters"]["serve_batch_errors"] == 1
+        assert report.as_dict()["counters"]["serve_timeouts"] == 0
