@@ -55,7 +55,7 @@ from .core import (
     rpcholesky,
     solve_nystrom,
 )
-from .parameter import Parameter
+from .parameter import Parameter, ResourceConfig, SolverConfig
 from .telemetry import TelemetryContext, TrainingReport, fit_scope, validate_report
 from .types import BackendType, KernelType, SolverStatus, TargetPlatform
 
@@ -94,6 +94,8 @@ __all__ = [
     "fit_scope",
     "validate_report",
     "Parameter",
+    "SolverConfig",
+    "ResourceConfig",
     "KernelType",
     "BackendType",
     "TargetPlatform",

@@ -10,10 +10,15 @@ Usage::
     plssvm-serve planes.model                      # one model, name "planes"
     plssvm-serve a=first.model b=second.model      # multi-model registry
     curl -s localhost:8000/predict -d '{"rows": [[0.1, 0.2, 0.3]]}'
+    curl -s -X POST localhost:8000/models/planes/reload   # hot swap
 
 Each positional argument is either ``NAME=PATH`` or a bare ``PATH``
 (named after the file stem). ``/predict`` requests may omit ``"model"``
-only when exactly one model is registered.
+only when exactly one model is registered. ``POST /models/<name>/reload``
+re-reads a model file rewritten in place (``plssvm-train --follow``
+publishes one per refit generation) and answers with the new generation;
+predictions served after the acknowledgement are never from an older
+generation.
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="plssvm-serve",
         description="Serve trained LS-SVM models over a micro-batching JSON "
-        "HTTP endpoint (/predict, /models, /healthz, /metrics).",
+        "HTTP endpoint (/predict, /models, /models/<name>/reload, /healthz, "
+        "/metrics).",
     )
     parser.add_argument(
         "models",

@@ -19,6 +19,7 @@ from typing import List, Optional
 from ..core.lssvm import LSSVC
 from ..io.binary_format import is_binary_file, read_binary_file
 from ..io.libsvm_format import read_libsvm_file
+from ..parameter import ResourceConfig, SolverConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -213,6 +214,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="report K-fold cross-validation accuracy instead of writing a model "
         "(LIBSVM's -v; renamed because -v is verbose here)",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="streaming mode: treat the training file as a growing PLSB "
+        "file (or a directory receiving *.plsb chunks), refit "
+        "incrementally via partial_fit on every append, and publish a "
+        "generation-stamped model artifact after each refit",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="--follow: seconds between polls of the watched source "
+        "(default 1.0)",
+    )
+    parser.add_argument(
+        "--max-generations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--follow: exit after N incremental refits (default: run "
+        "until interrupted)",
+    )
+    parser.add_argument(
+        "--serve-url",
+        default=None,
+        metavar="URL",
+        help="--follow: base URL of a running plssvm-serve; each refit "
+        "POSTs /models/<model-name>/reload for zero-downtime rollout",
+    )
+    parser.add_argument(
+        "--model-name",
+        default="model",
+        metavar="NAME",
+        help="--follow: serving name used for the reload push (default "
+        "'model')",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -246,6 +285,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    # The follow daemon drives partial_fit, which runs the host-side
+    # incremental engine: exact CG only, no backend, no sharding.
+    if args.follow:
+        conflicts = []
+        if randomized:
+            conflicts.append("--solver " + args.solver)
+        if fault_plan is not None:
+            conflicts.append("--fault-plan")
+        if args.checkpoint_interval is not None:
+            conflicts.append("--checkpoint-interval")
+        if args.shard_rows is not None:
+            conflicts.append("--shard-rows")
+        if args.cross_validation is not None:
+            conflicts.append("--cross_validation")
+        if conflicts:
+            print(
+                f"error: {', '.join(conflicts)} does not combine with --follow",
+                file=sys.stderr,
+            )
+            return 2
     # Budgeted / sharded training streams row blocks through the NumPy
     # dense-free operator: no backend, no dense X.
     out_of_core = args.memory_budget_mb is not None or args.shard_rows is not None
@@ -264,6 +323,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.follow:
+        return _run_follow(args, model_path, precondition)
+    solver_config = SolverConfig(
+        solver=args.solver,
+        solver_rank=args.solver_rank,
+        solver_seed=args.solver_seed,
+        polish_iters=args.polish_iters,
+        precondition=None if randomized else precondition,
+        precond_rank=args.precond_rank,
+    )
+    resource_config = ResourceConfig(
+        solver_threads=args.solver_threads,
+        tile_cache_mb=args.tile_cache_mb,
+        compute_dtype=args.compute_dtype,
+        fault_plan=None if randomized else fault_plan,
+        checkpoint_interval=None if randomized else args.checkpoint_interval,
+        max_retries=args.max_retries,
+        memory_budget_mb=args.memory_budget_mb,
+        shard_rows=args.shard_rows,
+    )
     clf = LSSVC(
         kernel=_parse_kernel(args.kernel_type),
         C=args.cost,
@@ -276,20 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         target=args.target_platform,
         n_devices=args.num_devices,
         dtype=np.float32 if args.float32 else np.float64,
-        precondition=None if randomized else precondition,
-        precond_rank=args.precond_rank,
-        solver_threads=args.solver_threads,
-        tile_cache_mb=args.tile_cache_mb,
-        compute_dtype=args.compute_dtype,
-        fault_plan=None if randomized else fault_plan,
-        checkpoint_interval=None if randomized else args.checkpoint_interval,
-        max_retries=args.max_retries,
-        solver=args.solver,
-        solver_rank=args.solver_rank,
-        solver_seed=args.solver_seed,
-        polish_iters=args.polish_iters,
-        memory_budget_mb=args.memory_budget_mb,
-        shard_rows=args.shard_rows,
+        config=solver_config,
+        resources=resource_config,
     )
     dataset = None
     with clf.timings_.section("read"):
@@ -310,13 +377,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.cross_validation < 2:
             print("error: cross-validation needs K >= 2", file=sys.stderr)
             return 2
+        import dataclasses
+
         from ..core.estimator import clone
         from ..model_selection import cross_val_score
 
         # Clone the fully-configured estimator per fold; fault injection
         # and checkpointing stay off during CV (fold scores should measure
-        # the model, not the recovery machinery).
-        prototype = clone(clf).set_params(fault_plan=None, checkpoint_interval=None)
+        # the model, not the recovery machinery). The resources config is
+        # authoritative over flat kwargs, so the override goes through it.
+        prototype = clone(clf).set_params(
+            resources=dataclasses.replace(
+                resource_config, fault_plan=None, checkpoint_interval=None
+            )
+        )
         scores = cross_val_score(
             prototype,
             X,
@@ -419,6 +493,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if dataset is not None:
         dataset.close()
+    return 0
+
+
+def _run_follow(args, model_path: str, precondition) -> int:
+    """``--follow``: watch the source, refit incrementally, publish."""
+    from ..train import FollowTrainer
+
+    import numpy as np
+
+    clf = LSSVC(
+        kernel=_parse_kernel(args.kernel_type),
+        C=args.cost,
+        gamma=args.gamma,
+        degree=args.degree,
+        coef0=args.coef0,
+        epsilon=args.epsilon,
+        max_iter=args.max_iter,
+        backend=None,
+        dtype=np.float32 if args.float32 else np.float64,
+        config=SolverConfig(
+            precondition=precondition, precond_rank=args.precond_rank
+        ),
+        resources=ResourceConfig(
+            solver_threads=args.solver_threads,
+            tile_cache_mb=args.tile_cache_mb,
+            compute_dtype=args.compute_dtype,
+            memory_budget_mb=args.memory_budget_mb,
+        ),
+    )
+    on_event = print if args.verbose else None
+    try:
+        trainer = FollowTrainer(
+            clf,
+            args.training_file,
+            model_path=model_path,
+            model_name=args.model_name,
+            serve_url=args.serve_url,
+            poll_interval=args.poll_interval,
+            max_generations=args.max_generations,
+            on_event=on_event,
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with trainer:
+        rows = trainer.run()
+    print(
+        f"followed {args.training_file}: {trainer.chunks_consumed} chunk(s), "
+        f"{rows} rows, {trainer.generation + 1} generation(s) "
+        f"-> {Path(model_path).name}"
+    )
     return 0
 
 

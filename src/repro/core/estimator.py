@@ -13,11 +13,89 @@ uniformly instead of special-casing constructor signatures.
 from __future__ import annotations
 
 import inspect
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Optional
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["ParamsMixin", "clone"]
+__all__ = ["ParamsMixin", "clone", "apply_config", "warn_deprecated_flat_kwargs"]
+
+
+def _init_defaults(cls) -> Dict[str, object]:
+    """Constructor defaults of ``cls`` keyed by parameter name."""
+    out = {}
+    for name, parameter in inspect.signature(cls.__init__).parameters.items():
+        if name != "self" and parameter.default is not inspect.Parameter.empty:
+            out[name] = parameter.default
+    return out
+
+
+def apply_config(estimator, config, *, supported: Optional[tuple] = None) -> None:
+    """Overlay a :class:`~repro.parameter.SolverConfig` /
+    :class:`~repro.parameter.ResourceConfig` onto the flat attributes.
+
+    The config object is authoritative: every field it carries is written
+    over the estimator attribute of the same name, so downstream
+    ``_sync_params`` logic keeps reading the flat attributes it always
+    read. Estimators that only support a subset of the group pass
+    ``supported``; a non-default value for an unsupported field raises
+    instead of being silently dropped.
+    """
+    if config is None:
+        return
+    cls = type(config)
+    for name in cls.fields:
+        value = getattr(config, name)
+        if supported is not None and name not in supported:
+            default = cls.__dataclass_fields__[name].default
+            if value != default:
+                raise InvalidParameterError(
+                    f"{type(estimator).__name__} does not support "
+                    f"{cls.__name__}.{name}"
+                )
+            continue
+        setattr(estimator, name, value)
+
+
+def warn_deprecated_flat_kwargs(estimator, *configs) -> None:
+    """Emit one ``DeprecationWarning`` for flat grouped keywords.
+
+    Called from ``__init__`` after attributes are set: any attribute that
+    belongs to a config group, differs from the constructor default, and
+    is not explained by a passed config carrying the same value must have
+    arrived as a flat keyword — the deprecated spelling. Config-built
+    estimators (and their clones, whose flat attributes were overwritten
+    by :func:`apply_config`) stay silent.
+    """
+    defaults = _init_defaults(type(estimator))
+    stale = []
+    for config_cls, config in configs:
+        for name in config_cls.fields:
+            if name not in defaults:
+                continue
+            value = getattr(estimator, name, defaults[name])
+            if _values_equal(value, defaults[name]):
+                continue
+            if config is not None and _values_equal(
+                getattr(config, name, None), value
+            ):
+                continue
+            stale.append(f"{name} ({config_cls.__name__})")
+    if stale:
+        warnings.warn(
+            f"passing {', '.join(stale)} as flat keyword argument(s) to "
+            f"{type(estimator).__name__} is deprecated; group them into "
+            "SolverConfig / ResourceConfig via config= / resources=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def _values_equal(a, b) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b
 
 
 class ParamsMixin:

@@ -26,12 +26,13 @@ import numpy as np
 
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
 from ..membudget import memory_budget, reset_peak_rss, sample_peak_rss
-from ..parameter import Parameter
+from ..parameter import Parameter, ResourceConfig, SolverConfig
 from ..profiling import ComponentTimer
 from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import BackendType, KernelType, TargetPlatform
 from .cg import CGResult, conjugate_gradient
-from .estimator import ParamsMixin
+from .estimator import ParamsMixin, apply_config, warn_deprecated_flat_kwargs
+from .incremental import IncrementalEngine
 from .model import FeatureMapModel, LSSVMModel
 from .precond import make_preconditioner
 from .qmatrix import QMatrixBase, build_reduced_system, recover_bias_and_alpha
@@ -189,6 +190,29 @@ class LSSVC(ParamsMixin):
         products are combined by deterministic allreduce. ``X`` may then
         be a row source (e.g. :class:`repro.io.ChunkedDataset`) so dense
         data never enters memory. Requires ``backend=None``.
+    config:
+        A :class:`repro.parameter.SolverConfig` grouping the solver
+        strategy knobs (``solver`` / ``solver_rank`` / ``solver_seed`` /
+        ``polish_iters`` / ``precondition`` / ``precond_rank`` /
+        ``precond_rng``). The config is authoritative: its fields
+        overwrite the flat keywords of the same name on every
+        ``_sync_params`` — to change one grouped knob on a config-built
+        estimator, pass a replaced config
+        (``set_params(config=dataclasses.replace(cfg, ...))``) rather
+        than the flat keyword. The flat spellings still work without a
+        config but emit a ``DeprecationWarning``.
+    resources:
+        A :class:`repro.parameter.ResourceConfig` grouping the execution
+        resource knobs (``solver_threads`` / ``tile_cache_mb`` /
+        ``compute_dtype`` / ``fault_plan`` / ``checkpoint_interval`` /
+        ``max_retries`` / ``memory_budget_mb`` / ``shard_rows``), with
+        the same authoritative-overlay semantics as ``config``.
+    warm_start:
+        When ``True``, a repeated :meth:`fit` on the exact-CG path
+        starts the solve from the previous model's multipliers (padded
+        with zeros for any new rows) instead of from zero. The realized
+        warm iterations land in
+        ``report_.solver["warm_start_iterations"]``.
     """
 
     def __init__(
@@ -223,6 +247,9 @@ class LSSVC(ParamsMixin):
         max_retries: int = 3,
         memory_budget_mb: Optional[float] = None,
         shard_rows: Optional[int] = None,
+        config: Optional[SolverConfig] = None,
+        resources: Optional[ResourceConfig] = None,
+        warm_start: bool = False,
     ) -> None:
         # Every constructor argument lands under its own attribute name
         # (the ParamsMixin/get_params contract); derived state is built in
@@ -256,11 +283,20 @@ class LSSVC(ParamsMixin):
         self.max_retries = max_retries
         self.memory_budget_mb = memory_budget_mb
         self.shard_rows = shard_rows
+        self.config = config
+        self.resources = resources
+        self.warm_start = warm_start
+        # Deprecation check first, against the raw flat values — after
+        # _sync_params the config overlay has rewritten them.
+        warn_deprecated_flat_kwargs(
+            self, (SolverConfig, config), (ResourceConfig, resources)
+        )
         self._sync_params()
         self.model_: Union[None, LSSVMModel, FeatureMapModel] = None
         self.result_: Optional[CGResult] = None
         self.report_: Optional[TrainingReport] = None
         self.timings_: ComponentTimer = ComponentTimer()
+        self._train_targets: Optional[np.ndarray] = None
 
     def _sync_params(self) -> None:
         """Validate parameters and rebuild derived state.
@@ -269,6 +305,11 @@ class LSSVC(ParamsMixin):
         parameter update invalidates the cached backend instance and runs
         the same cross-parameter checks as construction.
         """
+        # The grouped configs are authoritative over the flat attributes
+        # (running here keeps set_params(config=...) effective too).
+        apply_config(self, getattr(self, "config", None))
+        apply_config(self, getattr(self, "resources", None))
+        self.warm_start = bool(getattr(self, "warm_start", False))
         self.param = Parameter(
             kernel=self.kernel,
             cost=self.C,
@@ -369,6 +410,9 @@ class LSSVC(ParamsMixin):
                     "shard_rows and the sparse CG path are exclusive"
                 )
         self._backend_instance = None
+        # Any hyper-parameter change invalidates an in-flight incremental
+        # continuation: the next partial_fit starts a fresh engine.
+        self._engine = None
 
     # -- backend plumbing ---------------------------------------------------
 
@@ -440,6 +484,7 @@ class LSSVC(ParamsMixin):
         from ..io.chunked import is_row_source  # deferred: io imports core
 
         self.timings_ = ComponentTimer()
+        self._warm_iterations = 0
         # Reset the kernel RSS high-water mark before the wall clock
         # starts: the /proc write is a syscall (and GIL-switch point)
         # that should not count against the fit's phase accounting.
@@ -459,6 +504,11 @@ class LSSVC(ParamsMixin):
                     result, info = self._fit_rff(ctx, X, y_enc, labels)
                 else:
                     result, info = self._fit_reduced(ctx, X, y_enc, labels)
+        # A fresh batch fit restarts any incremental continuation; keep
+        # the encoded targets so a later partial_fit can seed its engine
+        # from this very model (see partial_fit).
+        self._engine = None
+        self._train_targets = y_enc if isinstance(X, np.ndarray) else None
         self.report_ = build_report(
             ctx,
             estimator="LSSVC",
@@ -470,6 +520,7 @@ class LSSVC(ParamsMixin):
             solver_strategy=info.strategy,
             solver_rank=info.rank,
             solver_setup_seconds=info.setup_seconds,
+            warm_start_iterations=self._warm_iterations,
         )
         return self
 
@@ -555,13 +606,17 @@ class LSSVC(ParamsMixin):
                         **solve_kwargs,
                     )
                 else:
+                    x0 = self._warm_x0(rhs.shape[0], qmat.dtype)
                     result = conjugate_gradient(
                         qmat,
                         rhs,
                         epsilon=self.param.epsilon,
                         max_iter=self.param.max_iter,
                         preconditioner=precond,
+                        x0=x0,
                     )
+                    if x0 is not None:
+                        self._warm_iterations = result.iterations
             sample_peak_rss(ctx)
         alpha, bias = recover_bias_and_alpha(qmat, result.x)
         self.result_ = result
@@ -576,6 +631,176 @@ class LSSVC(ParamsMixin):
         if backend is not None:
             backend.finalize(qmat, self.timings_)
         return result, info
+
+    def _warm_x0(self, n: int, dtype) -> Optional[np.ndarray]:
+        """Initial CG guess from the previous model (``warm_start=True``).
+
+        The previous full multiplier vector maps onto the leading entries
+        of the reduced unknown (the reduced system eliminates the *last*
+        point, so earlier rows keep their indices); new rows start at
+        zero. ``None`` when warm starting is off, no compatible previous
+        model exists, or the system shrank below the previous size.
+        """
+        if not self.warm_start or not isinstance(self.model_, LSSVMModel):
+            return None
+        prev = np.asarray(self.model_.alpha)
+        if prev.ndim != 1:
+            return None
+        if prev.shape[0] == n + 1:
+            # Same system size as before (a refit, no appended rows): the
+            # previous *reduced* solution is the full vector minus its
+            # recovered eliminated entry.
+            return np.array(prev[:n], dtype=dtype)
+        if not 0 < prev.shape[0] <= n:
+            return None
+        x0 = np.zeros(n, dtype=dtype)
+        x0[: prev.shape[0]] = prev
+        return x0
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVC":
+        """Extend the training set by a chunk and refit incrementally.
+
+        The first call (on an unfitted estimator) is an ordinary cold
+        fit and must contain both classes; every further call appends
+        ``(X, y)`` to the accumulated support set and re-solves through
+        the :class:`repro.core.incremental.IncrementalEngine` — only the
+        new kernel rows are evaluated, CG warm-starts from the previous
+        multipliers, and a Nyström preconditioner's pivots are reused
+        when the appended chunk is small. After a regular :meth:`fit`,
+        ``partial_fit`` continues from that model (one O(m²) kernel
+        bootstrap on the first chunk).
+
+        A chunk with **zero rows is a bit-exact no-op**: the model object
+        and every coefficient stay untouched.
+
+        The fitted model is updated *in place* and its caches are
+        invalidated, so serving handles (``model_.engine()``, a
+        :class:`repro.serve.ModelRegistry` entry holding the model)
+        observe the refreshed coefficients without an explicit reload.
+
+        Requires the plain exact-CG NumPy path: ``backend=None``,
+        ``solver="cg"``, no ``sparse`` / ``shard_rows`` / ``fault_plan``
+        / ``checkpoint_interval``.
+        """
+        if self.backend is not None:
+            raise InvalidParameterError(
+                "partial_fit runs on the NumPy path; use backend=None"
+            )
+        if self.sparse or self.shard_rows is not None:
+            raise InvalidParameterError(
+                "partial_fit supports neither sparse CG nor row sharding"
+            )
+        if self.solver != "cg":
+            raise InvalidParameterError(
+                "partial_fit requires solver='cg' (the randomized direct "
+                "solves have no warm-startable iteration)"
+            )
+        if self.fault_plan is not None or self.checkpoint_interval is not None:
+            raise InvalidParameterError(
+                "partial_fit does not drive the resilient solver"
+            )
+        X = np.asarray(X, dtype=self.param.dtype)
+        if X.ndim != 2:
+            raise DataError("training data must be 2-D")
+        if X.shape[0] == 0:
+            if self.model_ is None:
+                raise DataError("the first partial_fit chunk is empty")
+            return self  # bit-exact no-op: nothing changes
+        engine = self._engine
+        if engine is None:
+            engine = IncrementalEngine(
+                self.param,
+                precondition=self.precondition,
+                precond_rank=self.precond_rank,
+                precond_rng=self.precond_rng,
+                solver_threads=self.solver_threads,
+                tile_cache_mb=self.tile_cache_mb,
+                compute_dtype=self.compute_dtype,
+            )
+            if self.implicit is True:
+                engine.explicit_limit = 0
+            elif self.implicit is False:
+                engine.explicit_limit = 2**62
+            if self.model_ is not None:
+                if (
+                    not isinstance(self.model_, LSSVMModel)
+                    or self._train_targets is None
+                    or not isinstance(self.model_.support_vectors, np.ndarray)
+                ):
+                    raise InvalidParameterError(
+                        "cannot continue incrementally from the previous fit "
+                        "(compact/row-source models keep no appendable "
+                        "support set); start from a fresh estimator"
+                    )
+                engine.seed(
+                    self.model_.support_vectors,
+                    self._train_targets,
+                    self.model_.alpha,
+                )
+                self._partial_labels = self.model_.labels
+            self._engine = engine
+        labels = getattr(self, "_partial_labels", None)
+        if labels is None:
+            y_enc, labels = encode_labels(y)
+            self._partial_labels = labels
+        else:
+            y_enc = self._encode_chunk(y, labels)
+        self.timings_ = ComponentTimer()
+        reset_peak_rss()
+        with fit_scope("LSSVC.partial_fit", estimator="LSSVC") as ctx:
+            with memory_budget(self.memory_budget_mb), self.timings_.section("total"):
+                with self.timings_.section("refit"), ctx.span(
+                    "refit", new_rows=X.shape[0], total_rows=engine.num_rows + X.shape[0]
+                ):
+                    res = engine.update(X, y_enc)
+                sample_peak_rss(ctx)
+                model = self.model_
+                if isinstance(model, LSSVMModel):
+                    # Mutate in place: live serving handles keep pointing at
+                    # this object; invalidation refreshes their caches and
+                    # fires any registry generation bump.
+                    model.support_vectors = engine.X
+                    model.alpha = res.alpha
+                    model.bias = float(res.bias)
+                    model.param = engine.param
+                    model.labels = labels
+                    model.invalidate_caches()
+                else:
+                    self.model_ = LSSVMModel(
+                        support_vectors=engine.X,
+                        alpha=res.alpha,
+                        bias=float(res.bias),
+                        param=engine.param,
+                        labels=labels,
+                    )
+        self.result_ = res.result
+        self._train_targets = engine.y
+        self.report_ = build_report(
+            ctx,
+            estimator="LSSVC",
+            backend=self._backend_description(),
+            num_samples=engine.num_rows,
+            num_features=engine.X.shape[1],
+            timings=self.timings_,
+            result=res.result,
+            warm_start_iterations=res.warm_start_iterations,
+        )
+        return self
+
+    @staticmethod
+    def _encode_chunk(y, labels) -> np.ndarray:
+        """Encode a follow-up chunk against the established label alphabet."""
+        y = np.asarray(y).ravel()
+        if y.size == 0:
+            raise DataError("label vector is empty")
+        pos, neg = labels
+        unknown = (y != pos) & (y != neg)
+        if unknown.any():
+            raise DataError(
+                f"chunk contains labels outside the fitted alphabet "
+                f"({pos:g}, {neg:g})"
+            )
+        return np.where(y == pos, 1.0, -1.0)
 
     def _require_model(self) -> LSSVMModel:
         if self.model_ is None:

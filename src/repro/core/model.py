@@ -190,10 +190,60 @@ class LSSVMModel:
         arguments forward to the engine constructor (``solver_threads``,
         ``compute_dtype``, ``tile_rows``, ...). Imported lazily —
         ``core`` stays below ``serve`` in the layering.
+
+        Engines are cached per keyword combination: an engine's hoisted
+        state (row norms, casts) is only valid for the coefficients it
+        was built from, so anything that mutates the model — a
+        ``partial_fit`` refit — must call :meth:`invalidate_caches`,
+        after which the next ``engine()`` call rebuilds fresh.
         """
         from ..serve.engine import PredictionEngine
 
-        return PredictionEngine(self, **kwargs)
+        try:
+            key = tuple(sorted(kwargs.items()))
+            hash(key)
+        except TypeError:
+            # Unhashable kwarg (a live generator, an array): no caching.
+            return PredictionEngine(self, **kwargs)
+        cache = getattr(self, "_engine_cache", None)
+        if cache is None:
+            cache = {}
+            self._engine_cache = cache
+        engine = cache.get(key)
+        if engine is None:
+            engine = PredictionEngine(self, **kwargs)
+            cache[key] = engine
+        return engine
+
+    def invalidate_caches(self) -> None:
+        """Drop derived state after an in-place mutation of the model.
+
+        Clears the cached prediction engines and the lazy linear weight
+        vector, then fires every registered invalidation hook — the
+        mechanism a :class:`repro.serve.registry.ModelRegistry` uses to
+        bump its generation (and drop its warm engine) the moment a
+        ``partial_fit`` refit rewrites ``alpha``/``support_vectors``, so
+        serving never answers from a stale solution.
+        """
+        self._engine_cache = {}
+        self._weight_cache = None
+        for hook in tuple(getattr(self, "_invalidation_hooks", {}).values()):
+            hook(self)
+
+    def add_invalidation_hook(self, key, hook) -> None:
+        """Register ``hook(model)`` to fire on :meth:`invalidate_caches`.
+
+        ``key`` deduplicates registrations (re-adding under the same key
+        replaces the previous hook).
+        """
+        hooks = getattr(self, "_invalidation_hooks", None)
+        if hooks is None:
+            hooks = {}
+            self._invalidation_hooks = hooks
+        hooks[key] = hook
+
+    def remove_invalidation_hook(self, key) -> None:
+        getattr(self, "_invalidation_hooks", {}).pop(key, None)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted class labels (in the original label alphabet)."""

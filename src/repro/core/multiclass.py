@@ -25,11 +25,12 @@ import numpy as np
 
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
 from ..membudget import memory_budget, reset_peak_rss, sample_peak_rss
-from ..parameter import Parameter
+from ..parameter import Parameter, ResourceConfig, SolverConfig
 from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import KernelType
 from .cg import conjugate_gradient_block
-from .estimator import ParamsMixin
+from .estimator import ParamsMixin, apply_config, warn_deprecated_flat_kwargs
+from .incremental import IncrementalEngine
 from .lssvm import LSSVC
 from .model import FeatureMapModel, LSSVMModel
 from .precond import make_preconditioner
@@ -42,6 +43,24 @@ from .solvers import (
 )
 
 __all__ = ["OneVsAllLSSVC", "OneVsOneLSSVC"]
+
+#: Config fields the multiclass wrappers expose as constructor keywords;
+#: a passed config carrying a non-default value outside these raises.
+_MC_SOLVER_FIELDS = (
+    "solver",
+    "solver_rank",
+    "solver_seed",
+    "polish_iters",
+    "precondition",
+    "precond_rank",
+)
+_MC_RESOURCE_FIELDS = (
+    "solver_threads",
+    "tile_cache_mb",
+    "compute_dtype",
+    "memory_budget_mb",
+    "shard_rows",
+)
 
 
 def _unique_labels(y: np.ndarray) -> np.ndarray:
@@ -92,6 +111,8 @@ class _MulticlassBase(ParamsMixin):
         estimator_factory: Optional[Callable[[], object]] = None,
         memory_budget_mb: Optional[float] = None,
         shard_rows: Optional[int] = None,
+        config: Optional[SolverConfig] = None,
+        resources: Optional[ResourceConfig] = None,
     ) -> None:
         self.kernel = kernel
         self.C = C
@@ -112,7 +133,26 @@ class _MulticlassBase(ParamsMixin):
         self.estimator_factory = estimator_factory
         self.memory_budget_mb = memory_budget_mb
         self.shard_rows = shard_rows
+        self.config = config
+        self.resources = resources
+        warn_deprecated_flat_kwargs(
+            self, (SolverConfig, config), (ResourceConfig, resources)
+        )
+        self._sync_params()
         self.classes_: Optional[np.ndarray] = None
+
+    def _sync_params(self) -> None:
+        # The grouped configs are authoritative over the flat attributes;
+        # any parameter change also invalidates the stacked-coefficient
+        # prediction cache and an in-flight incremental continuation.
+        apply_config(
+            self, getattr(self, "config", None), supported=_MC_SOLVER_FIELDS
+        )
+        apply_config(
+            self, getattr(self, "resources", None), supported=_MC_RESOURCE_FIELDS
+        )
+        self._predict_state = None
+        self._engine = None
 
     @property
     def _default_factory(self) -> bool:
@@ -130,6 +170,8 @@ class _MulticlassBase(ParamsMixin):
         """
         if self.estimator_factory is not None:
             return self.estimator_factory()
+        # Grouped-config form: keeps the machines' construction silent
+        # under the flat-keyword deprecation.
         return LSSVC(
             kernel=self.kernel,
             C=self.C,
@@ -138,17 +180,21 @@ class _MulticlassBase(ParamsMixin):
             coef0=self.coef0,
             epsilon=self.epsilon,
             implicit=self.implicit,
-            precondition=self.precondition,
-            precond_rank=self.precond_rank,
-            compute_dtype=self.compute_dtype,
-            solver_threads=self.solver_threads,
-            tile_cache_mb=self.tile_cache_mb,
-            solver=self.solver,
-            solver_rank=self.solver_rank,
-            solver_seed=self.solver_seed,
-            polish_iters=self.polish_iters,
-            memory_budget_mb=self.memory_budget_mb,
-            shard_rows=self.shard_rows,
+            config=SolverConfig(
+                solver=self.solver,
+                solver_rank=self.solver_rank,
+                solver_seed=self.solver_seed,
+                polish_iters=self.polish_iters,
+                precondition=self.precondition,
+                precond_rank=self.precond_rank,
+            ),
+            resources=ResourceConfig(
+                solver_threads=self.solver_threads,
+                tile_cache_mb=self.tile_cache_mb,
+                compute_dtype=self.compute_dtype,
+                memory_budget_mb=self.memory_budget_mb,
+                shard_rows=self.shard_rows,
+            ),
         )
 
     def _require_fitted(self) -> None:
@@ -204,6 +250,9 @@ class OneVsAllLSSVC(_MulticlassBase):
         shared_solve: bool = True,
         memory_budget_mb: Optional[float] = None,
         shard_rows: Optional[int] = None,
+        config: Optional[SolverConfig] = None,
+        resources: Optional[ResourceConfig] = None,
+        warm_start: bool = False,
     ) -> None:
         # The signature is spelled out (no *args/**kwargs passthrough) so
         # the ParamsMixin introspection sees every parameter.
@@ -227,14 +276,30 @@ class OneVsAllLSSVC(_MulticlassBase):
             estimator_factory=estimator_factory,
             memory_budget_mb=memory_budget_mb,
             shard_rows=shard_rows,
+            config=config,
+            resources=resources,
         )
         self.shared_solve = bool(shared_solve)
+        self.warm_start = bool(warm_start)
         self.report_: Optional[TrainingReport] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
         from ..io.chunked import is_row_source  # deferred: io imports core
 
         y = np.asarray(y).ravel()
+        # Warm start: stack the previous ensemble's multipliers before the
+        # machines are discarded (only a shared support set maps onto the
+        # new block unknown).
+        self._warm_prev = None
+        if self.warm_start and getattr(self, "machines_", None):
+            models = [getattr(m, "model_", None) for m in self.machines_]
+            if models and all(isinstance(mod, LSSVMModel) for mod in models):
+                sv = models[0].support_vectors
+                if all(mod.support_vectors is sv for mod in models[1:]):
+                    self._warm_prev = np.column_stack([mod.alpha for mod in models])
+        self._engine = None
+        self._train_targets = None
+        self._predict_state = None
         self.classes_ = _unique_labels(y)
         self.machines_: List[object] = []
         if not is_row_source(X):
@@ -284,6 +349,7 @@ class OneVsAllLSSVC(_MulticlassBase):
             [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
         )
         solver = resolve_solver(self.solver)
+        warm_iterations = 0
         # Reset the kernel RSS high-water mark before the wall clock
         # starts so the /proc write does not count against the fit.
         reset_peak_rss()
@@ -340,13 +406,27 @@ class OneVsAllLSSVC(_MulticlassBase):
                     precond = make_preconditioner(
                         qmat, self.precondition, rank=self.precond_rank, rng=0
                     )
+                    X0 = None
+                    prev = getattr(self, "_warm_prev", None)
+                    n = B.shape[0]
+                    if prev is not None and prev.shape[1] == len(self.classes_):
+                        if prev.shape[0] == n + 1:
+                            # Same-size refit: drop the recovered
+                            # eliminated row.
+                            X0 = np.array(prev[:n], dtype=qmat.dtype)
+                        elif 0 < prev.shape[0] <= n:
+                            X0 = np.zeros((n, prev.shape[1]), dtype=qmat.dtype)
+                            X0[: prev.shape[0]] = prev
                     result = conjugate_gradient_block(
                         qmat,
                         B,
                         epsilon=self.epsilon,
                         max_iter=param.max_iter,
                         preconditioner=precond,
+                        X0=X0,
                     )
+                    if X0 is not None:
+                        warm_iterations = result.iterations
                 for j, _ in enumerate(self.classes_):
                     alpha_bar = result.X[:, j]
                     s = float(alpha_bar.sum())
@@ -368,6 +448,8 @@ class OneVsAllLSSVC(_MulticlassBase):
                     clf.result_ = result.column(j)
                     self.machines_.append(clf)
             sample_peak_rss(ctx)
+        # Keep the target block so partial_fit can continue this fit.
+        self._train_targets = Y if isinstance(X, np.ndarray) else None
         self.report_ = build_report(
             ctx,
             estimator="OneVsAllLSSVC",
@@ -378,6 +460,151 @@ class OneVsAllLSSVC(_MulticlassBase):
             solver_strategy=info.strategy,
             solver_rank=info.rank,
             solver_setup_seconds=info.setup_seconds,
+            warm_start_iterations=warm_iterations,
+        )
+        return self
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsAllLSSVC":
+        """Extend the shared training set by a chunk and refit all machines.
+
+        One warm-started block-CG solve updates the whole ensemble: the
+        accumulated kernel matrix grows by the new rows only, and every
+        machine's previous multiplier column seeds the block initial
+        guess. The first call must contain every class (it fixes
+        ``classes_``); later chunks may contain any subset. A zero-row
+        chunk is a bit-exact no-op. Continuing after a regular
+        :meth:`fit` reuses that fit's solution (one kernel bootstrap on
+        the first chunk).
+
+        Machines' models are mutated in place with their caches
+        invalidated, so live serving handles observe the refreshed
+        ensemble. Requires the default shared solve with ``solver="cg"``
+        and no row sharding.
+        """
+        if not (self.shared_solve and self._default_factory):
+            raise InvalidParameterError(
+                "partial_fit requires the shared block solve "
+                "(shared_solve=True with the default estimator factory)"
+            )
+        if resolve_solver(self.solver) != "cg":
+            raise InvalidParameterError("partial_fit requires solver='cg'")
+        if self.shard_rows is not None:
+            raise InvalidParameterError(
+                "partial_fit does not support row sharding"
+            )
+        param = Parameter(
+            kernel=self.kernel,
+            cost=self.C,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            epsilon=self.epsilon,
+        )
+        X = np.asarray(X, dtype=param.dtype)
+        if X.ndim != 2:
+            raise DataError("training data must be 2-D")
+        if X.shape[0] == 0:
+            if self.classes_ is None:
+                raise DataError("the first partial_fit chunk is empty")
+            return self  # bit-exact no-op
+        y = np.asarray(y).ravel()
+        if y.shape[0] != X.shape[0]:
+            raise DataError("label vector length does not match data")
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            engine = IncrementalEngine(
+                param,
+                precondition=self.precondition,
+                precond_rank=self.precond_rank,
+                solver_threads=self.solver_threads,
+                tile_cache_mb=self.tile_cache_mb,
+                compute_dtype=self.compute_dtype,
+            )
+            if self.implicit is True:
+                engine.explicit_limit = 0
+            elif self.implicit is False:
+                engine.explicit_limit = 2**62
+            if self.classes_ is not None:
+                # Continue from a previous shared fit.
+                models = [getattr(m, "model_", None) for m in self.machines_]
+                targets = getattr(self, "_train_targets", None)
+                shared = (
+                    models
+                    and all(isinstance(mod, LSSVMModel) for mod in models)
+                    and all(
+                        mod.support_vectors is models[0].support_vectors
+                        for mod in models[1:]
+                    )
+                )
+                if not shared or targets is None:
+                    raise InvalidParameterError(
+                        "cannot continue incrementally from the previous fit "
+                        "(machines do not share an appendable support set); "
+                        "start from a fresh estimator"
+                    )
+                engine.seed(
+                    models[0].support_vectors,
+                    targets,
+                    np.column_stack([mod.alpha for mod in models]),
+                )
+            else:
+                self.classes_ = _unique_labels(y)
+                self.machines_ = [
+                    self._make_estimator() for _ in self.classes_
+                ]
+            self._engine = engine
+        unknown = ~np.isin(y, self.classes_)
+        if unknown.any():
+            raise DataError(
+                f"chunk contains labels outside classes_ "
+                f"({np.unique(y[unknown])})"
+            )
+        Y = np.stack(
+            [np.where(y == label, 1.0, -1.0) for label in self.classes_], axis=1
+        )
+        reset_peak_rss()
+        with fit_scope(
+            "OneVsAllLSSVC.partial_fit",
+            estimator="OneVsAllLSSVC",
+            classes=len(self.classes_),
+        ) as ctx, memory_budget(self.memory_budget_mb):
+            with ctx.span(
+                "refit", new_rows=X.shape[0], total_rows=engine.num_rows + X.shape[0]
+            ):
+                res = engine.update(X, Y)
+            sample_peak_rss(ctx)
+            for j, clf in enumerate(self.machines_):
+                alpha_j = np.ascontiguousarray(res.alpha[:, j])
+                model = getattr(clf, "model_", None)
+                if isinstance(model, LSSVMModel):
+                    model.support_vectors = engine.X
+                    model.alpha = alpha_j
+                    model.bias = float(res.bias[j])
+                    model.param = engine.param
+                    model.labels = (1.0, -1.0)
+                    model.invalidate_caches()
+                else:
+                    clf.model_ = LSSVMModel(
+                        support_vectors=engine.X,
+                        alpha=alpha_j,
+                        bias=float(res.bias[j]),
+                        param=engine.param,
+                        labels=(1.0, -1.0),
+                    )
+                clf.result_ = res.result.column(j)
+            # Drop the stacked-coefficient prediction cache: the support
+            # set object changed, the next decision_matrix rebuilds it.
+            self._predict_state = None
+            sample_peak_rss(ctx)
+        self._train_targets = engine.y
+        self.report_ = build_report(
+            ctx,
+            estimator="OneVsAllLSSVC",
+            backend="numpy (shared block solve)",
+            num_samples=engine.num_rows,
+            num_features=engine.X.shape[1],
+            result=res.result,
+            warm_start_iterations=res.warm_start_iterations,
         )
         return self
 

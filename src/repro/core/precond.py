@@ -55,6 +55,7 @@ __all__ = [
     "JacobiPrecond",
     "NystromPrecond",
     "rpcholesky",
+    "refresh_nystrom",
     "default_nystrom_rank",
     "make_preconditioner",
 ]
@@ -280,6 +281,12 @@ class NystromPrecond:
 
     name = "nystrom"
 
+    #: Reduced-row indices of the RPCholesky pivots the factor was built
+    #: from (set by :meth:`from_qmatrix` / :func:`refresh_nystrom`). The
+    #: incremental engine reuses them as fixed Nyström landmarks when the
+    #: spectrum shift of an appended chunk is small.
+    pivots: tuple = ()
+
     def __init__(self, factor: np.ndarray, diag: np.ndarray) -> None:
         F = np.asarray(factor, dtype=np.float64)
         if F.ndim != 2:
@@ -339,10 +346,12 @@ class NystromPrecond:
         diag = np.asarray(qmat.diagonal(), dtype=np.float64) - np.asarray(
             qmat.ridge_bar, dtype=np.float64
         )
-        F, _ = _rpcholesky_oracle(
+        F, pivots = _rpcholesky_oracle(
             diag, corrected_column, rank=min(r, n), rng=rng
         )
-        return cls(F, qmat.ridge_bar)
+        precond = cls(F, qmat.ridge_bar)
+        precond.pivots = tuple(pivots)
+        return precond
 
     @property
     def shape(self) -> tuple:
@@ -381,6 +390,70 @@ class NystromPrecond:
     def sqrt_unapply_t(self, V: np.ndarray) -> np.ndarray:
         # E^{-T} = D^{1/2} S^{-1}
         return self._scale(self._low_rank(V, self._w_s_inv), self._sqrt_d)
+
+
+def refresh_nystrom(qmat, pivots) -> NystromPrecond:
+    """Rebuild a Nyström preconditioner on *fixed* landmark pivots.
+
+    The incremental-training warm path: when ``partial_fit`` appends a
+    small chunk, the corrected kernel ``G`` changes — every entry sees the
+    new eliminated point — but its dominant eigenspace barely moves, so
+    the expensive randomized pivot *search* need not be redone. This
+    recomputes only the ``r`` pivot columns of the new ``G`` (``O(m r)``
+    kernel entries) and forms the classic fixed-landmark Nyström factor
+
+        G  ~=  C B^{-1} C^T  =  F F^T,   F = C L^{-T},  B = L L^T
+
+    with ``C = G[:, pivots]`` and ``B = G[pivots][:, pivots]`` (jittered
+    Cholesky for numerical PSD safety). Pivot indices refer to reduced
+    rows of the *previous* system; appended rows only extend the index
+    space, so they remain valid verbatim.
+    """
+    pivots = tuple(int(p) for p in pivots)
+    n = qmat.shape[0]
+    if not pivots:
+        raise InvalidParameterError("refresh_nystrom needs a non-empty pivot set")
+    if max(pivots) >= n or min(pivots) < 0:
+        raise InvalidParameterError(
+            f"pivot index out of range for system size {n}"
+        )
+    q_bar = np.asarray(qmat.q_bar, dtype=np.float64)
+    q_mm = float(qmat.q_mm)
+
+    def corrected_column(s: int) -> np.ndarray:
+        col = np.asarray(qmat.kernel_column(s), dtype=np.float64)
+        col -= q_bar[s]
+        col -= q_bar
+        col += q_mm
+        return col
+
+    ctx = current_context()
+    start = time.perf_counter()
+    with ctx.span("precond_setup", kind="nystrom-refresh", rank=len(pivots)):
+        C = np.column_stack([corrected_column(s) for s in pivots])
+        B = C[list(pivots), :]
+        B = 0.5 * (B + B.T)
+        jitter = 1e-12 * max(float(np.trace(B)), 1.0)
+        L = None
+        for _ in range(4):
+            try:
+                L = np.linalg.cholesky(B + jitter * np.eye(B.shape[0]))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 1e3
+        if L is None:
+            raise InvalidParameterError(
+                "pivot block is numerically indefinite; rebuild the "
+                "preconditioner from scratch"
+            )
+        # F = C L^{-T}  =>  F F^T = C B^{-1} C^T.
+        F = np.linalg.solve(L, C.T).T
+        precond = NystromPrecond(F, qmat.ridge_bar)
+        precond.pivots = pivots
+    ctx.inc("precond_setups")
+    ctx.inc("precond_setup_seconds", time.perf_counter() - start)
+    ctx.set_gauge("precond_rank", precond.rank)
+    return precond
 
 
 def default_nystrom_rank(n: int) -> int:

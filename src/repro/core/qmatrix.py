@@ -357,6 +357,107 @@ class ExplicitQMatrix(QMatrixBase):
         K += self.q_mm
         self._dense = K
 
+    @classmethod
+    def from_kernel(
+        cls,
+        K: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        *,
+        ridge: Optional[np.ndarray] = None,
+        binary_labels: bool = True,
+    ) -> "ExplicitQMatrix":
+        """Build the corrected system from a precomputed raw kernel matrix.
+
+        ``K`` is the full ``m x m`` kernel Gram matrix ``k(x_i, x_j)`` over
+        *all* training points (no ridge, no corrections). The incremental
+        engine maintains ``K`` across ``partial_fit`` calls — appending
+        ``k`` rows costs only the ``O(m k)`` new kernel entries — and this
+        constructor turns it into Q_tilde without re-evaluating a single
+        kernel entry: ``q_bar`` is the last column, ``k_mm`` the corner,
+        and the dense correction is elementwise O(m²) arithmetic.
+        """
+        X, y = _validate_training_data(X, y, param.dtype, binary_labels=binary_labels)
+        param = param.with_gamma_for(X.shape[1])
+        K = np.asarray(K, dtype=param.dtype)
+        m = X.shape[0]
+        if K.shape != (m, m):
+            raise DataError(
+                f"kernel matrix of shape {K.shape} does not match "
+                f"{m} training points"
+            )
+        self = cls.__new__(cls)
+        self.X = X
+        self.X_bar = X[:-1]
+        self.x_m = X[-1]
+        q_bar = np.array(K[:-1, -1], dtype=param.dtype)
+        self._finish_init(y, param, q_bar, float(K[-1, -1]), ridge=ridge)
+        n = self.shape[0]
+        budget = active_memory_budget()
+        estimate = n * n * np.dtype(self.dtype).itemsize
+        if budget is not None and estimate > budget:
+            raise InvalidParameterError(
+                f"ExplicitQMatrix would materialize the dense "
+                f"{n}x{n} reduced system ({format_bytes(estimate)}), "
+                f"exceeding the active memory budget of {format_bytes(budget)}"
+            )
+        D = np.array(K[:-1, :-1], dtype=self.dtype)
+        D += np.diag(self.ridge_bar)
+        D -= self.q_bar[None, :]
+        D -= self.q_bar[:, None]
+        D += self.q_mm
+        self._dense = D
+        return self
+
+    @classmethod
+    def from_parts(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        param: Parameter,
+        q_bar: np.ndarray,
+        k_mm: float,
+        dense: np.ndarray,
+        *,
+        ridge: Optional[np.ndarray] = None,
+        binary_labels: bool = True,
+    ) -> "ExplicitQMatrix":
+        """Adopt an externally maintained *corrected* dense system.
+
+        ``dense`` must already be Q_tilde of Eq. 16 — raw kernel block
+        plus ridge diagonal minus the ``q_bar`` rank-one terms plus
+        ``q_mm`` — and ``q_bar``/``k_mm`` the matching raw kernel values
+        against the eliminated (last) point. The incremental engine
+        updates its dense system in place across ``partial_fit`` calls
+        and wraps each snapshot through this constructor, so no O(m²)
+        rebuild ever happens. ``dense`` is adopted by reference (it may
+        be a view into a larger capacity buffer); the caller owns its
+        lifetime.
+        """
+        X, y = _validate_training_data(X, y, param.dtype, binary_labels=binary_labels)
+        param = param.with_gamma_for(X.shape[1])
+        self = cls.__new__(cls)
+        self.X = X
+        self.X_bar = X[:-1]
+        self.x_m = X[-1]
+        q_bar = np.asarray(q_bar, dtype=param.dtype)
+        self._finish_init(y, param, q_bar, float(k_mm), ridge=ridge)
+        n = self.shape[0]
+        dense = np.asarray(dense)
+        if dense.shape != (n, n):
+            raise DataError(
+                f"dense system of shape {dense.shape} does not match "
+                f"{n + 1} training points"
+            )
+        if dense.dtype != self.dtype:
+            raise DataError(
+                f"dense system dtype {dense.dtype} does not match the "
+                f"working dtype {self.dtype}"
+            )
+        self._dense = dense
+        return self
+
     def _kernel_matvec(self, v: np.ndarray) -> np.ndarray:  # pragma: no cover
         raise AssertionError("ExplicitQMatrix overrides _apply directly")
 

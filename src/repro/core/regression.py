@@ -22,12 +22,13 @@ from typing import Optional, Union
 import numpy as np
 
 from ..exceptions import DataError, InvalidParameterError, NotFittedError
-from ..parameter import Parameter
+from ..parameter import Parameter, SolverConfig
 from ..profiling import ComponentTimer
 from ..telemetry import TrainingReport, build_report, fit_scope
 from ..types import KernelType
 from .cg import CGResult, conjugate_gradient
-from .estimator import ParamsMixin
+from .estimator import ParamsMixin, apply_config, warn_deprecated_flat_kwargs
+from .incremental import IncrementalEngine
 from .qmatrix import (
     EXPLICIT_LIMIT,
     ExplicitQMatrix,
@@ -42,6 +43,9 @@ from .solvers import (
 )
 
 __all__ = ["LSSVR"]
+
+#: SolverConfig fields LSSVR exposes as constructor keywords.
+_REG_SOLVER_FIELDS = ("solver", "solver_rank", "solver_seed", "polish_iters")
 
 
 class LSSVR(ParamsMixin):
@@ -78,6 +82,8 @@ class LSSVR(ParamsMixin):
         solver_rank: Optional[int] = None,
         solver_seed: Union[None, int, np.random.Generator] = 0,
         polish_iters: int = 0,
+        config: Optional[SolverConfig] = None,
+        warm_start: bool = False,
     ) -> None:
         self.kernel = kernel
         self.C = C
@@ -92,6 +98,9 @@ class LSSVR(ParamsMixin):
         self.solver_rank = solver_rank
         self.solver_seed = solver_seed
         self.polish_iters = polish_iters
+        self.config = config
+        self.warm_start = warm_start
+        warn_deprecated_flat_kwargs(self, (SolverConfig, config))
         self._sync_params()
         self.result_: Optional[CGResult] = None
         self.report_: Optional[TrainingReport] = None
@@ -100,8 +109,15 @@ class LSSVR(ParamsMixin):
         self._alpha: Optional[np.ndarray] = None
         self._bias = 0.0
         self._fmap = None
+        self._train_targets: Optional[np.ndarray] = None
 
     def _sync_params(self) -> None:
+        apply_config(
+            self, getattr(self, "config", None), supported=_REG_SOLVER_FIELDS
+        )
+        self.warm_start = bool(getattr(self, "warm_start", False))
+        # A parameter change invalidates an incremental continuation.
+        self._engine_inc = None
         self.param = Parameter(
             kernel=self.kernel,
             cost=self.C,
@@ -140,6 +156,8 @@ class LSSVR(ParamsMixin):
         self.timings_ = ComponentTimer()
         self._qmat = None
         self._fmap = None
+        self._engine_inc = None
+        warm_iterations = 0
         with fit_scope("LSSVR.fit", estimator="LSSVR") as ctx:
             with self.timings_.section("total"):
                 if self.solver == "rff":
@@ -177,12 +195,27 @@ class LSSVR(ParamsMixin):
                             )
                         else:
                             info = SolverInfo()
+                            rhs = qmat.rhs()
+                            x0 = None
+                            if self.warm_start and self._alpha is not None:
+                                prev = np.asarray(self._alpha)
+                                n = rhs.shape[0]
+                                if prev.ndim == 1 and prev.shape[0] == n + 1:
+                                    # Same-size refit: drop the recovered
+                                    # eliminated entry.
+                                    x0 = np.array(prev[:n], dtype=qmat.dtype)
+                                elif prev.ndim == 1 and 0 < prev.shape[0] <= n:
+                                    x0 = np.zeros(n, dtype=qmat.dtype)
+                                    x0[: prev.shape[0]] = prev
                             result = conjugate_gradient(
                                 qmat,
-                                qmat.rhs(),
+                                rhs,
                                 epsilon=self.param.epsilon,
                                 max_iter=self.param.max_iter,
+                                x0=x0,
                             )
+                            if x0 is not None:
+                                warm_iterations = result.iterations
                     alpha, bias = recover_bias_and_alpha(qmat, result.x)
                     self._qmat = qmat
         self.report_ = build_report(
@@ -196,10 +229,79 @@ class LSSVR(ParamsMixin):
             solver_strategy=info.strategy,
             solver_rank=info.rank,
             solver_setup_seconds=info.setup_seconds,
+            warm_start_iterations=warm_iterations,
         )
         self.result_ = result
         self._alpha = alpha
         self._bias = bias
+        # Keep the targets so partial_fit can continue from this fit.
+        self._train_targets = y if self._fmap is None else None
+        return self
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVR":
+        """Extend the training set by a chunk and refit incrementally.
+
+        The regression twin of :meth:`repro.core.lssvm.LSSVC.partial_fit`:
+        the accumulated kernel matrix grows by the new rows only and CG
+        warm-starts from the previous multipliers. A zero-row chunk is a
+        bit-exact no-op; a regular :meth:`fit` can be continued (one
+        kernel bootstrap on the first chunk). Requires ``solver="cg"``.
+        """
+        if self.solver != "cg":
+            raise InvalidParameterError(
+                "partial_fit requires solver='cg' (the randomized direct "
+                "solves have no warm-startable iteration)"
+            )
+        X = np.asarray(X, dtype=self.param.dtype)
+        if X.ndim != 2:
+            raise DataError("training data must be 2-D")
+        if X.shape[0] == 0:
+            if self._alpha is None:
+                raise DataError("the first partial_fit chunk is empty")
+            return self  # bit-exact no-op
+        y = np.asarray(y, dtype=self.param.dtype).ravel()
+        engine = self._engine_inc
+        if engine is None:
+            engine = IncrementalEngine(
+                self.param,
+                binary_labels=False,
+            )
+            if self.implicit is True:
+                engine.explicit_limit = 0
+            elif self.implicit is False:
+                engine.explicit_limit = 2**62
+            if self._alpha is not None:
+                if self._qmat is None or self._train_targets is None:
+                    raise InvalidParameterError(
+                        "cannot continue incrementally from the previous fit "
+                        "(compact rff models keep no appendable support set); "
+                        "start from a fresh estimator"
+                    )
+                engine.seed(self._qmat.X, self._train_targets, self._alpha)
+            self._engine_inc = engine
+        self.timings_ = ComponentTimer()
+        with fit_scope("LSSVR.partial_fit", estimator="LSSVR") as ctx:
+            with self.timings_.section("total"):
+                with self.timings_.section("refit"), ctx.span(
+                    "refit", new_rows=X.shape[0]
+                ):
+                    res = engine.update(X, y)
+        self._qmat = res.qmat
+        self._alpha = res.alpha
+        self._bias = float(res.bias)
+        self._fmap = None
+        self._train_targets = engine.y
+        self.result_ = res.result
+        self.report_ = build_report(
+            ctx,
+            estimator="LSSVR",
+            backend="numpy",
+            num_samples=engine.num_rows,
+            num_features=engine.X.shape[1],
+            timings=self.timings_,
+            result=res.result,
+            warm_start_iterations=res.warm_start_iterations,
+        )
         return self
 
     def _require_fitted(self) -> None:

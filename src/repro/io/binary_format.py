@@ -17,6 +17,7 @@ parser.
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
 from typing import Tuple, Union
@@ -28,6 +29,7 @@ from ..exceptions import FileFormatError
 __all__ = [
     "read_binary_file",
     "write_binary_file",
+    "append_binary_rows",
     "read_binary_header",
     "is_binary_file",
     "BinaryHeader",
@@ -105,6 +107,72 @@ def read_binary_file(
     y = flat[:rows].astype(dtype, copy=True)
     X = flat[rows:].reshape(rows, cols).astype(dtype, copy=True)
     return X, y
+
+
+def append_binary_rows(
+    path: Union[str, Path], X_new: np.ndarray, y_new: np.ndarray
+) -> int:
+    """Append ``(X_new, y_new)`` rows to an existing PLSB file; returns the
+    new row count.
+
+    Labels precede the data matrix in the layout, so growing the label
+    vector moves every data byte: the file is rewritten through a sibling
+    temp file and published with ``os.replace``, which is atomic on POSIX —
+    a concurrent reader (the streaming trainer's :meth:`ChunkedDataset.refresh`,
+    or a crash mid-append) only ever observes the old complete file or the
+    new complete file, never a torn one. The rewrite streams block-wise, so
+    peak memory stays bounded regardless of file size.
+    """
+    path = Path(path)
+    header = read_binary_header(path)
+    X_new = np.ascontiguousarray(X_new, dtype=header.dtype)
+    if X_new.ndim == 1:
+        X_new = X_new.reshape(1, -1)
+    y_new = np.asarray(y_new).ravel().astype(header.dtype, copy=False)
+    if X_new.ndim != 2 or X_new.shape[1] != header.cols:
+        raise FileFormatError(
+            f"appended block shape {X_new.shape} does not match "
+            f"{header.cols} columns"
+        )
+    if X_new.shape[0] != y_new.shape[0]:
+        raise FileFormatError("appended data and labels disagree in length")
+    if X_new.shape[0] == 0:
+        return header.rows
+    le = "<" + header.dtype.str[1:]
+    new_rows = header.rows + X_new.shape[0]
+    tmp = path.with_name(path.name + ".append-tmp")
+    copy_block = max(1, (8 * 1024 * 1024) // max(header.row_bytes, 1))
+    try:
+        with path.open("rb") as src, tmp.open("wb") as dst:
+            dst.write(
+                _HEADER.pack(
+                    MAGIC,
+                    _VERSION,
+                    _DTYPE_CODES[header.dtype],
+                    new_rows,
+                    header.cols,
+                    0,
+                )
+            )
+            src.seek(header.labels_offset)
+            dst.write(src.read(header.rows * header.dtype.itemsize))
+            dst.write(y_new.astype(le, copy=False).tobytes())
+            remaining = header.rows
+            while remaining > 0:
+                take = min(remaining, copy_block)
+                raw = src.read(take * header.row_bytes)
+                if len(raw) != take * header.row_bytes:
+                    raise FileFormatError(f"{path}: short read during append")
+                dst.write(raw)
+                remaining -= take
+            dst.write(X_new.astype(le, copy=False).tobytes())
+            dst.flush()
+            os.fsync(dst.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return new_rows
 
 
 class BinaryHeader:

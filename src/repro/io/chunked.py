@@ -451,6 +451,45 @@ class ChunkedDataset:
             shape=(h.rows, h.cols),
         )
 
+    def refresh(self) -> int:
+        """Re-open the file and pick up appended rows; returns the row delta.
+
+        The streaming trainer appends rows via
+        :func:`~repro.io.binary_format.append_binary_rows`, which publishes
+        a *new* file under the same path with ``os.replace`` — the handle
+        this dataset holds still reads the old inode, so a refresh must
+        reopen by path. The header is re-validated, labels are re-read,
+        and the hot-block cache is dropped (block keys are positional and
+        every data byte moved). A shrunk or reshaped file raises
+        :class:`FileFormatError` rather than silently serving mixed
+        generations.
+        """
+        header = read_binary_header(self.path)
+        if header.cols != self.num_features or header.dtype != self.dtype:
+            raise FileFormatError(
+                f"{self.path}: shape/dtype changed under refresh "
+                f"({header.rows}x{header.cols} {header.dtype}, was "
+                f"{self.num_rows}x{self.num_features} {self.dtype})"
+            )
+        if header.rows < self.num_rows:
+            raise FileFormatError(
+                f"{self.path}: shrank from {self.num_rows} to {header.rows} "
+                "rows under refresh"
+            )
+        delta = header.rows - self.num_rows
+        handle = self.path.open("rb")
+        with self._lock:
+            old = self._handle
+            self._handle = handle
+            self._header = header
+            self.num_rows = header.rows
+            self._cache.clear()
+            self._cache_bytes = 0
+        if not old.closed:
+            old.close()
+        self.y = self._read_labels()
+        return delta
+
     def close(self) -> None:
         self._cache.clear()
         self._cache_bytes = 0

@@ -17,7 +17,13 @@ import numpy as np
 from .exceptions import InvalidParameterError
 from .types import KernelType
 
-__all__ = ["Parameter", "DEFAULT_EPSILON", "resolve_gamma"]
+__all__ = [
+    "Parameter",
+    "SolverConfig",
+    "ResourceConfig",
+    "DEFAULT_EPSILON",
+    "resolve_gamma",
+]
 
 #: Default relative residual used by the PLSSVM command line (`--epsilon`).
 DEFAULT_EPSILON = 1e-3
@@ -111,6 +117,69 @@ class Parameter:
         parts.append(f"epsilon={self.epsilon:g}")
         parts.append(f"dtype={self.dtype}")
         return " ".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverConfig:
+    """Grouped solver-strategy knobs (replaces the flat estimator kwargs).
+
+    Collects the arguments that select and tune the *solve* — strategy,
+    randomized ranks and seeds, polish refinement, and the CG
+    preconditioner — into one typed object::
+
+        LSSVC(kernel="rbf", C=10, config=SolverConfig(solver="nystrom",
+                                                      solver_rank=256))
+
+    Passing the equivalent flat keywords still works but emits a
+    ``DeprecationWarning``; ``get_params``/``set_params``/``clone``
+    round-trip both forms.
+    """
+
+    solver: str = "cg"
+    solver_rank: Optional[int] = None
+    solver_seed: int = 0
+    polish_iters: int = 0
+    precondition: Optional[str] = None
+    precond_rank: Optional[int] = None
+    precond_rng: Optional[object] = 0
+
+    #: Estimator keyword names mirrored by this config (declaration order).
+    fields = ()
+
+    def as_kwargs(self) -> dict:
+        """The equivalent flat estimator keyword arguments."""
+        return {name: getattr(self, name) for name in type(self).fields}
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceConfig:
+    """Grouped execution-resource knobs (threads, caches, budgets, faults).
+
+    Collects the arguments that shape *how* the solve runs — worker
+    threads, the kernel-tile cache, mixed precision, fault
+    injection/recovery, and the out-of-core memory budget and row
+    sharding — into one typed object accepted as
+    ``LSSVC(resources=ResourceConfig(...))``.
+    """
+
+    solver_threads: Optional[int] = None
+    tile_cache_mb: Optional[float] = None
+    compute_dtype: Optional[object] = None
+    fault_plan: Optional[object] = None
+    checkpoint_interval: Optional[int] = None
+    max_retries: int = 3
+    memory_budget_mb: Optional[float] = None
+    shard_rows: Optional[int] = None
+
+    fields = ()
+
+    def as_kwargs(self) -> dict:
+        """The equivalent flat estimator keyword arguments."""
+        return {name: getattr(self, name) for name in type(self).fields}
+
+
+SolverConfig.fields = tuple(f.name for f in dataclasses.fields(SolverConfig))
+ResourceConfig.fields = tuple(f.name for f in dataclasses.fields(ResourceConfig))
 
 
 def resolve_gamma(param: Parameter, num_features: int) -> Optional[float]:

@@ -115,6 +115,13 @@ class ModelRegistry:
         generation is bumped and any warm engine of the old generation is
         dropped, so the next request is served by the new model. Returns
         the new generation.
+
+        In-memory models that support invalidation hooks (see
+        :meth:`LSSVMModel.add_invalidation_hook`) are wired up so that an
+        in-place mutation — a ``partial_fit`` refit rewriting
+        ``alpha``/``support_vectors`` — bumps the generation and drops the
+        warm engine automatically: serving never answers from the stale
+        solution even without an explicit :meth:`reload`.
         """
         if not name:
             raise InvalidParameterError("model name must be non-empty")
@@ -132,16 +139,65 @@ class ModelRegistry:
             stale = self._warm.pop(name, None)
             if stale is not None:
                 self._warm_bytes -= stale.nbytes
+            self._rewire_hook(name, current.source if current is not None else None, source)
             return generation
 
-    #: Hot-swap alias: re-register under the same name.
-    reload = register
+    def reload(self, name: str, source: Union[str, Path, LSSVMModel, "FeatureMapModel", None] = None) -> int:
+        """Hot-swap ``name``: bump the generation and drop the warm engine.
+
+        With ``source`` this is a plain re-registration; without it the
+        name is rebuilt from its *current* source — the path is re-read
+        (picking up a rewritten model file) or the in-memory model is
+        re-admitted (picking up an in-place ``partial_fit`` mutation).
+        Returns the new generation.
+        """
+        if source is None:
+            with self._lock:
+                current = self._registrations.get(name)
+                if current is None:
+                    raise ModelNotFoundError(name)
+                source = current.source
+        return self.register(name, source)
 
     def unregister(self, name: str) -> None:
         with self._lock:
             if name not in self._registrations:
                 raise ModelNotFoundError(name)
-            del self._registrations[name]
+            registration = self._registrations.pop(name)
+            stale = self._warm.pop(name, None)
+            if stale is not None:
+                self._warm_bytes -= stale.nbytes
+            self._rewire_hook(name, registration.source, None)
+
+    # -- in-memory model invalidation -----------------------------------------
+
+    def _hook_key(self, name: str):
+        return ("registry", id(self), name)
+
+    def _rewire_hook(self, name: str, old_source, new_source) -> None:
+        """Move the invalidation hook from ``old_source`` to ``new_source``
+        (either may be ``None``/a path/a hook-less model; lock held)."""
+        key = self._hook_key(name)
+        if (
+            old_source is not None
+            and old_source is not new_source
+            and hasattr(old_source, "remove_invalidation_hook")
+        ):
+            old_source.remove_invalidation_hook(key)
+        if new_source is not None and hasattr(new_source, "add_invalidation_hook"):
+            new_source.add_invalidation_hook(
+                key, lambda model, name=name: self._on_model_invalidated(name, model)
+            )
+
+    def _on_model_invalidated(self, name: str, model) -> None:
+        """An in-memory model mutated in place: bump its generation so no
+        warm engine of the old solution is ever handed out again."""
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None or registration.source is not model:
+                return
+            registration.generation += 1
+            self.reloads += 1
             stale = self._warm.pop(name, None)
             if stale is not None:
                 self._warm_bytes -= stale.nbytes

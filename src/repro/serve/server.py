@@ -10,6 +10,10 @@ coalesce — and the endpoints speak JSON:
   single ``"row"``); responds with predictions, decision values, and the
   batch the request rode in. Admission-control rejections surface as
   ``503`` with ``Retry-After``.
+* ``POST /models/<name>/reload`` — generation-tagged hot swap:
+  re-resolve the model from its current source (or an optional new
+  ``{"source": path}``) and answer with the new generation; predictions
+  issued after the acknowledgement carry a generation at least that high.
 * ``GET /models`` — registry contents with warm/generation state.
 * ``GET /healthz`` — liveness plus model count.
 * ``GET /metrics`` — the :class:`~repro.serve.report.ServingReport`
@@ -178,6 +182,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/models/") and path.endswith("/reload"):
+            self._do_reload(path[len("/models/") : -len("/reload")].strip("/"))
+            return
         if path != "/predict":
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -224,6 +231,34 @@ class _Handler(BaseHTTPRequestHandler):
                     "batch": batch,
                 },
             )
+
+    def _do_reload(self, name: str) -> None:
+        """``POST /models/<name>/reload`` — generation-tagged hot swap."""
+        if not name:
+            self._error(404, "reload needs a model name: /models/<name>/reload")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}") if length else {}
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        source = None
+        if isinstance(payload, dict) and payload.get("source") is not None:
+            source = payload["source"]
+            if not isinstance(source, str):
+                self._error(400, '"source" must be a path string')
+                return
+        try:
+            generation = self.app.registry.reload(name, source)
+        except ModelNotFoundError:
+            self._error(404, f"unknown model {name!r}")
+            return
+        except PLSSVMError as exc:
+            self._error(400, str(exc))
+            return
+        self.app.context.inc("serve_reloads")
+        self._send_json(200, {"model": name, "generation": generation})
 
 
 def _find_child(span, name: str):

@@ -47,7 +47,11 @@ __all__ = [
 #: v3: top-level ``peak_rss_bytes`` — the process resident-set high-water
 #: mark sampled at phase boundaries and CG checkpoints (the out-of-core
 #: training proof: peak RSS stayed under the ``--memory-budget-mb`` cap).
-REPORT_SCHEMA_VERSION = 3
+#: v4: the solver object gained ``warm_start_iterations`` (the streaming
+#: tier: CG iterations spent when the solve started from the previous
+#: model's multipliers instead of zero — 0 for every cold solve); the
+#: incremental refit path also times a ``refit`` phase.
+REPORT_SCHEMA_VERSION = 4
 
 #: Declarative shape of the serialized report: required key -> type spec.
 #: A type spec is a Python type, a tuple of admissible types, or ``list``
@@ -82,6 +86,7 @@ _SOLVER_SCHEMA: Dict[str, object] = {
     "strategy": str,
     "rank": int,
     "setup_seconds": (int, float),
+    "warm_start_iterations": int,
 }
 
 #: Counter keys every report must carry (the Fig. 2 / resilience story).
@@ -409,6 +414,7 @@ def build_report(
     solver_strategy: str = "cg",
     solver_rank: int = 0,
     solver_setup_seconds: float = 0.0,
+    warm_start_iterations: int = 0,
 ) -> TrainingReport:
     """Assemble a :class:`TrainingReport` from a finished fit context.
 
@@ -429,6 +435,10 @@ def build_report(
         Which solver tier ran (``cg`` / ``nystrom`` / ``rff``), the
         realized approximation rank (0 for exact CG), and the
         randomized factorization's setup wall seconds.
+    warm_start_iterations:
+        CG iterations of a solve that warm-started from a previous
+        solution (``partial_fit`` refits, ``warm_start=True`` refits);
+        0 for a cold solve.
     """
     phases = dict(timings.as_dict()) if timings is not None else {}
     if result is not None:
@@ -443,6 +453,7 @@ def build_report(
     solver["strategy"] = str(solver_strategy)
     solver["rank"] = int(solver_rank)
     solver["setup_seconds"] = float(solver_setup_seconds)
+    solver["warm_start_iterations"] = int(warm_start_iterations)
     sample_peak_rss(ctx)
     return TrainingReport(
         fit=ctx.name,

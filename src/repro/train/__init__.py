@@ -1,0 +1,5 @@
+"""Online training: follow a growing dataset and refit incrementally."""
+
+from .follow import FollowTrainer
+
+__all__ = ["FollowTrainer"]

@@ -1,0 +1,280 @@
+"""The trainer daemon behind ``plssvm-train --follow``.
+
+A :class:`FollowTrainer` ties the streaming pieces together into a
+train-side loop that keeps a served model current while its dataset
+grows:
+
+1. **Watch** — either one PLSB file that producers extend with
+   :func:`~repro.io.binary_format.append_binary_rows` (detected via
+   :meth:`~repro.io.chunked.ChunkedDataset.refresh`, which re-opens the
+   atomically-replaced file), or a directory into which producers drop
+   whole ``*.plsb`` chunk files (processed once each, in name order).
+2. **Refit** — feed only the new rows to the estimator's
+   ``partial_fit``: the incremental engine extends the kernel matrix by
+   the new cross/corner blocks and warm-starts CG from the previous
+   solution, so a small append costs a small solve.
+3. **Publish** — write a generation-stamped model artifact atomically
+   (temp file + ``os.replace`` so a concurrent reader never sees a torn
+   model), then push the new generation into serving: an in-process
+   :class:`~repro.serve.registry.ModelRegistry` re-registration, and/or
+   a ``POST /models/<name>/reload`` against a running ``plssvm-serve``.
+
+The generation counter increments once per successful refit; the sidecar
+``<model>.meta.json`` records it next to the row count so external
+rollout tooling can assert freshness without parsing the model itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.request
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..io.binary_format import is_binary_file, read_binary_file
+from ..io.chunked import ChunkedDataset
+
+__all__ = ["FollowTrainer"]
+
+
+class FollowTrainer:
+    """Watch a growing dataset, refit incrementally, roll out each generation.
+
+    Parameters
+    ----------
+    estimator:
+        Any estimator exposing ``partial_fit(X, y)`` (``LSSVC``, ``LSSVR``,
+        ``OneVsAllLSSVC``). The trainer never calls ``fit`` — the first
+        chunk trains from scratch through the same incremental path.
+    source:
+        A PLSB file that grows in place (appends detected via
+        ``ChunkedDataset.refresh``) or a directory receiving ``*.plsb``
+        chunk files (each consumed exactly once, sorted by name).
+    model_path:
+        Where to publish the model artifact. Written atomically on every
+        refit; a ``<model_path>.meta.json`` sidecar carries
+        ``{"generation", "rows", "chunks"}``.
+    model_name:
+        Registry/serving name used for rollout (default ``"model"``).
+    registry:
+        Optional in-process :class:`ModelRegistry`; the fitted in-memory
+        model is (re-)registered under ``model_name`` on every refit,
+        bumping the serving generation.
+    serve_url:
+        Optional base URL of a running ``plssvm-serve`` (e.g.
+        ``http://127.0.0.1:8000``); each refit POSTs
+        ``/models/<model_name>/reload`` after the artifact is written.
+    poll_interval:
+        Seconds between polls in :meth:`run`.
+    max_generations:
+        Stop :meth:`run` after this many successful refits (``None``:
+        run until interrupted).
+    on_event:
+        Optional callable receiving human-readable progress lines.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        source: Union[str, Path],
+        *,
+        model_path: Optional[Union[str, Path]] = None,
+        model_name: str = "model",
+        registry=None,
+        serve_url: Optional[str] = None,
+        poll_interval: float = 1.0,
+        max_generations: Optional[int] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if not hasattr(estimator, "partial_fit"):
+            raise InvalidParameterError(
+                f"{type(estimator).__name__} has no partial_fit; the follow "
+                "trainer needs an incremental estimator"
+            )
+        if poll_interval <= 0:
+            raise InvalidParameterError("poll_interval must be positive")
+        if model_path is not None and not hasattr(estimator, "save"):
+            raise InvalidParameterError(
+                f"{type(estimator).__name__} has no save(); drop model_path "
+                "or use an estimator that writes model artifacts"
+            )
+        self.estimator = estimator
+        self.source = Path(source)
+        if not self.source.exists():
+            raise InvalidParameterError(f"{self.source}: no such file or directory")
+        self.directory_mode = self.source.is_dir()
+        self.model_path = Path(model_path) if model_path is not None else None
+        self.model_name = model_name
+        self.registry = registry
+        self.serve_url = serve_url.rstrip("/") if serve_url else None
+        self.poll_interval = float(poll_interval)
+        self.max_generations = max_generations
+        self.on_event = on_event
+        self.generation = -1  # first publish is generation 0
+        self.rows_consumed = 0
+        self.chunks_consumed = 0
+        self._dataset: Optional[ChunkedDataset] = None
+        self._seen_files: set = set()
+        if not self.directory_mode:
+            self._dataset = ChunkedDataset(self.source)
+
+    # -- the poll loop --------------------------------------------------------
+
+    def poll_once(self) -> int:
+        """Check the source once; refit + publish when rows arrived.
+
+        Returns the number of new rows consumed (0 when nothing changed).
+        """
+        if self.directory_mode:
+            rows = self._consume_directory()
+        else:
+            rows = self._consume_file()
+        return rows
+
+    def run(self, *, max_polls: Optional[int] = None) -> int:
+        """Poll until ``max_generations`` refits (or ``max_polls`` polls).
+
+        Returns the total number of rows consumed. ``KeyboardInterrupt``
+        exits cleanly.
+        """
+        polls = 0
+        generations = 0
+        try:
+            while True:
+                if self.poll_once() > 0:
+                    generations += 1
+                    if (
+                        self.max_generations is not None
+                        and generations >= self.max_generations
+                    ):
+                        break
+                polls += 1
+                if max_polls is not None and polls >= max_polls:
+                    break
+                time.sleep(self.poll_interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            self._log("interrupted; stopping")
+        return self.rows_consumed
+
+    def close(self) -> None:
+        if self._dataset is not None:
+            self._dataset.close()
+
+    def __enter__(self) -> "FollowTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- sources --------------------------------------------------------------
+
+    def _consume_file(self) -> int:
+        ds = self._dataset
+        start = self.rows_consumed
+        if start == 0 and ds.num_rows > 0:
+            pass  # initial contents count as the first chunk
+        elif ds.refresh() == 0:
+            return 0
+        stop = ds.num_rows
+        if stop <= start:
+            return 0
+        X = np.array(ds.row_block(start, stop))
+        y = np.array(ds.y[start:stop])
+        self._refit(X, y)
+        return stop - start
+
+    def _consume_directory(self) -> int:
+        pending = sorted(
+            p
+            for p in self.source.iterdir()
+            if p.suffix == ".plsb"
+            and p.name not in self._seen_files
+            and is_binary_file(p)
+        )
+        rows = 0
+        for path in pending:
+            X, y = read_binary_file(path, mmap=False)
+            self._refit(X, y)
+            self._seen_files.add(path.name)
+            rows += X.shape[0]
+        return rows
+
+    # -- refit + rollout ------------------------------------------------------
+
+    def _refit(self, X: np.ndarray, y: np.ndarray) -> None:
+        t0 = time.perf_counter()
+        self.estimator.partial_fit(X, y)
+        self.rows_consumed += int(X.shape[0])
+        self.chunks_consumed += 1
+        self.generation += 1
+        elapsed = time.perf_counter() - t0
+        report = getattr(self.estimator, "report_", None)
+        warm = report.solver.get("warm_start_iterations") if report is not None else None
+        self._log(
+            f"generation {self.generation}: +{X.shape[0]} rows "
+            f"({self.rows_consumed} total) refit in {elapsed:.3f}s"
+            + (f", {warm} warm-started CG iterations" if warm else "")
+        )
+        self._publish()
+
+    def _publish(self) -> None:
+        if self.model_path is not None:
+            self._write_artifact()
+        if self.registry is not None:
+            model = getattr(self.estimator, "model_", None)
+            if model is None:
+                raise InvalidParameterError(
+                    f"{type(self.estimator).__name__} exposes no model_ to "
+                    "register; use a direct (non-ensemble) estimator with "
+                    "an in-process registry"
+                )
+            generation = self.registry.register(self.model_name, model)
+            self._log(
+                f"registry: {self.model_name!r} -> generation {generation}"
+            )
+        if self.serve_url is not None:
+            self._push_reload()
+
+    def _write_artifact(self) -> None:
+        """Atomic publish: save to a sibling temp path, then ``os.replace``."""
+        tmp = self.model_path.with_name(self.model_path.name + ".tmp")
+        try:
+            self.estimator.save(tmp)
+            os.replace(tmp, self.model_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        meta = {
+            "generation": self.generation,
+            "rows": self.rows_consumed,
+            "chunks": self.chunks_consumed,
+        }
+        meta_path = self.model_path.with_name(self.model_path.name + ".meta.json")
+        meta_tmp = meta_path.with_name(meta_path.name + ".tmp")
+        meta_tmp.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(meta_tmp, meta_path)
+        self._log(f"model artifact -> {self.model_path}")
+
+    def _push_reload(self) -> None:
+        url = f"{self.serve_url}/models/{self.model_name}/reload"
+        req = urllib.request.Request(
+            url, data=b"{}", headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                payload = json.loads(resp.read())
+        except OSError as exc:
+            self._log(f"serve reload failed ({url}): {exc}")
+            return
+        self._log(
+            f"serve: {self.model_name!r} -> generation {payload.get('generation')}"
+        )
+
+    def _log(self, message: str) -> None:
+        if self.on_event is not None:
+            self.on_event(message)

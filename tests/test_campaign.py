@@ -122,7 +122,8 @@ class TestSpecExpansion:
         solver = solver_campaign(quick=True)
         assert [c.key for c in solver.cells] == [
             "single_vs_block", "tile_cache", "multiclass", "preconditioning",
-            "mixed_precision", "randomized_solvers", "out_of_core",
+            "mixed_precision", "randomized_solvers", "incremental_refit",
+            "out_of_core",
         ]
         assert solver.config["quick"] is True
         serve = serve_campaign(quick=True)

@@ -345,9 +345,9 @@ class TestLSSVCOutOfCore:
         assert report["peak_rss_bytes"] > 0
         validate_report(report)
 
-    def test_report_schema_v3(self, planes_small_fit):
+    def test_report_schema_v4(self, planes_small_fit):
         report = planes_small_fit.report_.as_dict()
-        assert report["schema_version"] == REPORT_SCHEMA_VERSION == 3
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION == 4
         assert isinstance(report["peak_rss_bytes"], int)
         assert report["peak_rss_bytes"] > 0
         validate_report(planes_small_fit.report_.to_json())
