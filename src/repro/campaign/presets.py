@@ -1,4 +1,4 @@
-"""The two standard campaigns: ``solver`` and ``serve``.
+"""The standard campaigns: ``solver``, ``serve``, and ``workloads``.
 
 These reproduce, cell for cell, what the old monolithic
 ``benchmarks/bench_solver.py`` / ``bench_serve.py`` scripts measured —
@@ -22,10 +22,12 @@ from .spec import CampaignSpec
 # these scenarios by name.
 from . import solver_scenarios  # noqa: F401
 from . import serve_scenarios  # noqa: F401
+from . import workload_scenarios  # noqa: F401
 
 __all__ = [
     "solver_campaign",
     "serve_campaign",
+    "workloads_campaign",
     "preset_campaign",
     "PRESETS",
 ]
@@ -169,11 +171,64 @@ def serve_campaign(
     )
 
 
-PRESETS = {"solver": solver_campaign, "serve": serve_campaign}
+def workloads_campaign(
+    *,
+    seed: int = 7,
+    duration: float = 8.0,
+    stress_duration: float = 6.0,
+    data_profiles: Optional[List[str]] = None,
+    traffic_profiles: Optional[List[str]] = None,
+    quick: bool = False,
+) -> CampaignSpec:
+    """The three workload-engine scenarios as one campaign.
+
+    Everything here is a deterministic simulation, so ``quick`` shrinks
+    only the trace durations — the pass/fail structure (including the
+    matrix's mandatory failing cell) must survive the clamp, which the
+    gates verify against the committed quick baseline.
+    """
+    if data_profiles is None:
+        data_profiles = ["planes", "sparse_text", "imbalanced", "label_noise"]
+    if traffic_profiles is None:
+        traffic_profiles = ["steady", "diurnal", "bursty", "heavy_tail"]
+    # ``quick`` deliberately clamps nothing: the whole campaign is a
+    # sub-second deterministic simulation, and shrinking trace durations
+    # would change which matrix cells fail — the one structure the gates
+    # pin. The quick/full baselines differ only in the config flag.
+    return CampaignSpec.from_dict(
+        {
+            "name": "workloads",
+            "config": {
+                "seed": seed,
+                "duration": duration,
+                "stress_duration": stress_duration,
+                "data_profiles": list(data_profiles),
+                "traffic_profiles": list(traffic_profiles),
+                "quick": quick,
+            },
+            "cells": [
+                {"scenario": "workload_determinism",
+                 "params": {"seed": seed, "duration": duration}},
+                {"scenario": "workload_matrix",
+                 "params": {"seed": seed, "duration": duration,
+                            "data_profiles": list(data_profiles),
+                            "traffic_profiles": list(traffic_profiles)}},
+                {"scenario": "workload_failure_diagnosis",
+                 "params": {"duration": stress_duration}},
+            ],
+        }
+    )
+
+
+PRESETS = {
+    "solver": solver_campaign,
+    "serve": serve_campaign,
+    "workloads": workloads_campaign,
+}
 
 
 def preset_campaign(name: str, **overrides) -> CampaignSpec:
-    """Build a preset campaign by name (``solver`` or ``serve``)."""
+    """Build a preset campaign by name (``solver``, ``serve``, ``workloads``)."""
     from ..exceptions import CampaignError
 
     try:

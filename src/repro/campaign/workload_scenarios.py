@@ -1,0 +1,308 @@
+"""Built-in workload-engine scenarios: the SLO-graded scenario matrix.
+
+Three scenarios over :mod:`repro.workloads`, all running the
+*deterministic* pipeline simulation (``simulate_replay``) so every gated
+number is a pure function of ``(trace seed, policy, service model)`` —
+no live threads, no scheduler jitter, no flaky CI cells:
+
+* ``workload_determinism`` — compiles the same trace twice and simulates
+  it twice; gates that both the event trace and the request-level
+  outcome sequence are byte-identical per seed (the engine's foundational
+  promise).
+* ``workload_matrix`` — the data x traffic scenario matrix behind
+  EXPERIMENTS.md: every cell compiles its traffic profile, scales the
+  service model by its data profile's cost traits, and grades the replay
+  against one declared SLO. Gated on matrix shape, on the default config
+  *failing* at least one cell (an engine that can't produce a failing
+  workload isn't stressing anything), and on every failure being
+  diagnosed (a schema-valid failure report naming objective + window).
+* ``workload_failure_diagnosis`` — drives a deliberately under-provisioned
+  policy into the ground and gates on the *quality* of the diagnosis:
+  the failure report validates, names the objective and its worst
+  window, and every rejection is well-formed backpressure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..exceptions import TelemetryError
+from ..serve.batcher import BatchPolicy
+from ..workloads.failure_report import validate_failure_report
+from ..workloads.profiles_data import get_data_profile
+from ..workloads.profiles_traffic import compile_trace
+from ..workloads.simulate import ServiceModel, simulate_replay
+from ..workloads.slo import SLO, grade_replay
+from .gate import GateRule
+from .scenarios import register_scenario
+
+__all__ = [
+    "workload_determinism",
+    "workload_matrix",
+    "workload_failure_diagnosis",
+]
+
+#: The default matrix axes: every data regime the paper never evaluates
+#: crossed with every traffic shape a real deployment sees.
+_MATRIX_DATA = ["planes", "sparse_text", "imbalanced", "label_noise"]
+_MATRIX_TRAFFIC = ["steady", "diurnal", "bursty", "heavy_tail"]
+
+
+def workload_determinism(
+    traffic: str, seed: int, duration: float
+) -> dict:
+    """Same seed -> byte-identical trace and outcome sequence, twice over."""
+    t1 = compile_trace(traffic, seed=seed, duration=duration)
+    t2 = compile_trace(traffic, seed=seed, duration=duration)
+    r1 = simulate_replay(t1)
+    r2 = simulate_replay(t2)
+    t_other = compile_trace(traffic, seed=seed + 1, duration=duration)
+    return {
+        "traffic": traffic,
+        "seed": seed,
+        "num_events": t1.num_events,
+        "trace_digest": t1.digest(),
+        "outcome_digest": r1.outcome_digest(),
+        "trace_deterministic": t1.digest() == t2.digest(),
+        "outcome_deterministic": r1.outcome_digest() == r2.outcome_digest(),
+        "seed_sensitive": t1.digest() != t_other.digest(),
+    }
+
+
+def _grade_cell(
+    data: str,
+    traffic: str,
+    *,
+    seed: int,
+    duration: float,
+    policy: BatchPolicy,
+    base_ms: float,
+    per_row_ms: float,
+    slo: SLO,
+) -> dict:
+    trace = compile_trace(traffic, seed=seed, duration=duration)
+    traits = get_data_profile(data).traits()
+    service = ServiceModel(
+        base_ms=base_ms,
+        per_row_ms=per_row_ms,
+        cost_scale=traits["cost_scale"],
+    )
+    result = simulate_replay(trace, policy=policy, service=service)
+    grade = grade_replay(result, slo)
+    pct = result.percentiles_ms(qs=(50, 99))
+    cell = {
+        "passed": grade.passed,
+        "events": len(result.outcomes),
+        "cost_scale": traits["cost_scale"],
+        "p50_ms": pct["p50"],
+        "p99_ms": pct["p99"],
+        "reject_rate": result.reject_rate(),
+        "outcome_digest": result.outcome_digest(),
+    }
+    if grade.failure_report is not None:
+        report = grade.failure_report.as_dict()
+        validate_failure_report(report)  # a failing cell must diagnose
+        worst = report["failures"][0]
+        cell["violated"] = [f["objective"] for f in report["failures"]]
+        cell["worst_window"] = dict(worst["window"])
+        cell["suggestion"] = worst.get("suggestion", "")
+    return cell
+
+
+def workload_matrix(
+    data_profiles: list,
+    traffic_profiles: list,
+    seed: int,
+    duration: float,
+    base_ms: float,
+    per_row_ms: float,
+    max_batch_rows: int,
+    max_wait_ms: float,
+    max_queue_rows: int,
+    p50_ms: float,
+    p99_ms: float,
+    max_reject_rate: float,
+) -> dict:
+    """Grade every data x traffic cell against one declared SLO."""
+    policy = BatchPolicy(
+        max_batch_rows=max_batch_rows,
+        max_wait_ms=max_wait_ms,
+        max_queue_rows=max_queue_rows,
+    )
+    slo = SLO(
+        name="matrix-default",
+        p50_ms=p50_ms,
+        p99_ms=p99_ms,
+        max_reject_rate=max_reject_rate,
+    )
+    grid: Dict[str, Dict[str, dict]] = {}
+    failing: List[str] = []
+    diagnosed = 0
+    for data in data_profiles:
+        grid[data] = {}
+        for traffic in traffic_profiles:
+            cell = _grade_cell(
+                data,
+                traffic,
+                seed=seed,
+                duration=duration,
+                policy=policy,
+                base_ms=base_ms,
+                per_row_ms=per_row_ms,
+                slo=slo,
+            )
+            grid[data][traffic] = cell
+            if not cell["passed"]:
+                failing.append(f"{data} x {traffic}")
+                if cell.get("violated") and "worst_window" in cell:
+                    diagnosed += 1
+    total = len(data_profiles) * len(traffic_profiles)
+    return {
+        "slo": slo.as_dict(),
+        "policy": policy.as_dict(),
+        "service": {"base_ms": base_ms, "per_row_ms": per_row_ms},
+        "grid": grid,
+        "cells_total": total,
+        "cells_passed": total - len(failing),
+        "cells_failed": len(failing),
+        "failing_cells": failing,
+        "all_failures_diagnosed": diagnosed == len(failing),
+        "has_failing_cell": bool(failing),
+    }
+
+
+def workload_failure_diagnosis(
+    traffic: str,
+    seed: int,
+    duration: float,
+    rate: float,
+    burst_multiplier: float,
+    max_batch_rows: int,
+    max_queue_rows: int,
+    base_ms: float,
+    per_row_ms: float,
+    p99_ms: float,
+) -> dict:
+    """Overload a tiny policy on purpose; gate the diagnosis, not the crash."""
+    trace = compile_trace(
+        traffic,
+        seed=seed,
+        duration=duration,
+        rate=rate,
+        burst_multiplier=burst_multiplier,
+    )
+    policy = BatchPolicy(
+        max_batch_rows=max_batch_rows,
+        max_wait_ms=2.0,
+        max_queue_rows=max_queue_rows,
+    )
+    service = ServiceModel(base_ms=base_ms, per_row_ms=per_row_ms)
+    result = simulate_replay(trace, policy=policy, service=service)
+    grade = grade_replay(result, SLO(name="stress", p99_ms=p99_ms))
+    report_valid = False
+    diagnosed_objective = ""
+    diagnosed_phase = ""
+    window = {}
+    if grade.failure_report is not None:
+        try:
+            validate_failure_report(grade.failure_report.as_dict())
+            report_valid = True
+        except TelemetryError:
+            report_valid = False
+        worst = grade.failure_report.failures[0]
+        diagnosed_objective = worst.objective
+        diagnosed_phase = str(worst.window.get("phase", ""))
+        window = {
+            "start": worst.window.get("start"),
+            "end": worst.window.get("end"),
+        }
+    rejections = [o for o in result.outcomes if o.status == "rejected"]
+    return {
+        "traffic": traffic,
+        "slo_failed": not grade.passed,
+        "report_valid": report_valid,
+        "diagnosed_objective": diagnosed_objective,
+        "diagnosed_phase": diagnosed_phase,
+        "window": window,
+        "reject_rate": result.reject_rate(),
+        "rejections": len(rejections),
+        "rejections_well_formed": all(
+            o.http_status == 503 and o.retry_after for o in rejections
+        ),
+        "outcome_digest": result.outcome_digest(),
+    }
+
+
+def _register_builtin_workload_scenarios() -> None:
+    register_scenario(
+        "workload_determinism",
+        workload_determinism,
+        defaults={"traffic": "bursty", "seed": 7, "duration": 8.0},
+        gate=(
+            GateRule("trace_deterministic", "trace_deterministic", "equal",
+                     expect=True),
+            GateRule("outcome_deterministic", "outcome_deterministic",
+                     "equal", expect=True),
+            GateRule("seed_sensitive", "seed_sensitive", "equal", expect=True),
+            GateRule("num_events", "num_events", "higher", floor=1.0),
+        ),
+        replace=True,
+    )
+    register_scenario(
+        "workload_matrix",
+        workload_matrix,
+        defaults={
+            "data_profiles": list(_MATRIX_DATA),
+            "traffic_profiles": list(_MATRIX_TRAFFIC),
+            "seed": 7,
+            "duration": 8.0,
+            # A few-thousand-SV RBF model's simulated cost: heavy enough
+            # that the chunkiest traffic x densest data cell misses its
+            # p99 under the default policy (the matrix MUST have a
+            # diagnosed failing cell to be stressing anything).
+            "base_ms": 2.0,
+            "per_row_ms": 2.0,
+            "max_batch_rows": 256,
+            "max_wait_ms": 2.0,
+            "max_queue_rows": 4096,
+            "p50_ms": 50.0,
+            "p99_ms": 250.0,
+            "max_reject_rate": 0.01,
+        },
+        gate=(
+            GateRule("cells_total", "cells_total", "higher", floor=16.0),
+            GateRule("has_failing_cell", "has_failing_cell", "equal",
+                     expect=True),
+            GateRule("all_failures_diagnosed", "all_failures_diagnosed",
+                     "equal", expect=True),
+            GateRule("cells_passed", "cells_passed", "higher", floor=1.0,
+                     max_regression=0.0),
+        ),
+        replace=True,
+    )
+    register_scenario(
+        "workload_failure_diagnosis",
+        workload_failure_diagnosis,
+        defaults={
+            "traffic": "bursty",
+            "seed": 11,
+            "duration": 6.0,
+            "rate": 200.0,
+            "burst_multiplier": 10.0,
+            "max_batch_rows": 32,
+            "max_queue_rows": 64,
+            "base_ms": 2.0,
+            "per_row_ms": 0.5,
+            "p99_ms": 50.0,
+        },
+        gate=(
+            GateRule("slo_failed", "slo_failed", "equal", expect=True),
+            GateRule("report_valid", "report_valid", "equal", expect=True),
+            GateRule("rejections_well_formed", "rejections_well_formed",
+                     "equal", expect=True),
+        ),
+        replace=True,
+    )
+
+
+_register_builtin_workload_scenarios()

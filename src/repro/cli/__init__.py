@@ -9,7 +9,18 @@
   port of PLSSVM's ``generate_data.py`` utility script;
 * ``plssvm-bench`` — :mod:`repro.cli.bench`, the benchmark-campaign
   runner / regression gate / results exporter over
-  :mod:`repro.campaign`.
+  :mod:`repro.campaign`;
+* ``plssvm-workload`` — :mod:`repro.cli.workload`, profile-driven
+  workload generation and SLO-graded load replay over
+  :mod:`repro.workloads`.
 """
 
-__all__ = ["train", "predict", "serve", "scale", "generate_data", "bench"]
+__all__ = [
+    "train",
+    "predict",
+    "serve",
+    "scale",
+    "generate_data",
+    "bench",
+    "workload",
+]

@@ -1,18 +1,24 @@
 """``plssvm-generate-data``: the Python port of PLSSVM's ``generate_data.py``.
 
 Generates the synthetic "planes" classification problems of the paper's
-evaluation (§IV-B) and writes them as LIBSVM files. Sizes are free-form;
-the paper uses powers of two purely for its log-log plots.
+evaluation (§IV-B) and writes them as LIBSVM files — plus, through
+``--profile``, every registered workload data profile (sparse text-like,
+1:100 imbalance, label-noise sweeps, covariate drift). Sizes are
+free-form; the paper uses powers of two purely for its log-log plots.
+
+Chunked profiles (``drift``) write a *directory* of ordered
+``chunk-NNNN.plsb`` files instead of one file — the layout
+``plssvm-train --follow`` and ``partial_fit`` consume in order.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from ..data.sat6 import make_sat6_like
-from ..data.synthetic import make_planes
 from ..io.libsvm_format import write_libsvm_file
 
 __all__ = ["main", "build_parser"]
@@ -21,14 +27,31 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="plssvm-generate-data",
-        description="Generate synthetic classification data (LIBSVM format).",
+        description="Generate synthetic classification data "
+        "(libsvm / csv / PLSB binary).",
     )
-    parser.add_argument("output_file", help="output LIBSVM file")
+    parser.add_argument(
+        "output_file",
+        nargs="?",
+        help="output file (or directory for chunked profiles like drift)",
+    )
     parser.add_argument(
         "--problem",
         choices=("planes", "sat6"),
         default="planes",
         help="problem type (default: planes, as in the paper)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="NAME",
+        help="generate from a registered workload data profile instead "
+        "(see --list-profiles); overrides --problem",
+    )
+    parser.add_argument(
+        "--list-profiles",
+        action="store_true",
+        help="list registered data profiles and exit",
     )
     parser.add_argument(
         "-n", "--num_points", type=int, default=1024, help="number of data points"
@@ -37,44 +60,127 @@ def build_parser() -> argparse.ArgumentParser:
         "-f",
         "--num_features",
         type=int,
-        default=64,
-        help="number of features (ignored for sat6: fixed at 3136)",
+        default=None,
+        help="number of features (default: profile/problem default; "
+        "ignored for sat6: fixed at 3136)",
     )
     parser.add_argument(
         "--flip", type=float, default=0.01, help="label noise fraction (default 1%%)"
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
     parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="profile parameter override (repeatable), e.g. "
+        "--param imbalance=50 --param density=0.1",
+    )
+    parser.add_argument(
         "--format",
-        choices=("libsvm", "binary"),
+        choices=("libsvm", "csv", "binary"),
         default="libsvm",
-        help="output format: libsvm text (default) or the PLSB binary "
-        "layout that plssvm-train streams out-of-core without a spill "
-        "pass (also ~10x smaller and faster to write at scale)",
+        help="output format: libsvm text (default), csv (label-first "
+        "column), or the PLSB binary layout that plssvm-train streams "
+        "out-of-core without a spill pass (also ~10x smaller and faster "
+        "to write at scale; chunked profiles always write PLSB chunks)",
     )
     return parser
 
 
+def _parse_param(raw: str):
+    if "=" not in raw:
+        raise ValueError(f"--param needs KEY=VALUE, got {raw!r}")
+    key, value = raw.split("=", 1)
+    try:
+        parsed: object = int(value)
+    except ValueError:
+        try:
+            parsed = float(value)
+        except ValueError:
+            parsed = value
+    return key.strip(), parsed
+
+
+def _write(path: str, X, y, fmt: str) -> None:
+    if fmt == "binary":
+        from ..io.binary_format import write_binary_file
+
+        write_binary_file(path, X, y)
+    elif fmt == "csv":
+        from ..io.csv_format import write_csv_file
+
+        write_csv_file(path, X, y)
+    else:
+        write_libsvm_file(path, X, y)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_profiles:
+        from ..workloads.profiles_data import available_data_profiles, get_data_profile
+
+        for name in available_data_profiles():
+            profile = get_data_profile(name)
+            tag = " [chunked]" if profile.chunked else ""
+            print(f"{name}{tag}: {profile.description}")
+        return 0
+    if not args.output_file:
+        print("error: output_file is required (or use --list-profiles)", file=sys.stderr)
+        return 2
     if args.num_points < 2:
         print("error: need at least two data points", file=sys.stderr)
         return 2
+
+    if args.profile:
+        from ..exceptions import DataError
+        from ..workloads.datagen import write_drift_chunks
+        from ..workloads.profiles_data import get_data_profile
+
+        try:
+            params = dict(_parse_param(raw) for raw in args.param)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            profile = get_data_profile(args.profile)
+            if args.num_features is not None:
+                params.setdefault("num_features", args.num_features)
+            if profile.chunked:
+                # Chunked profiles ignore -n (they size by chunk) and
+                # always emit the PLSB chunk-dir layout --follow reads.
+                resolved = profile.resolve_params(params)
+                resolved.setdefault("rng", args.seed)
+                paths = write_drift_chunks(args.output_file, **resolved)
+                print(
+                    f"wrote {len(paths)} ordered PLSB chunks "
+                    f"({args.profile}) -> {Path(args.output_file)}/"
+                )
+                return 0
+            params.setdefault("num_points", args.num_points)
+            X, y = profile.generate(seed=args.seed, **params)
+        except DataError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _write(args.output_file, X, y, args.format)
+        print(
+            f"wrote {X.shape[0]} points x {X.shape[1]} features "
+            f"(profile {args.profile}, {args.format}) -> {args.output_file}"
+        )
+        return 0
+
     if args.problem == "planes":
+        from ..data.synthetic import make_planes
+
         X, y = make_planes(
             args.num_points,
-            args.num_features,
+            args.num_features if args.num_features is not None else 64,
             flip_fraction=args.flip,
             rng=args.seed,
         )
     else:
         X, y = make_sat6_like(args.num_points, rng=args.seed)
-    if args.format == "binary":
-        from ..io.binary_format import write_binary_file
-
-        write_binary_file(args.output_file, X, y)
-    else:
-        write_libsvm_file(args.output_file, X, y)
+    _write(args.output_file, X, y, args.format)
     print(
         f"wrote {X.shape[0]} points x {X.shape[1]} features "
         f"({args.problem}, {args.format}) -> {args.output_file}"

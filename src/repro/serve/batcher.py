@@ -163,6 +163,9 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._closed = False
         self.batches = 0
+        #: Generation of the engine the most recent batch flushed on
+        #: (-1 before the first flush) — replay harness diagnostics.
+        self.last_generation = -1
         self._worker = threading.Thread(
             target=self._run, name="plssvm-serve-batcher", daemon=True
         )
@@ -263,17 +266,20 @@ class MicroBatcher:
 
     # -- worker side ----------------------------------------------------------
 
-    def _collect(self) -> List[_Pending]:
+    def _collect(self) -> Tuple[List[_Pending], str]:
         """Block until a batch is due, then pop it (admission order).
 
-        Called with ``self._cond`` held. Returns an empty list only when
+        Called with ``self._cond`` held. Returns ``(batch, trigger)``
+        where ``trigger`` names what released the batch — ``"count"``
+        (row target reached), ``"wait"`` (oldest request's deadline
+        expired), or ``"drain"`` (close). The batch is empty only when
         the batcher is closed and drained.
         """
         while True:
             while not self._queue and not self._closed:
                 self._cond.wait()
             if not self._queue:
-                return []
+                return [], "drain"
             # Deadline of the oldest request; a full batch flushes now.
             deadline = self._queue[0].enqueued + self.policy.max_wait_ms / 1000.0
             while (
@@ -288,6 +294,12 @@ class MicroBatcher:
                     break  # drained by close(); re-enter the outer wait
             if not self._queue:
                 continue
+            if self._queued_rows >= self.policy.max_batch_rows:
+                trigger = "count"
+            elif self._closed:
+                trigger = "drain"
+            else:
+                trigger = "wait"
             batch: List[_Pending] = []
             rows = 0
             while self._queue and (
@@ -301,18 +313,24 @@ class MicroBatcher:
                 rows += pending.rows.shape[0]
                 batch.append(pending)
             self._queued_rows -= rows
-            return batch
+            return batch, trigger
 
     def _run(self) -> None:
         with activate(self._ctx):
             while True:
                 with self._cond:
-                    batch = self._collect()
+                    batch, trigger = self._collect()
                 if not batch:
                     return
-                self._flush(batch)
+                self._flush(batch, trigger)
 
-    def _flush(self, batch: List[_Pending]) -> None:
+    _TRIGGER_COUNTERS = {
+        "count": "serve_flush_count_trigger",
+        "wait": "serve_flush_max_wait",
+        "drain": "serve_flush_drain",
+    }
+
+    def _flush(self, batch: List[_Pending], trigger: str = "wait") -> None:
         ctx = current_context()
         rows = sum(p.rows.shape[0] for p in batch)
         now = time.perf_counter()
@@ -332,7 +350,9 @@ class MicroBatcher:
                 )
                 labels, values = engine.evaluate(stacked)
             sweep_seconds = span.dur if span is not None else 0.0
+            self.last_generation = generation
             ctx.inc("serve_batches")
+            ctx.inc(self._TRIGGER_COUNTERS.get(trigger, "serve_flush_max_wait"))
             ctx.observe("serve_batch_rows", rows)
             ctx.observe("serve_batch_requests", len(batch))
             start = 0

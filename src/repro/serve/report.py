@@ -30,7 +30,9 @@ __all__ = [
 
 #: Version stamp written into every serving report.
 #: v2 added the serve_timeouts / serve_batch_errors counters.
-SERVING_REPORT_SCHEMA_VERSION = 2
+#: v3 added flush-trigger counters (count vs max-wait vs drain),
+#: batch-size quantiles, and per-model latency_ms p50/p95/p99.
+SERVING_REPORT_SCHEMA_VERSION = 3
 
 #: Required top-level keys -> type spec (same conventions as REPORT_SCHEMA).
 SERVING_REPORT_SCHEMA: Dict[str, object] = {
@@ -55,6 +57,9 @@ _REQUIRED_COUNTERS = (
     "serve_rejected",
     "serve_timeouts",
     "serve_batch_errors",
+    "serve_flush_count_trigger",
+    "serve_flush_max_wait",
+    "serve_flush_drain",
     "tile_sweeps",
 )
 
@@ -130,6 +135,15 @@ def validate_serving_report(data: Union[dict, str]) -> dict:
         _check(isinstance(model, dict), f"models[{i}] must be an object")
         for key in ("name", "generation", "warm"):
             _check(key in model, f"models[{i}] missing key {key!r}")
+        _check(
+            isinstance(model.get("latency_ms"), dict),
+            f"models[{i}] missing latency_ms quantiles",
+        )
+        for q in ("p50", "p95", "p99"):
+            _check(
+                isinstance(model["latency_ms"].get(q), (int, float)),
+                f"models[{i}].latency_ms missing numeric quantile {q!r}",
+            )
     return data
 
 
@@ -234,6 +248,9 @@ def build_serving_report(
         "serve_rejected": ctx.metrics.value("serve_rejected"),
         "serve_timeouts": ctx.metrics.value("serve_timeouts"),
         "serve_batch_errors": ctx.metrics.value("serve_batch_errors"),
+        "serve_flush_count_trigger": ctx.metrics.value("serve_flush_count_trigger"),
+        "serve_flush_max_wait": ctx.metrics.value("serve_flush_max_wait"),
+        "serve_flush_drain": ctx.metrics.value("serve_flush_drain"),
         "serve_errors": ctx.metrics.value("serve_errors"),
         "tile_sweeps": ctx.metrics.value("tile_sweeps"),
         "tiles_computed": ctx.metrics.value("tiles_computed"),
@@ -248,6 +265,22 @@ def build_serving_report(
             "sweep_seconds",
         )
     }
+    # Batch-size quantiles from the same reservoir the snapshot summarizes
+    # — "what shapes are batches actually flushing at" for the harness.
+    latency["serve_batch_rows"] = dict(latency["serve_batch_rows"])
+    latency["serve_batch_rows"].update(
+        ctx.metrics.histogram("serve_batch_rows").quantiles()
+    )
+    model_list = models if models is not None else (registry.models() if registry else [])
+    annotated = []
+    for entry in model_list:
+        entry = dict(entry)
+        hist = ctx.metrics.histogram(f"serve_model_seconds::{entry.get('name')}")
+        entry["latency_ms"] = {
+            key: value * 1000.0 for key, value in hist.quantiles().items()
+        }
+        entry["requests"] = hist.count
+        annotated.append(entry)
     return ServingReport(
         server=server,
         uptime_seconds=ctx.now(),
@@ -259,5 +292,5 @@ def build_serving_report(
             "max_queue_rows": int(getattr(policy, "max_queue_rows", 0)),
         },
         registry=registry.stats() if registry is not None else {},
-        models=models if models is not None else (registry.models() if registry else []),
+        models=annotated,
     )

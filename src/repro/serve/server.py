@@ -103,7 +103,13 @@ class ServingApp:
         ``(labels, values, batch_info)`` triple."""
         name = model if model else self.default_model()
         batcher = self.batcher(name)
+        start = time.perf_counter()
         labels, values = batcher.submit(rows, timeout=timeout)
+        # Per-model latency lands on the server aggregate (not the
+        # per-request scope) so /metrics can quote p50/p95/p99 per model.
+        self.context.metrics.histogram(f"serve_model_seconds::{name}").observe(
+            time.perf_counter() - start
+        )
         return name, labels, values
 
     @property

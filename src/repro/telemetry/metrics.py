@@ -28,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RESERVOIR_SIZE",
     "SOLVER_COUNTER_NAMES",
     "SOLVER_GAUGE_NAMES",
 ]
@@ -95,16 +96,26 @@ class Gauge:
         return self.value
 
 
+#: Ring-buffer capacity for histogram quantile reservoirs. Big enough
+#: that p99 over a serving window is meaningful, small enough that a
+#: long-lived server holds a bounded float list per histogram.
+RESERVOIR_SIZE = 2048
+
+
 class Histogram:
     """Streaming summary of observations: count, total, min, max.
 
     Deliberately bucket-free — the report consumers (per-phase second
     sums, mean sweep cost) need aggregates, and O(1) state keeps the
-    per-iteration overhead negligible.
+    per-iteration overhead negligible. A bounded ring-buffer reservoir
+    of the most recent :data:`RESERVOIR_SIZE` observations additionally
+    supports :meth:`quantiles` (p50/p95/p99 for the serving report) —
+    recency-biased on purpose: a serving quantile should describe the
+    server *now*, not its lifetime average.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -112,8 +123,13 @@ class Histogram:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._reservoir: List[float] = []
 
     def observe(self, value: float) -> None:
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            self._reservoir[self.count % RESERVOIR_SIZE] = value
         self.count += 1
         self.total += value
         if value < self.minimum:
@@ -124,6 +140,31 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) over the recent reservoir.
+
+        Nearest-rank on a sorted copy; 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        data = sorted(self._reservoir)
+        if not data:
+            return 0.0
+        rank = min(len(data) - 1, max(0, int(round(q * (len(data) - 1)))))
+        return data[rank]
+
+    def quantiles(self, qs=(0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """Named quantile snapshot (``{"p50": ..., "p95": ..., ...}``)."""
+        data = sorted(self._reservoir)
+        out: Dict[str, float] = {}
+        for q in qs:
+            if not data:
+                out[f"p{round(q * 100):g}"] = 0.0
+            else:
+                rank = min(len(data) - 1, max(0, int(round(q * (len(data) - 1)))))
+                out[f"p{round(q * 100):g}"] = data[rank]
+        return out
 
     def snapshot(self) -> Dict[str, float]:
         return {

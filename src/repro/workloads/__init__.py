@@ -1,0 +1,116 @@
+"""Workload-diversity engine: profile-driven data & traffic generation.
+
+The paper evaluates on two friendly workloads; this package generates
+the unfriendly rest. Two registries and a replay harness:
+
+* **Data profiles** (:mod:`~repro.workloads.profiles_data`) — seeded
+  dataset generators beyond planes/SAT-6: sparse text-like, heavy class
+  imbalance, label-noise sweeps, and covariate drift emitted as ordered
+  PLSB chunks for the streaming tier.
+* **Traffic profiles** (:mod:`~repro.workloads.profiles_traffic`) —
+  diurnal, bursty (Markov-modulated Poisson), heavy-tailed request
+  sizes, and tenant mixes, compiled into deterministic event traces.
+* **Replay + grading** (:mod:`~repro.workloads.harness`,
+  :mod:`~repro.workloads.simulate`, :mod:`~repro.workloads.slo`) —
+  open-loop replay against a live server (or a deterministic simulation
+  of the batching pipeline), graded against a declared
+  :class:`~repro.workloads.slo.SLO`; violations come back as
+  diagnosable :class:`~repro.workloads.failure_report.FailureReport`
+  objects naming the phase, window, and pipeline state at fault.
+
+CLI: ``plssvm-workload list | generate | replay | grade``. Campaign:
+the ``workloads`` preset grades the data x traffic scenario matrix
+under ``plssvm-bench check``.
+"""
+
+from .arrivals import (
+    TraceEvent,
+    WorkloadTrace,
+    bounded_pareto,
+    mmpp_process,
+    nonhomogeneous_poisson,
+    poisson_process,
+)
+from .datagen import (
+    make_drift_chunks,
+    make_imbalanced,
+    make_label_noise,
+    make_sparse_text,
+    write_drift_chunks,
+)
+from .failure_report import (
+    FAILURE_REPORT_SCHEMA,
+    FAILURE_REPORT_SCHEMA_VERSION,
+    FailureReport,
+    ObjectiveFailure,
+    validate_failure_report,
+)
+from .harness import (
+    HTTPTarget,
+    InProcessTarget,
+    ReplayResult,
+    RequestOutcome,
+    replay,
+    rows_for_event,
+)
+from .profiles_data import (
+    DataProfile,
+    available_data_profiles,
+    generate_profile,
+    get_data_profile,
+    register_data_profile,
+    unregister_data_profile,
+)
+from .profiles_traffic import (
+    TrafficProfile,
+    available_traffic_profiles,
+    compile_trace,
+    get_traffic_profile,
+    register_traffic_profile,
+    unregister_traffic_profile,
+)
+from .simulate import ServiceModel, simulate_replay
+from .slo import SLO, ObjectiveResult, SLOGrade, grade_replay
+
+__all__ = [
+    "TraceEvent",
+    "WorkloadTrace",
+    "bounded_pareto",
+    "mmpp_process",
+    "nonhomogeneous_poisson",
+    "poisson_process",
+    "make_drift_chunks",
+    "make_imbalanced",
+    "make_label_noise",
+    "make_sparse_text",
+    "write_drift_chunks",
+    "FAILURE_REPORT_SCHEMA",
+    "FAILURE_REPORT_SCHEMA_VERSION",
+    "FailureReport",
+    "ObjectiveFailure",
+    "validate_failure_report",
+    "HTTPTarget",
+    "InProcessTarget",
+    "ReplayResult",
+    "RequestOutcome",
+    "replay",
+    "rows_for_event",
+    "DataProfile",
+    "available_data_profiles",
+    "generate_profile",
+    "get_data_profile",
+    "register_data_profile",
+    "unregister_data_profile",
+    "TrafficProfile",
+    "available_traffic_profiles",
+    "compile_trace",
+    "get_traffic_profile",
+    "register_traffic_profile",
+    "unregister_traffic_profile",
+    "ServiceModel",
+    "simulate_replay",
+    "SLO",
+    "ObjectiveResult",
+    "SLOGrade",
+    "grade_replay",
+]

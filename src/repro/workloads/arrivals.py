@@ -1,0 +1,277 @@
+"""Arrival processes and the deterministic event trace they compile to.
+
+Everything here is a pure function of one :class:`numpy.random.
+Generator`: the same seed produces the same floats, the same JSON bytes,
+and the same SHA-256 digest. That determinism is load-bearing — the
+campaign gate replays the same seed twice and requires *identical*
+traces, and a failure report that names "burst-3 at t=[4.2, 4.9]s" must
+mean the same thing on every machine.
+
+Processes:
+
+* :func:`poisson_process` — homogeneous Poisson via exponential gaps;
+* :func:`nonhomogeneous_poisson` — time-varying rate via thinning
+  (Lewis & Shedler), for diurnal curves;
+* :func:`mmpp_process` — Markov-modulated Poisson: the rate jumps
+  between discrete states (calm/burst) with exponential dwell times;
+* :func:`bounded_pareto` — heavy-tailed sizes with hard bounds, by
+  inverse-CDF sampling of the truncated Pareto.
+
+The trace model is two small types: a :class:`TraceEvent` (when, which
+model, how many rows, which phase of the workload it belongs to) and the
+:class:`WorkloadTrace` envelope with seed/config provenance, JSON
+round-tripping, and a canonical digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "poisson_process",
+    "nonhomogeneous_poisson",
+    "mmpp_process",
+    "bounded_pareto",
+    "TraceEvent",
+    "WorkloadTrace",
+]
+
+
+def poisson_process(
+    gen: np.random.Generator, rate: float, duration: float
+) -> np.ndarray:
+    """Arrival times of a homogeneous Poisson process on ``[0, duration)``.
+
+    Exponential inter-arrival gaps with mean ``1/rate``; the expected
+    count is ``rate * duration``.
+    """
+    if rate <= 0:
+        raise DataError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise DataError(f"duration must be positive, got {duration}")
+    # Draw in blocks of the expected count (+5 sigma) until past the horizon.
+    times: List[np.ndarray] = []
+    t = 0.0
+    block = max(16, int(rate * duration + 5.0 * np.sqrt(rate * duration)))
+    while t < duration:
+        gaps = gen.exponential(1.0 / rate, size=block)
+        cum = t + np.cumsum(gaps)
+        times.append(cum)
+        t = cum[-1]
+    all_times = np.concatenate(times)
+    return all_times[all_times < duration]
+
+
+def nonhomogeneous_poisson(
+    gen: np.random.Generator,
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    rate_max: float,
+    duration: float,
+) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals by thinning.
+
+    ``rate_fn`` maps (vectorized) times to instantaneous rates, all of
+    which must stay within ``rate_max``; candidates from a homogeneous
+    ``rate_max`` process are kept with probability ``rate(t)/rate_max``.
+    """
+    if rate_max <= 0:
+        raise DataError(f"rate_max must be positive, got {rate_max}")
+    candidates = poisson_process(gen, rate_max, duration)
+    if candidates.size == 0:
+        return candidates
+    rates = np.asarray(rate_fn(candidates), dtype=np.float64)
+    if np.any(rates > rate_max * (1.0 + 1e-9)):
+        raise DataError("rate_fn exceeds rate_max; thinning would be biased")
+    keep = gen.random(candidates.size) < np.clip(rates, 0.0, None) / rate_max
+    return candidates[keep]
+
+
+def mmpp_process(
+    gen: np.random.Generator,
+    rates: Sequence[float],
+    mean_dwells: Sequence[float],
+    duration: float,
+    *,
+    state_names: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, List[str], List[Tuple[float, float, str]]]:
+    """Markov-modulated Poisson process (cyclic state chain).
+
+    The modulating chain starts in state 0 and cycles through the states
+    with exponential dwell times of the given means; within each dwell
+    the arrivals are Poisson at that state's rate. Two states with a
+    high ``rates[1]`` is the classic burst model.
+
+    Returns ``(times, phase_labels, episodes)`` where ``phase_labels[i]``
+    names the episode event ``i`` belongs to (e.g. ``"burst-2"``) and
+    ``episodes`` is the ``(start, end, label)`` schedule itself.
+    """
+    if len(rates) != len(mean_dwells) or not rates:
+        raise DataError("rates and mean_dwells must be equal-length, non-empty")
+    if any(r <= 0 for r in rates) or any(d <= 0 for d in mean_dwells):
+        raise DataError("rates and mean_dwells must be positive")
+    names = list(state_names) if state_names else [f"state{i}" for i in range(len(rates))]
+    if len(names) != len(rates):
+        raise DataError("state_names must match rates in length")
+
+    times: List[np.ndarray] = []
+    labels: List[str] = []
+    episodes: List[Tuple[float, float, str]] = []
+    t = 0.0
+    state = 0
+    visit = {i: 0 for i in range(len(rates))}
+    while t < duration:
+        dwell = gen.exponential(mean_dwells[state])
+        end = min(t + dwell, duration)
+        label = f"{names[state]}-{visit[state]}"
+        visit[state] += 1
+        episodes.append((t, end, label))
+        if end > t:
+            arrivals = t + poisson_process(gen, rates[state], end - t)
+            times.append(arrivals)
+            labels.extend([label] * arrivals.size)
+        t = end
+        state = (state + 1) % len(rates)
+    all_times = np.concatenate(times) if times else np.empty(0)
+    return all_times, labels, episodes
+
+
+def bounded_pareto(
+    gen: np.random.Generator,
+    alpha: float,
+    lower: float,
+    upper: float,
+    size: int,
+) -> np.ndarray:
+    """Bounded (truncated) Pareto draws via the inverse CDF.
+
+    Heavy-tailed between hard bounds: most draws hug ``lower``, but a
+    non-negligible fraction approaches ``upper`` — request sizes that
+    make p99 diverge from p50 without ever exceeding a protocol cap.
+    """
+    if alpha <= 0:
+        raise DataError(f"alpha must be positive, got {alpha}")
+    if not 0 < lower < upper:
+        raise DataError(f"need 0 < lower < upper, got [{lower}, {upper}]")
+    u = gen.random(size)
+    la, ha = lower**alpha, upper**alpha
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+# ---------------------------------------------------------------------------
+# The event trace
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request of a compiled workload trace."""
+
+    time: float  #: seconds from trace start (open-loop schedule)
+    model: str  #: tenant / model name the request targets
+    rows: int  #: request payload size in rows
+    phase: str = "steady"  #: workload phase label (for failure windows)
+
+    def as_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "model": self.model,
+            "rows": self.rows,
+            "phase": self.phase,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadTrace:
+    """A compiled, fully deterministic event trace plus its provenance.
+
+    The envelope records exactly how the trace was produced (profile
+    name, seed, config) so ``from_json(to_json(t))`` round-trips and the
+    digest is a stable fingerprint of the *events*: recompiling the same
+    profile at the same seed must reproduce it bit for bit.
+    """
+
+    profile: str
+    seed: int
+    duration: float
+    models: Tuple[str, ...]
+    events: Tuple[TraceEvent, ...]
+    config: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(e.rows for e in self.events)
+
+    def phases(self) -> List[str]:
+        """Distinct phase labels, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.phase, None)
+        return list(seen)
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "duration": self.duration,
+            "models": list(self.models),
+            "config": dict(self.config),
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the identity of the trace."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadTrace":
+        try:
+            events = tuple(
+                TraceEvent(
+                    time=float(e["time"]),
+                    model=str(e["model"]),
+                    rows=int(e["rows"]),
+                    phase=str(e.get("phase", "steady")),
+                )
+                for e in data["events"]
+            )
+            return cls(
+                profile=str(data["profile"]),
+                seed=int(data["seed"]),
+                duration=float(data["duration"]),
+                models=tuple(str(m) for m in data["models"]),
+                events=events,
+                config=dict(data.get("config", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed workload trace: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "WorkloadTrace":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise DataError(f"workload trace is not valid JSON: {exc}") from exc
+
+    @classmethod
+    def read_json(cls, path: Union[str, Path]) -> "WorkloadTrace":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,262 @@
+"""Seeded data generators beyond the paper's planes/SAT-6 workloads.
+
+The paper evaluates on two friendly shapes: dense, balanced, clean.
+Vaněk et al.'s GPU-SVM comparison shows solver winners flip entirely
+across dataset *regimes* — sparse vs dense, wide vs tall, balanced vs
+imbalanced — so the workload engine needs generators for the regimes the
+paper never touches:
+
+* :func:`make_sparse_text` — high-dimensional text-like rows: Zipfian
+  feature popularity, log-normal positive values, a few non-zeros per
+  row. Emitted dense (the whole reproduction is numpy-dense) but with
+  the sparsity *structure* intact, so tile sweeps see realistic zero
+  runs and the serving cost model can charge for density.
+* :func:`make_imbalanced` — planes geometry with a configurable class
+  prior down to 1:100 and a guaranteed non-degenerate minority.
+* :func:`make_label_noise` — planes with the label-noise dial turned
+  far past the paper's 1 %.
+* :func:`make_drift_chunks` — covariate drift over time: the class
+  centroids rotate through a random 2-plane of feature space chunk by
+  chunk, emitted as *ordered* chunks so the streaming tier
+  (``partial_fit`` / ``plssvm-train --follow``) sees a distribution
+  that moves under it. :func:`write_drift_chunks` materializes them as
+  the ``chunk-NNNN.plsb`` files the follow trainer's directory mode
+  consumes in name order.
+
+Every generator threads one :class:`numpy.random.Generator`; the same
+seed gives byte-identical arrays (and byte-identical PLSB chunk files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+import numpy as np
+
+from ..data.synthetic import make_planes
+from ..exceptions import DataError
+
+__all__ = [
+    "make_sparse_text",
+    "make_imbalanced",
+    "make_label_noise",
+    "make_drift_chunks",
+    "write_drift_chunks",
+]
+
+
+def _as_rng(rng: Union[None, int, np.random.Generator]) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def make_sparse_text(
+    num_points: int,
+    num_features: int = 512,
+    *,
+    density: float = 0.05,
+    zipf_exponent: float = 1.1,
+    flip_fraction: float = 0.02,
+    rng: Union[None, int, np.random.Generator] = None,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sparse, high-dimensional, text-like rows (bag-of-words shape).
+
+    Feature popularity follows a Zipf law (feature ``j`` is drawn with
+    probability ``∝ 1/(j+1)^zipf_exponent``), non-zero values are
+    log-normal (tf-idf-like, positive), and each row carries
+    ``Binomial(num_features, density)`` non-zeros (at least one). Labels
+    come from a sparse linear separator over the *frequent* features
+    plus label noise, so the problem is learnable but not trivial.
+    """
+    if num_points < 2:
+        raise DataError("need at least two data points")
+    if num_features < 4:
+        raise DataError("sparse_text needs at least four features")
+    if not 0.0 < density <= 1.0:
+        raise DataError(f"density must lie in (0, 1], got {density}")
+    if not 0.0 <= flip_fraction < 0.5:
+        raise DataError(f"flip_fraction must lie in [0, 0.5), got {flip_fraction}")
+    gen = _as_rng(rng)
+
+    popularity = 1.0 / np.power(np.arange(1, num_features + 1), zipf_exponent)
+    popularity /= popularity.sum()
+
+    X = np.zeros((num_points, num_features), dtype=dtype)
+    nnz = np.maximum(1, gen.binomial(num_features, density, size=num_points))
+    for i in range(num_points):
+        cols = gen.choice(num_features, size=nnz[i], replace=False, p=popularity)
+        X[i, cols] = gen.lognormal(mean=0.0, sigma=0.5, size=nnz[i])
+
+    # A sparse separator over the head of the popularity distribution:
+    # the features that actually occur decide the label.
+    head = max(8, num_features // 8)
+    w = np.zeros(num_features)
+    w[:head] = gen.standard_normal(head)
+    margin = X @ w
+    y = np.where(margin >= np.median(margin), 1.0, -1.0)
+
+    n_flip = int(round(num_points * flip_fraction))
+    if n_flip > 0:
+        idx = gen.choice(num_points, size=n_flip, replace=False)
+        y[idx] = gen.choice([-1.0, 1.0], size=n_flip)
+    if np.all(y == y[0]):
+        y[0] = -y[0]
+    return X, y.astype(dtype)
+
+
+def make_imbalanced(
+    num_points: int,
+    num_features: int = 32,
+    *,
+    imbalance: float = 100.0,
+    class_sep: float = 1.3,
+    cluster_std: float = 0.7,
+    flip_fraction: float = 0.0,
+    rng: Union[None, int, np.random.Generator] = None,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Planes geometry with a heavy class prior (``1 : imbalance``).
+
+    ``imbalance=100`` puts one positive per hundred negatives — the
+    regime where accuracy saturates at the prior and the minority class
+    carries all the signal. The minority is guaranteed at least two
+    points so every solver (and CV split) stays trainable.
+    """
+    if imbalance < 1.0:
+        raise DataError(f"imbalance must be >= 1, got {imbalance}")
+    balance = 1.0 / (1.0 + imbalance)
+    gen = _as_rng(rng)
+    X, y = make_planes(
+        num_points,
+        num_features,
+        class_sep=class_sep,
+        cluster_std=cluster_std,
+        flip_fraction=flip_fraction,
+        balance=max(balance, 1.0 / num_points),
+        rng=gen,
+        dtype=dtype,
+    )
+    # make_planes guarantees one point per class; promote to two.
+    minority = 1.0 if np.sum(y > 0) <= np.sum(y < 0) else -1.0
+    short = 2 - int(np.sum(y == minority))
+    if short > 0:
+        donors = np.flatnonzero(y != minority)
+        y[donors[:short]] = minority
+    return X, y
+
+
+def make_label_noise(
+    num_points: int,
+    num_features: int = 32,
+    *,
+    flip_fraction: float = 0.2,
+    class_sep: float = 1.3,
+    cluster_std: float = 0.7,
+    rng: Union[None, int, np.random.Generator] = None,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Planes with the label-noise dial far past the paper's 1 %.
+
+    ``flip_fraction`` of the labels are re-rolled uniformly (the paper's
+    own semantics, so the effective flip rate is half that). At 20 % the
+    regularization path changes character: support values spread and the
+    conditioning of the reduced system degrades — the regime this
+    profile exists to put in front of the solvers.
+    """
+    return make_planes(
+        num_points,
+        num_features,
+        class_sep=class_sep,
+        cluster_std=cluster_std,
+        flip_fraction=flip_fraction,
+        rng=rng,
+        dtype=dtype,
+    )
+
+
+def make_drift_chunks(
+    num_chunks: int,
+    chunk_points: int,
+    num_features: int = 32,
+    *,
+    drift_per_chunk: float = 0.15,
+    class_sep: float = 1.3,
+    cluster_std: float = 0.7,
+    flip_fraction: float = 0.01,
+    rng: Union[None, int, np.random.Generator] = None,
+    dtype=np.float64,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Covariate drift over time, as an ordered stream of chunks.
+
+    The two class centroids sit at ``±class_sep`` along a normal vector
+    that *rotates* by ``drift_per_chunk`` radians per chunk through a
+    fixed random 2-plane of feature space: chunk ``k``'s decision
+    boundary is at angle ``k·drift_per_chunk`` to chunk 0's. The labels
+    stay consistent with the *current* boundary, so a model trained on
+    early chunks degrades on late ones unless it keeps refitting — the
+    exact scenario ``partial_fit`` / ``--follow`` exist for.
+
+    Yields ``(X, y)`` per chunk, in drift order. Deterministic per seed.
+    """
+    if num_chunks < 1:
+        raise DataError("need at least one chunk")
+    if chunk_points < 2:
+        raise DataError("need at least two points per chunk")
+    if num_features < 2:
+        raise DataError("drift needs at least two features (a rotation plane)")
+    if drift_per_chunk < 0:
+        raise DataError(f"drift_per_chunk must be non-negative, got {drift_per_chunk}")
+    gen = _as_rng(rng)
+
+    # A fixed orthonormal 2-plane (u, v): the boundary normal rotates in it.
+    u = gen.standard_normal(num_features)
+    u /= np.linalg.norm(u)
+    v = gen.standard_normal(num_features)
+    v -= (v @ u) * u
+    v /= np.linalg.norm(v)
+
+    for k in range(num_chunks):
+        angle = k * drift_per_chunk
+        normal = np.cos(angle) * u + np.sin(angle) * v
+        n_pos = chunk_points // 2
+        y = np.concatenate([np.ones(n_pos), -np.ones(chunk_points - n_pos)])
+        X = gen.standard_normal((chunk_points, num_features)) * cluster_std
+        X += (y * class_sep)[:, None] * normal[None, :]
+        n_flip = int(round(chunk_points * flip_fraction))
+        if n_flip > 0:
+            idx = gen.choice(chunk_points, size=n_flip, replace=False)
+            y[idx] = gen.choice([-1.0, 1.0], size=n_flip)
+        order = gen.permutation(chunk_points)
+        X, y = X[order], y[order]
+        if np.all(y == y[0]):
+            y[0] = -y[0]
+        yield X.astype(dtype, copy=False), y.astype(dtype, copy=False)
+
+
+def write_drift_chunks(
+    directory: Union[str, Path],
+    num_chunks: int,
+    chunk_points: int,
+    num_features: int = 32,
+    **kwargs,
+) -> List[Path]:
+    """Materialize a drift stream as ``chunk-NNNN.plsb`` files.
+
+    The names sort in drift order, which is exactly the order
+    ``plssvm-train --follow <dir>`` consumes new chunk files in, so the
+    streaming tier replays the drift as it happened.
+    """
+    from ..io.binary_format import write_binary_file
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    chunks = make_drift_chunks(num_chunks, chunk_points, num_features, **kwargs)
+    for k, (X, y) in enumerate(chunks):
+        path = directory / f"chunk-{k:04d}.plsb"
+        write_binary_file(path, X, y)
+        paths.append(path)
+    return paths

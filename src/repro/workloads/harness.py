@@ -1,0 +1,487 @@
+"""Open-loop trace replay against a live serving stack.
+
+Closed-loop load clients (the ``batching`` bench scenario) wait for each
+response before sending the next request — which means an overloaded
+server quietly throttles its own load generator and the measurement
+flatters it. This harness is *open-loop*: the compiled trace fixes every
+request's send time in advance, and a slow server faces the same
+arrivals a fast one does. That is the difference between measuring
+"throughput under polite load" and "p99 under the traffic you declared".
+
+Two targets:
+
+* :class:`InProcessTarget` — drives a :class:`~repro.serve.server.
+  ServingApp` directly (no sockets), mapping
+  :class:`~repro.exceptions.ServerOverloadedError` to a synthetic 503.
+* :class:`HTTPTarget` — posts to a running ``plssvm-serve`` over
+  urllib, recording the real status code and whether a 503 carried its
+  ``Retry-After`` header (the CI smoke job asserts every rejection is a
+  *well-formed* rejection).
+
+Every request becomes a :class:`RequestOutcome`; the bundle is a
+:class:`ReplayResult` with client-side percentiles, an optional
+correctness spot-check against an offline oracle, the server's
+``/metrics`` report captured after the run (for the server-vs-client
+quantile cross-check), and a digest over the outcome sequence so a
+deterministic replay can be *proved* deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import DataError, ServerOverloadedError, ServingError
+from .arrivals import WorkloadTrace
+
+__all__ = [
+    "RequestOutcome",
+    "ReplayResult",
+    "InProcessTarget",
+    "HTTPTarget",
+    "rows_for_event",
+    "replay",
+]
+
+
+@dataclasses.dataclass
+class RequestOutcome:
+    """What happened to one trace event when it was replayed."""
+
+    index: int
+    scheduled: float  #: trace-relative send time (seconds)
+    model: str
+    rows: int
+    phase: str
+    status: str  #: "ok" | "rejected" | "error"
+    http_status: int = 0
+    latency_ms: float = 0.0
+    retry_after: Optional[bool] = None  #: 503s only: Retry-After present?
+    generation: int = -1
+    value_diff: Optional[float] = None  #: spot-check |serve - offline| max
+    queue_depth: Optional[int] = None  #: sim mode: queued rows at admission
+    batch_id: int = -1
+    batch_rows: int = 0
+    trigger: str = ""  #: sim mode: what flushed the batch
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestOutcome":
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """One replay of one trace: outcomes plus the derived summaries."""
+
+    mode: str  #: "in-process" | "http" | "sim"
+    trace_profile: str
+    trace_seed: int
+    trace_digest: str
+    duration: float
+    outcomes: List[RequestOutcome]
+    wall_seconds: float = 0.0
+    speed: float = 1.0
+    server_report: Optional[dict] = None
+    batches: List[dict] = dataclasses.field(default_factory=list)
+    config: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # -- summaries -----------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        out = {"total": len(self.outcomes), "ok": 0, "rejected": 0, "error": 0}
+        for outcome in self.outcomes:
+            out[outcome.status] = out.get(outcome.status, 0) + 1
+        return out
+
+    def reject_rate(self) -> float:
+        counts = self.counts()
+        return counts["rejected"] / max(counts["total"], 1)
+
+    def error_rate(self) -> float:
+        counts = self.counts()
+        return counts["error"] / max(counts["total"], 1)
+
+    def ok_latencies_ms(self, model: Optional[str] = None) -> np.ndarray:
+        return np.array(
+            [
+                o.latency_ms
+                for o in self.outcomes
+                if o.status == "ok" and (model is None or o.model == model)
+            ]
+        )
+
+    def percentiles_ms(
+        self, model: Optional[str] = None, qs: Sequence[float] = (50, 95, 99)
+    ) -> Dict[str, float]:
+        lat = self.ok_latencies_ms(model)
+        if lat.size == 0:
+            return {f"p{int(q)}": 0.0 for q in qs}
+        return {f"p{int(q)}": float(np.percentile(lat, q)) for q in qs}
+
+    def max_value_diff(self) -> Optional[float]:
+        diffs = [o.value_diff for o in self.outcomes if o.value_diff is not None]
+        return max(diffs) if diffs else None
+
+    def outcome_sequence(self) -> str:
+        """Compact per-request outcome string: 'o'=ok 'r'=rejected 'e'=error."""
+        return "".join(o.status[0] for o in self.outcomes)
+
+    def outcome_digest(self) -> str:
+        """SHA-256 over (status, model, rows, batch) per request, in order.
+
+        Latencies are deliberately excluded: they are wall-clock facts,
+        not decisions. What must be identical across two replays of one
+        seed is every *decision* — admitted or rejected, which batch,
+        how large.
+        """
+        hasher = hashlib.sha256()
+        for o in self.outcomes:
+            hasher.update(
+                f"{o.index}:{o.status}:{o.model}:{o.rows}:"
+                f"{o.batch_id}:{o.batch_rows}\n".encode()
+            )
+        return hasher.hexdigest()
+
+    def server_quantile_check(
+        self, *, tolerance_ms: float = 50.0
+    ) -> Optional[dict]:
+        """Cross-check client percentiles against the server's ``/metrics``.
+
+        The server derives per-model p50/p95/p99 from its own latency
+        reservoirs; the two views measure slightly different spans (the
+        client adds transport), so the check is client >= server - eps
+        and within ``tolerance_ms`` on p50. Returns ``None`` when no
+        server report was captured.
+        """
+        if not self.server_report:
+            return None
+        out = {}
+        client_models = sorted({o.model for o in self.outcomes if o.status == "ok"})
+        for entry in self.server_report.get("models", []):
+            name = entry.get("name")
+            server_lat = entry.get("latency_ms")
+            if not name or not isinstance(server_lat, dict):
+                continue
+            # A single-model trace addresses "default" while the registry
+            # names the model; reconcile the two views in that case.
+            client_name = name
+            if not self.ok_latencies_ms(name).size and len(client_models) == 1:
+                client_name = client_models[0]
+            client = self.percentiles_ms(client_name)
+            if not self.ok_latencies_ms(client_name).size:
+                continue
+            out[name] = {
+                "client_p50_ms": client["p50"],
+                "server_p50_ms": server_lat.get("p50", 0.0),
+                "client_p99_ms": client["p99"],
+                "server_p99_ms": server_lat.get("p99", 0.0),
+                "consistent": bool(
+                    abs(client["p50"] - server_lat.get("p50", 0.0))
+                    <= tolerance_ms
+                    and client["p99"] + 1e-9
+                    >= server_lat.get("p50", 0.0) - tolerance_ms
+                ),
+            }
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        per_model: Dict[str, dict] = {}
+        for model in sorted({o.model for o in self.outcomes}):
+            per_model[model] = self.percentiles_ms(model)
+        return {
+            "mode": self.mode,
+            "trace": {
+                "profile": self.trace_profile,
+                "seed": self.trace_seed,
+                "digest": self.trace_digest,
+                "duration": self.duration,
+            },
+            "wall_seconds": self.wall_seconds,
+            "speed": self.speed,
+            "counts": self.counts(),
+            "reject_rate": self.reject_rate(),
+            "error_rate": self.error_rate(),
+            "latency_ms": self.percentiles_ms(),
+            "latency_ms_per_model": per_model,
+            "max_value_diff": self.max_value_diff(),
+            "outcome_digest": self.outcome_digest(),
+            "server_quantile_check": self.server_quantile_check(),
+            "config": dict(self.config),
+            "batches": list(self.batches),
+            "server_report": self.server_report,
+            "outcomes": [o.as_dict() for o in self.outcomes],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplayResult":
+        try:
+            trace = data["trace"]
+            return cls(
+                mode=str(data["mode"]),
+                trace_profile=str(trace["profile"]),
+                trace_seed=int(trace["seed"]),
+                trace_digest=str(trace["digest"]),
+                duration=float(trace["duration"]),
+                outcomes=[RequestOutcome.from_dict(o) for o in data["outcomes"]],
+                wall_seconds=float(data.get("wall_seconds", 0.0)),
+                speed=float(data.get("speed", 1.0)),
+                server_report=data.get("server_report"),
+                batches=list(data.get("batches", [])),
+                config=dict(data.get("config", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed replay result: {exc}") from exc
+
+    @classmethod
+    def read_json(cls, path: Union[str, Path]) -> "ReplayResult":
+        try:
+            return cls.from_dict(json.loads(Path(path).read_text()))
+        except json.JSONDecodeError as exc:
+            raise DataError(f"replay result is not valid JSON: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Targets
+# ---------------------------------------------------------------------------
+
+
+class InProcessTarget:
+    """Drive a :class:`~repro.serve.server.ServingApp` without sockets."""
+
+    mode = "in-process"
+
+    def __init__(self, app, *, timeout: float = 60.0) -> None:
+        self.app = app
+        self.timeout = timeout
+
+    def request(self, model: Optional[str], rows: np.ndarray):
+        try:
+            name, labels, values = self.app.predict(
+                model, rows, timeout=self.timeout
+            )
+        except ServerOverloadedError:
+            # The HTTP layer always maps this to 503 + Retry-After; the
+            # in-process synthesis mirrors that contract.
+            return 503, True, None, -1
+        values = np.asarray(values)
+        generation = -1
+        batcher = self.app._batchers.get(name)  # noqa: SLF001 - diagnostics
+        if batcher is not None:
+            generation = getattr(batcher, "last_generation", -1)
+        return 200, None, values, generation
+
+    def report(self) -> dict:
+        return self.app.report().as_dict()
+
+
+class HTTPTarget:
+    """POST to a live ``plssvm-serve`` endpoint over urllib."""
+
+    mode = "http"
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, model: Optional[str], rows: np.ndarray):
+        import urllib.error
+        import urllib.request
+
+        payload: Dict[str, object] = {"rows": rows.tolist()}
+        if model:
+            payload["model"] = model
+        req = urllib.request.Request(
+            f"{self.base_url}/predict",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = json.loads(resp.read())
+                return (
+                    resp.status,
+                    None,
+                    np.asarray(body.get("decision_values", []), dtype=np.float64),
+                    int(body.get("generation", -1)),
+                )
+        except urllib.error.HTTPError as exc:
+            retry_after = exc.headers.get("Retry-After") is not None
+            exc.read()
+            return exc.code, retry_after, None, -1
+
+    def report(self) -> Optional[dict]:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}/metrics", timeout=self.timeout
+            ) as resp:
+                return json.loads(resp.read())
+        except (urllib.error.URLError, OSError):  # pragma: no cover - network
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def rows_for_event(pool: np.ndarray, index: int, rows: int) -> np.ndarray:
+    """The deterministic payload slice for trace event ``index``.
+
+    Strides through the row pool with a fixed odd step so successive
+    events exercise different rows, without any randomness at replay
+    time (the trace seed already decided everything).
+    """
+    n = pool.shape[0]
+    if n == 0:
+        raise DataError("row pool is empty")
+    idx = (index * 31 + np.arange(rows)) % n
+    return pool[idx]
+
+
+def replay(
+    trace: WorkloadTrace,
+    target,
+    *,
+    row_pools: Dict[str, np.ndarray],
+    speed: float = 1.0,
+    max_workers: int = 64,
+    spot_check_every: int = 0,
+    oracles: Optional[Dict[str, Callable[[np.ndarray], np.ndarray]]] = None,
+) -> ReplayResult:
+    """Replay a compiled trace open-loop against a live target.
+
+    Parameters
+    ----------
+    trace:
+        The compiled event trace; send times are ``event.time / speed``.
+    target:
+        :class:`InProcessTarget` or :class:`HTTPTarget`.
+    row_pools:
+        Per-model row pools the deterministic payload slices come from.
+        A single pool under the key ``"*"`` serves every model.
+    speed:
+        Time-compression factor (``10`` replays a 10 s trace in ~1 s).
+        Rates scale with it — a compressed replay is a harder replay.
+    max_workers:
+        Dispatch pool size; open-loop means a slow server accumulates
+        in-flight requests here instead of slowing the schedule down.
+    spot_check_every:
+        Every Nth *successful* request's decision values are compared to
+        the offline oracle for its model (0 disables).
+    oracles:
+        ``model -> rows -> decision values`` offline references
+        (typically ``model_.decision_function``).
+    """
+    if speed <= 0:
+        raise DataError(f"speed must be positive, got {speed}")
+    if not trace.events:
+        raise DataError("trace has no events to replay")
+    outcomes: List[Optional[RequestOutcome]] = [None] * len(trace.events)
+    oracles = oracles or {}
+    lock = threading.Lock()
+    checked = [0]
+
+    def pool_for(model: str) -> np.ndarray:
+        if model in row_pools:
+            return row_pools[model]
+        if "*" in row_pools:
+            return row_pools["*"]
+        raise DataError(f"no row pool for model {model!r}")
+
+    def fire(i: int) -> None:
+        event = trace.events[i]
+        rows = rows_for_event(pool_for(event.model), i, event.rows)
+        model = event.model if len(trace.models) > 1 else None
+        t0 = time.perf_counter()
+        try:
+            status, retry_after, values, generation = target.request(model, rows)
+        except ServingError:
+            status, retry_after, values, generation = 500, None, None, -1
+        except Exception:  # noqa: BLE001 - an outcome, not a crash
+            status, retry_after, values, generation = 599, None, None, -1
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        if status == 200:
+            outcome_status = "ok"
+        elif status == 503:
+            outcome_status = "rejected"
+        else:
+            outcome_status = "error"
+        value_diff = None
+        if (
+            outcome_status == "ok"
+            and spot_check_every > 0
+            and values is not None
+            and event.model in oracles
+        ):
+            with lock:
+                checked[0] += 1
+                do_check = checked[0] % spot_check_every == 0
+            if do_check:
+                expected = np.asarray(oracles[event.model](rows), dtype=np.float64)
+                value_diff = float(
+                    np.max(np.abs(np.asarray(values).ravel() - expected.ravel()))
+                )
+        outcomes[i] = RequestOutcome(
+            index=i,
+            scheduled=event.time,
+            model=event.model,
+            rows=event.rows,
+            phase=event.phase,
+            status=outcome_status,
+            http_status=status,
+            latency_ms=latency_ms,
+            retry_after=retry_after,
+            generation=generation,
+            value_diff=value_diff,
+        )
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max_workers) as executor:
+        futures = []
+        for i, event in enumerate(trace.events):
+            delay = event.time / speed - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(executor.submit(fire, i))
+        for future in futures:
+            future.result()
+    wall = time.perf_counter() - start
+
+    report = target.report() if hasattr(target, "report") else None
+    return ReplayResult(
+        mode=target.mode,
+        trace_profile=trace.profile,
+        trace_seed=trace.seed,
+        trace_digest=trace.digest(),
+        duration=trace.duration,
+        outcomes=[o for o in outcomes if o is not None],
+        wall_seconds=wall,
+        speed=speed,
+        server_report=report,
+        config={"max_workers": max_workers, "spot_check_every": spot_check_every},
+    )

@@ -1,0 +1,350 @@
+"""The traffic-profile registry: named arrival patterns -> event traces.
+
+A *traffic profile* compiles a deterministic :class:`~repro.workloads.
+arrivals.WorkloadTrace` from one seed: diurnal rate curves, bursty
+Markov-modulated arrivals, heavy-tailed request sizes, and multi-model
+tenant mixes. Compilation is the only place randomness lives — replay
+(live or simulated) consumes the finished event list, so two replays of
+one trace issue byte-identical request sequences.
+
+Every builder gets one ``np.random.Generator`` plus the resolved
+parameters and returns the event list; :func:`compile_trace` wraps it in
+the provenance envelope. Phase labels on the events ("burst-3",
+"peak-1") are what the SLO failure report later uses to say *which part
+of the workload* broke the objective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+from .arrivals import (
+    TraceEvent,
+    WorkloadTrace,
+    bounded_pareto,
+    mmpp_process,
+    nonhomogeneous_poisson,
+    poisson_process,
+)
+
+__all__ = [
+    "TrafficProfile",
+    "register_traffic_profile",
+    "unregister_traffic_profile",
+    "get_traffic_profile",
+    "available_traffic_profiles",
+    "compile_trace",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficProfile:
+    """One registered traffic pattern."""
+
+    name: str
+    fn: Callable
+    defaults: Dict[str, object]
+    description: str = ""
+
+    def resolve_params(self, params: Dict[str, object]) -> Dict[str, object]:
+        accepted = set(inspect.signature(self.fn).parameters) - {"gen"}
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise DataError(
+                f"traffic profile {self.name!r} does not accept parameter(s) "
+                f"{', '.join(map(repr, unknown))}; accepted: "
+                f"{', '.join(sorted(accepted))}"
+            )
+        resolved = dict(self.defaults)
+        resolved.update(params)
+        return resolved
+
+
+_REGISTRY: Dict[str, TrafficProfile] = {}
+
+
+def register_traffic_profile(
+    name: str,
+    fn: Callable,
+    *,
+    defaults: Optional[Dict[str, object]] = None,
+    description: str = "",
+    replace: bool = False,
+) -> TrafficProfile:
+    """Register a traffic profile; re-registering needs ``replace=True``."""
+    if not name or not isinstance(name, str):
+        raise DataError("traffic profile name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise DataError(f"traffic profile {name!r} is already registered")
+    if not description:
+        doc = (fn.__doc__ or "").strip()
+        description = doc.splitlines()[0] if doc else ""
+    profile = TrafficProfile(
+        name=name, fn=fn, defaults=dict(defaults or {}), description=description
+    )
+    profile.resolve_params({})
+    _REGISTRY[name] = profile
+    return profile
+
+
+def unregister_traffic_profile(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_traffic_profile(name: str) -> TrafficProfile:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DataError(
+            f"unknown traffic profile {name!r}; registered: "
+            f"{', '.join(available_traffic_profiles()) or '<none>'}"
+        ) from None
+
+
+def available_traffic_profiles() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def compile_trace(
+    name: str,
+    *,
+    seed: int = 0,
+    duration: float = 10.0,
+    models: Sequence[str] = ("default",),
+    **params,
+) -> WorkloadTrace:
+    """Compile a traffic profile into a deterministic event trace.
+
+    One ``np.random.Generator(seed)`` drives every draw the builder
+    makes, and the finished event list is sorted by time with ties
+    broken stably — the same call is byte-identical, always.
+    """
+    if duration <= 0:
+        raise DataError(f"duration must be positive, got {duration}")
+    if not models:
+        raise DataError("need at least one model name")
+    profile = get_traffic_profile(name)
+    resolved = profile.resolve_params(params)
+    gen = np.random.default_rng(seed)
+    events = profile.fn(
+        gen, duration=duration, models=tuple(models), **resolved
+    )
+    events = sorted(events, key=lambda e: (e.time, e.model, e.rows))
+    return WorkloadTrace(
+        profile=name,
+        seed=int(seed),
+        duration=float(duration),
+        models=tuple(models),
+        events=tuple(events),
+        config={"duration": float(duration), **resolved},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in profiles
+# ---------------------------------------------------------------------------
+
+
+def _pick_models(gen: np.random.Generator, models, size: int) -> np.ndarray:
+    if len(models) == 1:
+        return np.zeros(size, dtype=np.intp)
+    return gen.integers(0, len(models), size=size)
+
+
+def steady(
+    gen: np.random.Generator,
+    *,
+    duration: float,
+    models,
+    rate: float = 50.0,
+    rows: int = 1,
+) -> List[TraceEvent]:
+    """Constant-rate Poisson arrivals with fixed-size requests."""
+    times = poisson_process(gen, rate, duration)
+    which = _pick_models(gen, models, times.size)
+    return [
+        TraceEvent(time=float(t), model=models[m], rows=int(rows), phase="steady")
+        for t, m in zip(times, which)
+    ]
+
+
+def diurnal(
+    gen: np.random.Generator,
+    *,
+    duration: float,
+    models,
+    rate: float = 50.0,
+    trough_fraction: float = 0.2,
+    cycles: float = 2.0,
+) -> List[TraceEvent]:
+    """A sinusoidal day/night rate curve (peaks at ``rate``).
+
+    The instantaneous rate swings between ``trough_fraction * rate`` and
+    ``rate`` over ``cycles`` full cycles of the trace; events above 70 %
+    of peak are labeled ``peak-N``, the rest ``off_peak-N``, so a p99
+    violation can be pinned to a specific peak.
+    """
+    if not 0.0 < trough_fraction <= 1.0:
+        raise DataError(f"trough_fraction must lie in (0, 1], got {trough_fraction}")
+    lo = trough_fraction * rate
+
+    def rate_fn(t):
+        phase = 2.0 * np.pi * cycles * t / duration
+        return lo + (rate - lo) * 0.5 * (1.0 - np.cos(phase))
+
+    times = nonhomogeneous_poisson(gen, rate_fn, rate, duration)
+    which = _pick_models(gen, models, times.size)
+    cycle_idx = np.floor(cycles * times / duration).astype(int)
+    is_peak = rate_fn(times) >= 0.7 * rate
+    return [
+        TraceEvent(
+            time=float(t),
+            model=models[m],
+            rows=1,
+            phase=f"{'peak' if p else 'off_peak'}-{c}",
+        )
+        for t, m, p, c in zip(times, which, is_peak, cycle_idx)
+    ]
+
+
+def bursty(
+    gen: np.random.Generator,
+    *,
+    duration: float,
+    models,
+    rate: float = 50.0,
+    burst_multiplier: float = 8.0,
+    calm_seconds: float = 2.0,
+    burst_seconds: float = 0.5,
+    rows: int = 1,
+) -> List[TraceEvent]:
+    """Two-state Markov-modulated Poisson: calm baseline, hard bursts.
+
+    Dwell times are exponential with the given means; during a burst the
+    arrival rate jumps to ``burst_multiplier * rate``. This is the
+    profile that finds admission-control cliffs: the steady-state mean
+    rate looks harmless while individual bursts overrun the queue.
+    """
+    if burst_multiplier < 1.0:
+        raise DataError(f"burst_multiplier must be >= 1, got {burst_multiplier}")
+    times, labels, _episodes = mmpp_process(
+        gen,
+        rates=[rate, burst_multiplier * rate],
+        mean_dwells=[calm_seconds, burst_seconds],
+        duration=duration,
+        state_names=["calm", "burst"],
+    )
+    if rows < 1:
+        raise DataError(f"rows must be >= 1, got {rows}")
+    which = _pick_models(gen, models, times.size)
+    return [
+        TraceEvent(time=float(t), model=models[m], rows=int(rows), phase=label)
+        for t, m, label in zip(times, which, labels)
+    ]
+
+
+def heavy_tail(
+    gen: np.random.Generator,
+    *,
+    duration: float,
+    models,
+    rate: float = 30.0,
+    alpha: float = 1.3,
+    max_rows: int = 256,
+) -> List[TraceEvent]:
+    """Poisson arrivals whose request sizes are bounded-Pareto rows.
+
+    Most requests are a handful of rows; a heavy tail approaches
+    ``max_rows`` — the load shape where batch-size limits and queue
+    budgets interact (one elephant can evict a herd of mice).
+    """
+    times = poisson_process(gen, rate, duration)
+    rows = np.maximum(
+        1, np.floor(bounded_pareto(gen, alpha, 1.0, float(max_rows), times.size))
+    ).astype(int)
+    which = _pick_models(gen, models, times.size)
+    return [
+        TraceEvent(time=float(t), model=models[m], rows=int(r), phase="steady")
+        for t, m, r in zip(times, which, rows)
+    ]
+
+
+def tenant_mix(
+    gen: np.random.Generator,
+    *,
+    duration: float,
+    models,
+    rate: float = 60.0,
+    weights: Optional[Sequence[float]] = None,
+    minority_rows: int = 8,
+) -> List[TraceEvent]:
+    """A multi-model tenant mix: skewed traffic shares, one chunky tenant.
+
+    Total arrivals are Poisson at ``rate``; each event lands on a model
+    by the weight vector (default: geometrically decaying shares). The
+    *least*-weighted tenant sends ``minority_rows``-row requests — the
+    realistic shape where a minor tenant's bulk scoring competes with a
+    major tenant's single-row latency.
+    """
+    k = len(models)
+    if weights is None:
+        weights = [2.0 ** (-i) for i in range(k)]
+    if len(weights) != k or any(w <= 0 for w in weights):
+        raise DataError("weights must be positive and match models in length")
+    p = np.asarray(weights, dtype=np.float64)
+    p /= p.sum()
+    times = poisson_process(gen, rate, duration)
+    which = gen.choice(k, size=times.size, p=p)
+    chunky = int(np.argmin(p))
+    return [
+        TraceEvent(
+            time=float(t),
+            model=models[m],
+            rows=minority_rows if (m == chunky and k > 1) else 1,
+            phase="mix",
+        )
+        for t, m in zip(times, which)
+    ]
+
+
+def _register_builtin_traffic_profiles() -> None:
+    register_traffic_profile(
+        "steady", steady, defaults={"rate": 50.0, "rows": 1}, replace=True
+    )
+    register_traffic_profile(
+        "diurnal",
+        diurnal,
+        defaults={"rate": 50.0, "trough_fraction": 0.2, "cycles": 2.0},
+        replace=True,
+    )
+    register_traffic_profile(
+        "bursty",
+        bursty,
+        defaults={
+            "rate": 50.0,
+            "burst_multiplier": 8.0,
+            "calm_seconds": 2.0,
+            "burst_seconds": 0.5,
+        },
+        replace=True,
+    )
+    register_traffic_profile(
+        "heavy_tail",
+        heavy_tail,
+        defaults={"rate": 30.0, "alpha": 1.3, "max_rows": 256},
+        replace=True,
+    )
+    register_traffic_profile(
+        "tenant_mix",
+        tenant_mix,
+        defaults={"rate": 60.0, "minority_rows": 8},
+        replace=True,
+    )
+
+
+_register_builtin_traffic_profiles()

@@ -1,0 +1,226 @@
+"""Deterministic discrete-event simulation of the serving pipeline.
+
+Live replay measures the truth but not *reproducibly*: whether a burst's
+41st request is admitted or 503'd depends on scheduler jitter, so a CI
+gate keyed on live outcome sequences would flake. This module simulates
+the exact :class:`~repro.serve.batcher.MicroBatcher` semantics — bounded
+-queue admission at arrival time, count/deadline flush triggers, the
+same whole-request batch packing, a single flush worker — against a
+*modeled* service time, in the same spirit as ``repro.simgpu``'s modeled
+device clocks: the arithmetic is real, the clock is modeled, and the
+outcome of every admission decision is a pure function of the trace and
+the policy.
+
+That buys the campaign matrix two things no live run can give:
+
+* **byte-identical outcome sequences** for one seed, which is what
+  ``plssvm-bench check workloads`` gates on, and
+* **stable pass/fail cells** in EXPERIMENTS.md's scenario matrix, where
+  a failing cell must keep failing for the same diagnosed reason.
+
+The service model charges ``base_ms + per_row_ms * rows * cost_scale``
+per batch, with ``cost_scale`` taken from the data profile's traits
+(features, density) — so the *data* axis of the matrix changes the load
+the traffic axis applies, exactly as a wider dense model does live.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..exceptions import DataError
+from ..serve.batcher import BatchPolicy
+from .arrivals import WorkloadTrace
+from .harness import ReplayResult, RequestOutcome
+
+__all__ = ["ServiceModel", "simulate_replay"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceModel:
+    """Modeled batch service time: ``base_ms + per_row_ms * rows * scale``.
+
+    The defaults approximate a warm :class:`~repro.serve.engine.
+    PredictionEngine` on a few-thousand-SV RBF model on commodity CPU
+    (sub-millisecond fixed cost, tens of microseconds per row); the
+    campaign pins them in config so the matrix is hardware-independent.
+    """
+
+    base_ms: float = 0.5
+    per_row_ms: float = 0.05
+    cost_scale: float = 1.0
+
+    def seconds(self, rows: int) -> float:
+        if rows < 0:
+            raise DataError("rows must be non-negative")
+        return (self.base_ms + self.per_row_ms * rows * self.cost_scale) / 1e3
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class _Queued:
+    index: int
+    arrival: float
+    rows: int
+
+
+def _next_due(
+    queue: Deque[_Queued], policy: BatchPolicy
+) -> Tuple[float, str]:
+    """Earliest time the current queue justifies a flush, and why.
+
+    Mirrors ``MicroBatcher._collect``: the count trigger fires the
+    moment queued rows reach ``max_batch_rows`` (the arrival that
+    crossed the threshold), the deadline trigger at the oldest
+    request's ``arrival + max_wait``.
+    """
+    cum = 0
+    due_count: Optional[float] = None
+    for item in queue:
+        cum += item.rows
+        if cum >= policy.max_batch_rows:
+            due_count = item.arrival
+            break
+    due_wait = queue[0].arrival + policy.max_wait_ms / 1e3
+    if due_count is not None and due_count <= due_wait:
+        return due_count, "count"
+    return due_wait, "wait"
+
+
+def _pack(queue: Deque[_Queued], policy: BatchPolicy) -> List[_Queued]:
+    """Pop one batch following the batcher's whole-request packing."""
+    batch: List[_Queued] = []
+    rows = 0
+    while queue and (rows < policy.max_batch_rows or not batch):
+        if batch and rows + queue[0].rows > policy.max_batch_rows:
+            break
+        item = queue.popleft()
+        rows += item.rows
+        batch.append(item)
+    return batch
+
+
+def simulate_replay(
+    trace: WorkloadTrace,
+    *,
+    policy: Optional[BatchPolicy] = None,
+    service: Optional[ServiceModel] = None,
+) -> ReplayResult:
+    """Simulate replaying ``trace`` through one micro-batched model queue.
+
+    One queue and one flush worker per the whole trace (the multi-model
+    case shares them, which is the conservative single-engine reading of
+    a tenant mix on one process). Returns a :class:`ReplayResult` in
+    ``mode="sim"`` whose outcome sequence, batch assignments, and
+    latencies are exact functions of ``(trace, policy, service)``.
+    """
+    policy = policy or BatchPolicy()
+    service = service or ServiceModel()
+    if not trace.events:
+        raise DataError("trace has no events to simulate")
+
+    outcomes: List[Optional[RequestOutcome]] = [None] * len(trace.events)
+    queue: Deque[_Queued] = deque()
+    queued_rows = 0
+    worker_free = 0.0
+    batches: List[dict] = []
+    depth_samples: List[int] = []
+    events = trace.events
+    i = 0  # next arrival
+
+    def admit(idx: int) -> None:
+        nonlocal queued_rows
+        event = events[idx]
+        if queued_rows + event.rows > policy.max_queue_rows:
+            outcomes[idx] = RequestOutcome(
+                index=idx,
+                scheduled=event.time,
+                model=event.model,
+                rows=event.rows,
+                phase=event.phase,
+                status="rejected",
+                http_status=503,
+                retry_after=True,
+                queue_depth=queued_rows,
+            )
+        else:
+            queue.append(_Queued(idx, event.time, event.rows))
+            queued_rows += event.rows
+        depth_samples.append(queued_rows)
+
+    while i < len(events) or queue:
+        if not queue:
+            admit(i)
+            i += 1
+            continue
+        due, trigger = _next_due(queue, policy)
+        collect_time = max(due, worker_free)
+        # Arrivals up to the collection instant join (or bounce off) the
+        # queue first — admission happens at arrival time, not at flush.
+        if i < len(events) and events[i].time <= collect_time:
+            admit(i)
+            i += 1
+            continue
+        batch = _pack(queue, policy)
+        batch_rows = sum(item.rows for item in batch)
+        queued_rows -= batch_rows
+        finish = collect_time + service.seconds(batch_rows)
+        worker_free = finish
+        batch_id = len(batches)
+        batches.append(
+            {
+                "batch_id": batch_id,
+                "collect_time": collect_time,
+                "finish_time": finish,
+                "rows": batch_rows,
+                "requests": len(batch),
+                "trigger": trigger,
+                "service_ms": service.seconds(batch_rows) * 1e3,
+            }
+        )
+        for item in batch:
+            event = events[item.index]
+            outcomes[item.index] = RequestOutcome(
+                index=item.index,
+                scheduled=event.time,
+                model=event.model,
+                rows=event.rows,
+                phase=event.phase,
+                status="ok",
+                http_status=200,
+                latency_ms=(finish - item.arrival) * 1e3,
+                queue_depth=queued_rows,
+                batch_id=batch_id,
+                batch_rows=batch_rows,
+                trigger=trigger,
+            )
+
+    triggers: Dict[str, int] = {"count": 0, "wait": 0}
+    for batch in batches:
+        triggers[batch["trigger"]] += 1
+    return ReplayResult(
+        mode="sim",
+        trace_profile=trace.profile,
+        trace_seed=trace.seed,
+        trace_digest=trace.digest(),
+        duration=trace.duration,
+        outcomes=[o for o in outcomes if o is not None],
+        wall_seconds=max(
+            (b["finish_time"] for b in batches), default=trace.duration
+        ),
+        speed=1.0,
+        batches=batches,
+        config={
+            "policy": policy.as_dict(),
+            "service": service.as_dict(),
+            "flush_triggers": triggers,
+            "max_queue_depth": max(depth_samples, default=0),
+            "mean_queue_depth": (
+                sum(depth_samples) / len(depth_samples) if depth_samples else 0.0
+            ),
+        },
+    )
